@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures and helpers.
+
+Every benchmark solves its instance exactly once (``pedantic`` with one
+round): solver runs are seconds-long and deterministic, so statistical
+repetition would only burn wall-clock.  Paper-scale bounds are far too
+deep for a pure-Python engine (see EXPERIMENTS.md for the scaling
+discussion), so the benches run the same instance *families* at scaled
+bounds where every configuration's relative behaviour is still visible.
+"""
+
+import pytest
+
+#: Per-run solver timeout (seconds).  Timeouts are recorded, not errors
+#: — the paper's tables have -to- entries too.
+BENCH_TIMEOUT = 30.0
+
+
+def run_once(benchmark, fn):
+    """Run a solver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def bench_timeout():
+    return BENCH_TIMEOUT

@@ -1,0 +1,88 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* **hybrid learned clauses** (Section 2.4): Boolean-only learning cannot
+  express "state@t stays below 7", so b02-style UNSAT proofs blow up.
+* **mux select implication**: strengthening Ddeduce with the backward
+  select rule the paper leaves to the structural Decide.
+* **Section 4.4 phase hints**: value choice by learned-relation count;
+  biased towards typical behaviour, it hurts counterexample search.
+* **learning threshold**: the Section 3.1 cost/benefit trade-off.
+"""
+
+import pytest
+
+from repro.core import SolverConfig, solve_circuit
+from repro.itc99 import instance
+
+from benchmarks.conftest import BENCH_TIMEOUT, run_once
+
+
+def _solve(case, bound, **overrides):
+    inst = instance(case, bound)
+    settings = {
+        "structural_decisions": True,
+        "predicate_learning": True,
+        "timeout": BENCH_TIMEOUT,
+    }
+    settings.update(overrides)
+    config = SolverConfig(**settings)
+    return solve_circuit(inst.circuit, inst.assumptions, config)
+
+
+@pytest.mark.parametrize("hybrid", [True, False])
+def test_ablation_hybrid_clauses(benchmark, hybrid):
+    """b02_1: hybrid clauses carry the per-frame interval refutations."""
+    result = run_once(
+        benchmark,
+        lambda: _solve("b02_1", 15, hybrid_learned_clauses=hybrid,
+                       predicate_learning=False),
+    )
+    benchmark.extra_info["status"] = result.status.value
+    benchmark.extra_info["conflicts"] = result.stats.conflicts
+
+
+@pytest.mark.parametrize("imply", [True, False])
+def test_ablation_mux_select_implication(benchmark, imply):
+    """b04_1: how much of +S's win is propagation vs decision order."""
+    result = run_once(
+        benchmark, lambda: _solve("b04_1", 20, mux_select_implication=imply)
+    )
+    benchmark.extra_info["status"] = result.status.value
+    benchmark.extra_info["conflicts"] = result.stats.conflicts
+
+
+@pytest.mark.parametrize("hints", [True, False])
+def test_ablation_phase_hints(benchmark, hints):
+    """b04_1 SAT search with and without Section 4.4 value hints."""
+    result = run_once(
+        benchmark, lambda: _solve("b04_1", 20, learned_phase_hints=hints)
+    )
+    benchmark.extra_info["status"] = result.status.value
+    benchmark.extra_info["conflicts"] = result.stats.conflicts
+
+
+@pytest.mark.parametrize("threshold", [0, 50, 500, None])
+def test_ablation_learning_threshold(benchmark, threshold):
+    """b13_1: the Section 3.1 threshold trade-off (None = paper rule)."""
+    result = run_once(
+        benchmark, lambda: _solve("b13_1", 20, learning_threshold=threshold)
+    )
+    benchmark.extra_info["status"] = result.status.value
+    benchmark.extra_info["relations"] = result.stats.learned_relations
+    benchmark.extra_info["conflicts"] = result.stats.conflicts
+
+
+@pytest.mark.parametrize("structural", [True, False])
+def test_ablation_structural_on_control_only_property(benchmark, structural):
+    """b13_3: the paper's anomaly family — justification can lose to the
+    plain heuristic when the property is provable in control logic."""
+    inst = instance("b13_3", 15)
+    config = SolverConfig(
+        structural_decisions=structural, timeout=BENCH_TIMEOUT
+    )
+    result = run_once(
+        benchmark,
+        lambda: solve_circuit(inst.circuit, inst.assumptions, config),
+    )
+    benchmark.extra_info["status"] = result.status.value
+    benchmark.extra_info["conflicts"] = result.stats.conflicts

@@ -1,0 +1,104 @@
+"""Benchmarks for the application layer built on HDPLL.
+
+Not paper tables — these track the engines the library layers on top of
+the solver: k-induction, equivalence checking and predicate abstraction.
+"""
+
+import pytest
+
+from repro.bmc import InductionStatus, prove_by_induction
+from repro.core import HDPLL_SP
+from repro.core.abstraction import predicate_abstraction_check
+from repro.equivalence import (
+    EquivalenceStatus,
+    check_combinational_equivalence,
+    check_sequential_equivalence,
+)
+from repro.itc99 import circuit
+from repro.itc99.b02 import PROPERTIES as B02_PROPERTIES
+from repro.itc99.b13 import PROPERTIES as B13_PROPERTIES
+from repro.rtl.optimize import optimize
+
+from benchmarks.conftest import BENCH_TIMEOUT, run_once
+
+
+def test_bench_induction_b13_counter(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: prove_by_induction(
+            circuit("b13"),
+            B13_PROPERTIES["1"],
+            max_k=4,
+            config=HDPLL_SP,
+            timeout=BENCH_TIMEOUT,
+        ),
+    )
+    benchmark.extra_info["status"] = result.status.value
+    assert result.status is InductionStatus.PROVED
+
+
+def test_bench_induction_b02(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: prove_by_induction(
+            circuit("b02"),
+            B02_PROPERTIES["1"],
+            max_k=6,
+            config=HDPLL_SP,
+            timeout=BENCH_TIMEOUT,
+        ),
+    )
+    benchmark.extra_info["status"] = result.status.value
+    assert result.status is InductionStatus.PROVED
+
+
+def test_bench_equivalence_optimized_b02_bounded(benchmark):
+    original = circuit("b02")
+    optimised = optimize(original)
+    result = run_once(
+        benchmark,
+        lambda: check_sequential_equivalence(
+            original,
+            optimised,
+            outputs=["state_out", "ok_p1"],
+            config=HDPLL_SP,
+            bound=4,
+        ),
+    )
+    benchmark.extra_info["status"] = result.status.value
+    assert result.status is not EquivalenceStatus.DIFFERENT
+
+
+def test_bench_abstraction_b02(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: predicate_abstraction_check(
+            circuit("b02"), B02_PROPERTIES["1"]
+        ),
+    )
+    benchmark.extra_info["proved"] = result.proved
+    benchmark.extra_info["solver_calls"] = result.solver_calls
+    benchmark.extra_info["pruned"] = result.pruned_by_relations
+    assert result.proved
+
+
+@pytest.mark.parametrize("use_relations", [True, False])
+def test_bench_abstraction_relation_pruning(benchmark, use_relations):
+    """The Section 6 effect as a benchmark pair."""
+    result = run_once(
+        benchmark,
+        lambda: predicate_abstraction_check(
+            circuit("b02"),
+            B02_PROPERTIES["1"],
+            use_learned_relations=use_relations,
+        ),
+    )
+    benchmark.extra_info["solver_calls"] = result.solver_calls
+    assert result.proved
+
+
+def test_bench_optimize_b13(benchmark):
+    original = circuit("b13")
+    optimised = benchmark(lambda: optimize(original))
+    benchmark.extra_info["nodes_before"] = len(original.nodes)
+    benchmark.extra_info["nodes_after"] = len(optimised.nodes)

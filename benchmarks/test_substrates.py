@@ -1,0 +1,129 @@
+"""Micro-benchmarks of the substrates beneath HDPLL.
+
+These do not regenerate a paper table; they track the cost of the
+building blocks (useful when optimising and as regression guards).
+"""
+
+import pytest
+
+from repro.constraints import DomainStore, PropagationEngine, compile_circuit
+from repro.core.decide import ActivityOrder
+from repro.core.predlearn import run_predicate_learning
+from repro.fme import LinearConstraint, OmegaSolver
+from repro.intervals import Interval
+from repro.itc99 import circuit, instance
+from repro.baselines import bitblast, solve_by_bitblasting
+from repro.bmc import unroll
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_unroll_b13_50(benchmark):
+    sequential = circuit("b13")
+    result = benchmark(lambda: unroll(sequential, 50))
+    assert result.is_combinational
+
+
+def test_bench_compile_b13_30(benchmark):
+    unrolled = instance("b13_1", 30).circuit
+    system = benchmark(lambda: compile_circuit(unrolled))
+    assert len(system.propagators) > 0
+
+
+def test_bench_initial_propagation_b13_30(benchmark):
+    unrolled = instance("b13_1", 30).circuit
+    system = compile_circuit(unrolled)
+
+    def propagate_once():
+        store = DomainStore(system.variables)
+        engine = PropagationEngine(store, system.propagators)
+        engine.enqueue_all()
+        return engine.propagate()
+
+    assert benchmark(propagate_once) is None
+
+
+def test_bench_predicate_learning_pass_b13_10(benchmark):
+    unrolled = instance("b13_1", 10).circuit
+    system = compile_circuit(unrolled)
+
+    def learn():
+        store = DomainStore(system.variables)
+        engine = PropagationEngine(store, system.propagators)
+        engine.enqueue_all()
+        engine.propagate()
+        order = ActivityOrder(system, store)
+        return run_predicate_learning(system, store, engine, order)
+
+    report = run_once(benchmark, learn)
+    benchmark.extra_info["relations"] = report.relations_learned
+    assert report.relations_learned > 0
+
+
+def test_bench_omega_carry_chain(benchmark):
+    """A 16-stage carry-chain equality system (typical leaf shape)."""
+    constraints = []
+    bounds = {}
+    for stage in range(16):
+        a, b, s, c = 4 * stage, 4 * stage + 1, 4 * stage + 2, 4 * stage + 3
+        bounds[a] = (0, 255)
+        bounds[b] = (0, 255)
+        bounds[s] = (0, 255)
+        bounds[c] = (0, 1)
+        constraints.append(
+            LinearConstraint.eq({a: 1, b: 1, s: -1, c: -256}, 0)
+        )
+        if stage:
+            previous_s = 4 * (stage - 1) + 2
+            constraints.append(
+                LinearConstraint.eq({previous_s: 1, a: -1}, 0)
+            )
+    constraints.append(LinearConstraint.eq({4 * 15 + 2: 1}, 123))
+
+    def solve():
+        return OmegaSolver().solve(constraints, bounds)
+
+    witness = benchmark(solve)
+    assert witness is not None
+    assert witness[4 * 15 + 2] == 123
+
+
+def test_bench_bitblast_translation_b13_20(benchmark):
+    unrolled = instance("b13_1", 20).circuit
+    blasted = benchmark(lambda: bitblast(unrolled))
+    benchmark.extra_info["cnf_vars"] = blasted.cnf.num_vars
+    benchmark.extra_info["cnf_clauses"] = len(blasted.cnf.clauses)
+
+
+def test_bench_bitblast_solve_b13_10(benchmark):
+    inst = instance("b13_1", 10)
+
+    def solve():
+        return solve_by_bitblasting(
+            inst.circuit, inst.assumptions, timeout=30.0
+        )
+
+    satisfiable, _, _ = run_once(benchmark, solve)
+    assert satisfiable is False
+
+
+def test_bench_interval_narrowing_fixpoint(benchmark):
+    """Raw ICP throughput on a long adder chain."""
+    from repro.rtl import CircuitBuilder
+
+    b = CircuitBuilder("chain")
+    value = b.input("x", 8)
+    for _ in range(200):
+        value = b.add(value, 3)
+    b.output("out", value)
+    chain = b.build()
+    system = compile_circuit(chain)
+
+    def propagate():
+        store = DomainStore(system.variables)
+        engine = PropagationEngine(store, system.propagators)
+        store.assume(system.var_by_name("x"), Interval(5, 5))
+        engine.enqueue_all()
+        return engine.propagate()
+
+    assert benchmark(propagate) is None

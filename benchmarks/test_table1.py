@@ -1,0 +1,47 @@
+"""Table 1 regeneration: predicate learning run-time analysis.
+
+One benchmark per (instance, engine) cell of the paper's Table 1, at
+bounds scaled to pure-Python speed.  The paper's qualitative claims to
+check in the results:
+
+* on the small b01/b02 cases the learning overhead dominates any gain;
+* on the larger b02/b13 cases learning wins by 2x-80x (here the effect
+  is even starker: b02_1 and b13_5 collapse to propagation-only).
+
+``repro-hdpll table1`` prints the full paper-style table including the
+relation counts and learning times.
+"""
+
+import pytest
+
+from repro.harness.runner import run_engine
+from repro.itc99 import instance
+
+from benchmarks.conftest import BENCH_TIMEOUT, run_once
+
+#: The paper's Table 1 families at scaled bounds.
+TABLE1_SCALED = [
+    ("b01_1", 10),
+    ("b01_1", 20),
+    ("b02_1", 10),
+    ("b02_1", 20),
+    ("b04_1", 20),
+    ("b13_5", 10),
+    ("b13_1", 10),
+    ("b13_5", 20),
+    ("b13_1", 20),
+    ("b13_5", 30),
+    ("b13_1", 30),
+]
+
+
+@pytest.mark.parametrize("case,bound", TABLE1_SCALED)
+@pytest.mark.parametrize("engine", ["hdpll", "hdpll+p"])
+def test_table1_cell(benchmark, case, bound, engine):
+    inst = instance(case, bound)
+    record = run_once(benchmark, lambda: run_engine(inst, engine, BENCH_TIMEOUT))
+    benchmark.extra_info["status"] = record.status
+    benchmark.extra_info["learned_relations"] = record.learned_relations
+    benchmark.extra_info["learn_seconds"] = round(record.learn_seconds, 3)
+    benchmark.extra_info["conflicts"] = record.conflicts
+    assert record.status in ("S", "U", "-to-")

@@ -1,0 +1,79 @@
+"""Table 2 regeneration: the structural decision strategy comparison.
+
+One benchmark per (instance, engine) cell of the paper's Table 2 at
+scaled bounds.  Qualitative claims to check in the results:
+
+* HDPLL+S beats HDPLL by an order of magnitude on the mux/datapath
+  cases (b04 is the extreme: base times out, +S finishes instantly);
+* +S+P adds a further order of magnitude on the learning-friendly
+  UNSAT families (b02, b13_1/_5);
+* on the control-only b13_3 family the basic strategy is competitive
+  (the paper's predicate-abstraction caveat);
+* the UCLID- and ICS-like comparators never beat HDPLL and start timing
+  out first as the bound grows.
+"""
+
+import pytest
+
+from repro.harness.runner import run_engine
+from repro.itc99 import instance
+
+from benchmarks.conftest import BENCH_TIMEOUT, run_once
+
+TABLE2_SCALED = [
+    ("b01_1", 26),
+    ("b01_1", 20),
+    ("b02_1", 20),
+    ("b04_1", 20),
+    ("b13_40", 13),
+    ("b13_1", 15),
+    ("b13_2", 15),
+    ("b13_3", 15),
+    ("b13_5", 15),
+    ("b13_8", 15),
+]
+
+HDPLL_ENGINES = ["hdpll", "hdpll+s", "hdpll+sp"]
+
+#: The comparator substitutes run on the subset they can attempt within
+#: the bench budget (the paper's own table is full of -to- for them).
+CDP_CASES = [
+    ("b01_1", 26),
+    ("b02_1", 20),
+    ("b04_1", 20),
+    ("b13_40", 13),
+    ("b13_1", 15),
+    ("b13_5", 15),
+]
+
+
+@pytest.mark.parametrize("case,bound", TABLE2_SCALED)
+@pytest.mark.parametrize("engine", HDPLL_ENGINES)
+def test_table2_hdpll_cell(benchmark, case, bound, engine):
+    inst = instance(case, bound)
+    record = run_once(benchmark, lambda: run_engine(inst, engine, BENCH_TIMEOUT))
+    benchmark.extra_info["status"] = record.status
+    benchmark.extra_info["arith_ops"] = record.arith_ops
+    benchmark.extra_info["bool_ops"] = record.bool_ops
+    benchmark.extra_info["conflicts"] = record.conflicts
+    assert record.status in ("S", "U", "-to-")
+
+
+@pytest.mark.parametrize("case,bound", CDP_CASES)
+@pytest.mark.parametrize("engine", ["uclid", "ics"])
+def test_table2_cdp_cell(benchmark, case, bound, engine):
+    inst = instance(case, bound)
+    record = run_once(benchmark, lambda: run_engine(inst, engine, BENCH_TIMEOUT))
+    benchmark.extra_info["status"] = record.status
+    assert record.status in ("S", "U", "-to-", "-A-")
+
+
+@pytest.mark.parametrize("case,bound", [("b01_1", 26), ("b02_1", 20), ("b13_8", 15)])
+def test_table2_bitblast_cell(benchmark, case, bound):
+    """The introduction's Boolean-translation baseline on the same rows."""
+    inst = instance(case, bound)
+    record = run_once(
+        benchmark, lambda: run_engine(inst, "bitblast", BENCH_TIMEOUT)
+    )
+    benchmark.extra_info["status"] = record.status
+    assert record.status in ("S", "U", "-to-")

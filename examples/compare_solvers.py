@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Race every engine on one BMC instance — a miniature Table 2 row.
+
+Compares the four HDPLL configurations against the UCLID-like and
+ICS-like comparator substitutes and the bit-blasting baseline.
+
+Run:  python examples/compare_solvers.py [case] [bound]
+      python examples/compare_solvers.py b13_1 15
+"""
+
+import sys
+
+from repro.harness import ENGINE_NAMES, run_engine
+from repro.itc99 import instance
+
+
+def main():
+    case = sys.argv[1] if len(sys.argv) > 1 else "b13_1"
+    bound = int(sys.argv[2]) if len(sys.argv) > 2 else 15
+    timeout = 60.0
+
+    inst = instance(case, bound)
+    stats = inst.circuit.stats()
+    print(
+        f"instance {inst.name}: {stats.arith_ops} arith ops, "
+        f"{stats.bool_ops} bool ops, timeout {timeout:.0f}s\n"
+    )
+    print(f"{'engine':10s} {'result':7s} {'seconds':>8s} "
+          f"{'decisions':>10s} {'conflicts':>10s}")
+    for engine in ENGINE_NAMES:
+        record = run_engine(inst, engine, timeout)
+        print(
+            f"{engine:10s} {record.status:7s} {record.seconds:>8.2f} "
+            f"{record.decisions:>10d} {record.conflicts:>10d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

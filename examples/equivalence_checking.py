@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""RTL-RTL equivalence checking — the paper's Section 6 scenario.
+
+Workflow:
+
+1. describe a design in the HDL frontend,
+2. run the netlist optimiser over it,
+3. prove original == optimised with the HDPLL-based equivalence checker
+   (a miter duplicates the whole datapath — the duplicated-predicate
+   situation Section 6 points predicate learning at),
+4. inject a bug into a third version and watch the checker produce a
+   distinguishing input.
+
+Run:  python examples/equivalence_checking.py
+"""
+
+from repro.core import HDPLL_SP
+from repro.equivalence import (
+    EquivalenceStatus,
+    check_combinational_equivalence,
+)
+from repro.rtl import parse_module
+from repro.rtl.optimize import optimize
+
+DESIGN = """
+module alu(input [7:0] a, input [7:0] b, input [1:0] op,
+           output [7:0] y, output zero);
+  wire [7:0] sum  = a + b;
+  wire [7:0] diff = a - b;
+  wire [7:0] maxv = (a > b) ? a : b;
+  wire [7:0] minv = (a > b) ? b : a;
+  wire [7:0] lo = (op == 2'd0) ? sum  : diff;
+  wire [7:0] hi = (op == 2'd2) ? maxv : minv;
+  assign y = (op < 2'd2) ? lo : hi;
+  assign zero = y == 8'd0;
+endmodule
+"""
+
+BUGGY = """
+module alu(input [7:0] a, input [7:0] b, input [1:0] op,
+           output [7:0] y, output zero);
+  wire [7:0] sum  = a + b;
+  wire [7:0] diff = a - b;
+  wire [7:0] maxv = (a >= b) ? a : b;   // bug: >= instead of >
+  wire [7:0] minv = (a > b)  ? b : a;
+  wire [7:0] lo = (op == 2'd0) ? sum  : diff;
+  wire [7:0] hi = (op == 2'd2) ? maxv : minv;
+  assign y = (op < 2'd2) ? lo : hi;
+  assign zero = y == 8'd1;              // bug: compares against 1
+endmodule
+"""
+
+
+def main():
+    original = parse_module(DESIGN)
+    optimised = optimize(original)
+    print(
+        f"original: {len(original.nodes)} nodes; "
+        f"optimised: {len(optimised.nodes)} nodes"
+    )
+
+    result = check_combinational_equivalence(
+        original, optimised, config=HDPLL_SP
+    )
+    assert result.status is EquivalenceStatus.EQUIVALENT
+    print("original == optimised: EQUIVALENT (proved by HDPLL+S+P)")
+
+    buggy = parse_module(BUGGY)
+    result = check_combinational_equivalence(original, buggy, config=HDPLL_SP)
+    assert result.status is EquivalenceStatus.DIFFERENT
+    model = result.counterexample
+    print(
+        "original vs buggy: DIFFERENT — distinguishing input "
+        f"a={model['a']}, b={model['b']}, op={model['op']}"
+    )
+    def outputs_of(circuit, prefix):
+        return {
+            alias: model[f"{prefix}{circuit.outputs[alias].name}"]
+            for alias in circuit.outputs
+        }
+
+    left = outputs_of(original, "l::")
+    right = outputs_of(buggy, "r::")
+    print(f"  original output: y={left['y']}, zero={left['zero']}")
+    print(f"  buggy output   : y={right['y']}, zero={right['zero']}")
+
+
+if __name__ == "__main__":
+    main()

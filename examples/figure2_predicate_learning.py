@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Reproduce Figure 2: predicate-based learning on the b04 fragment.
+
+The paper's Figure 2(b) derives four relations from the circuit of
+Figure 2(a), in this order and *using the earlier ones for the later
+probes*:
+
+    1) b5 = 0  ->  b6 = 0     learned as (b5 | ~b6)
+    2) b6 = 0  ->  b5 = 0     learned as (b6 | ~b5)
+    3) b8 = 1  ->  b9 = 1     learned as (~b8 | b9)
+    4) b9 = 1  ->  b8 = 1     learned as (~b9 | b8)
+
+This script runs the Section 3 pre-processing pass on the reconstructed
+circuit and prints every learned relation, flagging the four from the
+paper.
+
+Run:  python examples/figure2_predicate_learning.py
+"""
+
+from repro.constraints import (
+    BoolLit,
+    DomainStore,
+    PropagationEngine,
+    compile_circuit,
+)
+from repro.core.decide import ActivityOrder
+from repro.core.predlearn import run_predicate_learning
+from repro.figures import figure2_circuit
+
+
+def literal_text(literal):
+    if isinstance(literal, BoolLit):
+        return ("" if literal.positive else "~") + literal.var.name
+    relation = "in" if literal.positive else "notin"
+    return f"({literal.var.name} {relation} {literal.interval})"
+
+
+def main():
+    circuit = figure2_circuit()
+    system = compile_circuit(circuit)
+    store = DomainStore(system.variables)
+    engine = PropagationEngine(store, system.propagators)
+    engine.enqueue_all()
+    assert engine.propagate() is None
+    order = ActivityOrder(system, store)
+
+    report = run_predicate_learning(system, store, engine, order)
+
+    paper_relations = {
+        frozenset({("b5", True), ("b6", False)}): "1) b5=0 -> b6=0",
+        frozenset({("b6", True), ("b5", False)}): "2) b6=0 -> b5=0",
+        frozenset({("b8", False), ("b9", True)}): "3) b8=1 -> b9=1",
+        frozenset({("b9", False), ("b8", True)}): "4) b9=1 -> b8=1",
+    }
+
+    print(f"candidates probed : {report.candidates}")
+    print(f"relations learned : {report.relations_learned}")
+    print()
+    found = set()
+    for position, clause in enumerate(report.clauses, start=1):
+        text = " | ".join(literal_text(lit) for lit in clause.literals)
+        signature = frozenset(
+            (lit.var.name, lit.positive)
+            for lit in clause.literals
+            if isinstance(lit, BoolLit)
+        )
+        marker = paper_relations.get(signature, "")
+        if marker:
+            found.add(marker)
+            marker = f"   <-- Figure 2(b) step {marker}"
+        print(f"  {position:2d}. ({text}){marker}")
+
+    print()
+    assert len(found) == 4, "all four Figure 2(b) relations must appear"
+    print("all four relations of Figure 2(b) reproduced.")
+
+
+if __name__ == "__main__":
+    main()

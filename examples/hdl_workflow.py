@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""End-to-end HDL workflow: parse, check, prove, export.
+
+A watchdog timer is written in the Verilog-subset frontend, then driven
+through the full verification stack:
+
+1. parse the module into the netlist IR,
+2. BMC: can the watchdog ever fire while petting is continuous?
+3. BMC: find the minimal firing scenario when petting stops,
+4. k-induction: prove the counter invariant for every bound,
+5. export one query as SMT-LIB2 for external cross-checking.
+
+Run:  python examples/hdl_workflow.py
+"""
+
+from repro.bmc import (
+    InductionStatus,
+    SafetyProperty,
+    make_bmc_instance,
+    prove_by_induction,
+)
+from repro.core import HDPLL_SP, solve_circuit
+from repro.export import to_smtlib2
+from repro.rtl import parse_module
+
+WATCHDOG = """
+module watchdog(input clk, input pet, output fired, output ok);
+  reg [3:0] count = 0;
+  wire expired = count >= 4'd10;
+  wire [3:0] bumped = count + 4'd1;
+  always @(posedge clk)
+    count <= pet ? 4'd0 : (expired ? count : bumped);
+  assign fired = expired;
+  assign ok = count <= 4'd10;
+endmodule
+"""
+
+
+def main():
+    circuit = parse_module(WATCHDOG)
+    stats = circuit.stats()
+    print(
+        f"parsed watchdog: {stats.arith_ops} arith ops, "
+        f"{stats.bool_ops} bool ops, {stats.registers} register(s)"
+    )
+
+    # 1. With continuous petting the watchdog can never fire.
+    bound = 15
+    instance = make_bmc_instance(
+        circuit, SafetyProperty("fire", "fired", ""), bound
+    )
+    # 'fired' is a bad-state flag: SafetyProperty asks it to stay 1, so
+    # query directly: fired at the last frame AND pet high every cycle.
+    assumptions = {f"fired@{bound - 1}": 1}
+    assumptions.update({f"pet@{t}": 1 for t in range(bound)})
+    result = solve_circuit(instance.circuit, assumptions, HDPLL_SP)
+    print(f"fires under continuous petting? {result.status.value}  (expected unsat)")
+    assert result.is_unsat
+
+    # 2. Without that constraint, the earliest firing is at frame 10.
+    for frames in (10, 11):
+        instance = make_bmc_instance(
+            circuit, SafetyProperty("fire", "fired", ""), frames
+        )
+        result = solve_circuit(
+            instance.circuit, {f"fired@{frames - 1}": 1}, HDPLL_SP
+        )
+        print(f"can fire at frame {frames - 1}? {result.status.value}")
+    assert result.is_sat  # frame 10 (bound 11)
+
+    # 3. The counter invariant holds at every depth.
+    outcome = prove_by_induction(
+        circuit,
+        SafetyProperty("inv", "ok", "count <= 10"),
+        max_k=4,
+        config=HDPLL_SP,
+    )
+    assert outcome.status is InductionStatus.PROVED
+    print(f"count <= 10 proved for every bound (k = {outcome.k})")
+
+    # 4. Export the firing query for an external bit-vector solver.
+    instance = make_bmc_instance(
+        circuit, SafetyProperty("fire", "fired", ""), 11
+    )
+    script = to_smtlib2(instance.circuit, {"fired@10": 1})
+    print(
+        f"SMT-LIB2 export: {script.count(chr(10))} lines, "
+        f"{script.count('declare-const')} constants "
+        f"(run through z3/cvc5 to cross-check)"
+    )
+
+
+if __name__ == "__main__":
+    main()

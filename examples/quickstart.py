@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: build an RTL circuit, check satisfiability, read a model.
+
+The scenario: a saturating accumulator datapath with an overflow flag.
+We ask the solver two questions a verification engineer would ask:
+
+1. Can the overflow flag rise while the input stays below the limit?
+   (Expected: no — the property is UNSAT.)
+2. Can the accumulator land exactly on the saturation boundary?
+   (Expected: yes — and the solver hands back a witness.)
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CircuitBuilder, HDPLL_SP, Interval, solve_circuit
+
+
+def build_saturating_adder():
+    """An 8-bit saturating adder: out = min(a + b, 200)."""
+    b = CircuitBuilder("saturating_adder")
+    a = b.input("a", 8)
+    c = b.input("b", 8)
+
+    # Full-width sum in 9 bits so the comparison sees real magnitudes.
+    wide_a = b.zext(a, 9)
+    wide_b = b.zext(c, 9)
+    total = b.add(wide_a, wide_b, name="total")
+
+    limit = b.const(200, 9, name="limit")
+    over = b.gt(total, limit, name="over")
+    clipped = b.mux(over, limit, total, name="clipped")
+
+    b.output("sum", clipped)
+    b.output("overflow", over)
+    return b.build()
+
+
+def main():
+    circuit = build_saturating_adder()
+
+    print("Question 1: overflow with both inputs under 64?")
+    result = solve_circuit(
+        circuit,
+        {
+            "overflow": 1,
+            "a": Interval(0, 63),
+            "b": Interval(0, 63),
+        },
+        HDPLL_SP,
+    )
+    print(f"  -> {result.status.value}   (64 + 64 - 2 = 126 <= 200: safe)")
+    assert result.is_unsat
+
+    print("Question 2: can the sum land exactly on the 200 boundary?")
+    result = solve_circuit(circuit, {"sum": 200, "overflow": 0}, HDPLL_SP)
+    print(f"  -> {result.status.value}")
+    assert result.is_sat
+    model = result.model
+    print(
+        f"  witness: a = {model['a']}, b = {model['b']}, "
+        f"sum = {model['sum']}, overflow = {model['overflow']}"
+    )
+    assert model["a"] + model["b"] == 200
+
+    stats = result.stats
+    print(
+        f"  solver work: {stats.decisions} decisions, "
+        f"{stats.conflicts} conflicts, {stats.fme_checks} integer checks"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Unbounded proofs: k-induction and predicate abstraction.
+
+The paper's Table 1/2 instances prove UNSAT at one bound at a time; the
+two engines layered on top of HDPLL in this library close properties
+*for every bound*:
+
+* **k-induction** on b13's transmit-counter invariant (property 1),
+* **predicate abstraction** (the paper's Section 6 proposal) on b02's
+  unreachable-state invariant, with learned predicate relations pruning
+  the candidate valuations before any solver call.
+
+Run:  python examples/unbounded_proof.py
+"""
+
+from repro.bmc import InductionStatus, prove_by_induction
+from repro.core import HDPLL_SP
+from repro.core.abstraction import predicate_abstraction_check
+from repro.itc99 import circuit
+from repro.itc99.b02 import PROPERTIES as B02_PROPERTIES
+from repro.itc99.b13 import PROPERTIES as B13_PROPERTIES
+
+
+def main():
+    print("== k-induction: b13 property 1 (cnt <= 8) ==")
+    result = prove_by_induction(
+        circuit("b13"), B13_PROPERTIES["1"], max_k=6, config=HDPLL_SP
+    )
+    assert result.status is InductionStatus.PROVED
+    print(
+        f"PROVED for every bound at induction depth k = {result.k} "
+        f"(the paper's Table 1 re-proves this per bound, up to 300 frames)"
+    )
+
+    print()
+    print("== k-induction: b13 property 40 (idle_cnt != 12) ==")
+    result = prove_by_induction(
+        circuit("b13"), B13_PROPERTIES["40"], max_k=15, config=HDPLL_SP
+    )
+    assert result.status is InductionStatus.VIOLATED
+    print(f"VIOLATED at depth {result.k} — matches Table 2's b13_40(13) S")
+
+    print()
+    print("== predicate abstraction: b02 property 1 (state != 7) ==")
+    for use_relations in (False, True):
+        outcome = predicate_abstraction_check(
+            circuit("b02"),
+            B02_PROPERTIES["1"],
+            use_learned_relations=use_relations,
+        )
+        assert outcome.proved
+        label = "with" if use_relations else "without"
+        print(
+            f"PROVED {label} learned relations: "
+            f"{len(outcome.reachable_states)} abstract states, "
+            f"{outcome.solver_calls} solver calls, "
+            f"{outcome.pruned_by_relations} candidates pruned"
+        )
+    print(
+        "\nThe pruning column is Section 6's claim made measurable: "
+        "learned predicate relations discharge abstract transitions "
+        "without touching the solver."
+    )
+
+
+if __name__ == "__main__":
+    main()

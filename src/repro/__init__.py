@@ -1,0 +1,82 @@
+"""repro — Structural Search for RTL with Predicate Learning.
+
+A full reproduction of Parthasarathy, Iyer, Cheng, Brewer, *Structural
+Search for RTL with Predicate Learning* (DAC 2005): the HDPLL hybrid
+Boolean/integer satisfiability solver for RTL circuits, extended with
+the paper's two contributions — predicate-based static learning
+(Section 3) and the structural justification decision strategy
+(Section 4) — plus every substrate they stand on (interval arithmetic,
+an RTL netlist IR, hybrid constraint propagation, a Fourier–Motzkin /
+Omega integer solver, BMC unrolling, baseline solvers and the ITC'99
+benchmark models).
+
+Quick start::
+
+    from repro import CircuitBuilder, solve_circuit, HDPLL_SP
+
+    b = CircuitBuilder("demo")
+    a = b.input("a", 8)
+    limit = b.const(200, 8)
+    over = b.gt(a, limit, name="over")
+    b.output("over", over)
+    result = solve_circuit(b.build(), {"over": 1}, HDPLL_SP)
+    assert result.is_sat and result.model["a"] > 200
+"""
+
+from repro.bmc import (
+    InductionStatus,
+    SafetyProperty,
+    make_bmc_instance,
+    prove_by_induction,
+    unroll,
+)
+from repro.core import (
+    HDPLL_BASE,
+    HDPLL_P,
+    HDPLL_S,
+    HDPLL_SP,
+    HdpllSolver,
+    SolverConfig,
+    SolverResult,
+    SolverStats,
+    Status,
+    predicate_abstraction_check,
+    solve_circuit,
+)
+from repro.equivalence import (
+    EquivalenceStatus,
+    check_combinational_equivalence,
+    check_sequential_equivalence,
+)
+from repro.intervals import Interval
+from repro.rtl import Circuit, CircuitBuilder, optimize, parse_module
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "EquivalenceStatus",
+    "HDPLL_BASE",
+    "HDPLL_P",
+    "HDPLL_S",
+    "HDPLL_SP",
+    "HdpllSolver",
+    "InductionStatus",
+    "Interval",
+    "SafetyProperty",
+    "SolverConfig",
+    "SolverResult",
+    "SolverStats",
+    "Status",
+    "check_combinational_equivalence",
+    "check_sequential_equivalence",
+    "make_bmc_instance",
+    "optimize",
+    "parse_module",
+    "predicate_abstraction_check",
+    "prove_by_induction",
+    "solve_circuit",
+    "unroll",
+    "__version__",
+]

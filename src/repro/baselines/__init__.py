@@ -1,0 +1,38 @@
+"""Baseline and comparator solvers.
+
+* :mod:`repro.baselines.bitblast` + :mod:`repro.baselines.dpll_sat` —
+  the introduction's "Boolean SAT on the Boolean translation" route.
+* :mod:`repro.baselines.lazy_smt` — the UCLID-like lazy CDP substitute.
+* :mod:`repro.baselines.eager_cdp` — the ICS-like eager CDP substitute.
+
+See DESIGN.md ("Substitutions") for the fidelity argument of each.
+"""
+
+from repro.baselines.bitblast import (
+    BitBlastedCircuit,
+    assert_assumptions,
+    bitblast,
+    solve_by_bitblasting,
+)
+from repro.baselines.cnf import Cnf, from_dimacs
+from repro.baselines.dpll_sat import CdclSolver, SatResult, SatStats, solve_cnf
+from repro.baselines.eager_cdp import EagerCdpSolver, solve_eager_cdp
+from repro.baselines.lazy_smt import LazySmtSolver, LazySmtStats, solve_lazy_smt
+
+__all__ = [
+    "BitBlastedCircuit",
+    "CdclSolver",
+    "Cnf",
+    "EagerCdpSolver",
+    "LazySmtSolver",
+    "LazySmtStats",
+    "SatResult",
+    "SatStats",
+    "assert_assumptions",
+    "bitblast",
+    "from_dimacs",
+    "solve_by_bitblasting",
+    "solve_cnf",
+    "solve_eager_cdp",
+    "solve_lazy_smt",
+]

@@ -1,0 +1,312 @@
+"""Bit-blasting: word-level circuits to CNF.
+
+The introduction's "most popular method": translate the RTL problem to
+propositional CNF and hand it to a Boolean SAT solver.  Every net
+becomes a little-endian vector of CNF literals; operators expand to
+ripple-carry adders, shift-add multipliers and comparator chains.  The
+paper's point is that this translation loses all word-level structure —
+which is precisely what this baseline demonstrates on the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.baselines.cnf import Cnf
+from repro.baselines.dpll_sat import SatResult, solve_cnf
+from repro.errors import UnsupportedOperationError
+from repro.intervals import Interval
+from repro.rtl.circuit import Circuit, Net
+from repro.rtl.types import OpKind
+
+
+@dataclass
+class BitBlastedCircuit:
+    """CNF plus the net -> bit-literal mapping."""
+
+    cnf: Cnf
+    circuit: Circuit
+    #: net index -> little-endian list of CNF literals (may be +-const).
+    bits_of_net: Dict[int, List[int]] = field(default_factory=dict)
+    true_literal: int = 0
+
+    def bits(self, net: Net) -> List[int]:
+        return self.bits_of_net[net.index]
+
+    def decode_net(self, net: Net, model: Mapping[int, bool]) -> int:
+        """Value of a net under a SAT model."""
+        value = 0
+        for position, literal in enumerate(self.bits(net)):
+            bit = model[abs(literal)]
+            if literal < 0:
+                bit = not bit
+            if bit:
+                value |= 1 << position
+        return value
+
+
+class _Blaster:
+    def __init__(self, circuit: Circuit):
+        circuit.validate()
+        if not circuit.is_combinational:
+            raise UnsupportedOperationError(
+                "bit-blasting requires a combinational circuit"
+            )
+        self.circuit = circuit
+        self.cnf = Cnf()
+        self.result = BitBlastedCircuit(cnf=self.cnf, circuit=circuit)
+        self.true_lit = self.cnf.new_var()
+        self.cnf.add_clause([self.true_lit])
+        self.result.true_literal = self.true_lit
+
+    # ------------------------------------------------------------------
+    # Bit helpers
+    # ------------------------------------------------------------------
+    def _const_bit(self, value: bool) -> int:
+        return self.true_lit if value else -self.true_lit
+
+    def _and2(self, a: int, b: int) -> int:
+        out = self.cnf.new_var()
+        self.cnf.add_and(out, [a, b])
+        return out
+
+    def _or2(self, a: int, b: int) -> int:
+        out = self.cnf.new_var()
+        self.cnf.add_or(out, [a, b])
+        return out
+
+    def _xor2(self, a: int, b: int) -> int:
+        out = self.cnf.new_var()
+        self.cnf.add_xor(out, a, b)
+        return out
+
+    def _mux_bit(self, sel: int, then_bit: int, else_bit: int) -> int:
+        out = self.cnf.new_var()
+        self.cnf.add_mux(out, sel, then_bit, else_bit)
+        return out
+
+    def _full_adder(self, a: int, b: int, carry: int) -> Tuple[int, int]:
+        total = self._xor2(self._xor2(a, b), carry)
+        carry_out = self._or2(
+            self._and2(a, b), self._and2(carry, self._xor2(a, b))
+        )
+        return total, carry_out
+
+    def _add_vectors(self, a: List[int], b: List[int]) -> List[int]:
+        """Ripple-carry sum modulo 2**len(a)."""
+        carry = self._const_bit(False)
+        out: List[int] = []
+        for bit_a, bit_b in zip(a, b):
+            total, carry = self._full_adder(bit_a, bit_b, carry)
+            out.append(total)
+        return out
+
+    def _less_than(self, a: List[int], b: List[int]) -> int:
+        return _less_than_cnf(self.cnf, self.true_lit, a, b)
+
+    def _equal(self, a: List[int], b: List[int]) -> int:
+        bits = [-self._xor2(x, y) for x, y in zip(a, b)]
+        out = self.cnf.new_var()
+        self.cnf.add_and(out, bits)
+        return out
+
+    # ------------------------------------------------------------------
+    # Node translation
+    # ------------------------------------------------------------------
+    def blast(self) -> BitBlastedCircuit:
+        for node in self.circuit.topological_nodes():
+            self._blast_node(node)
+        return self.result
+
+    def _blast_node(self, node) -> None:
+        kind = node.kind
+        width = node.output.width
+        if kind is OpKind.INPUT:
+            bits = self.cnf.new_vars(width)
+        elif kind is OpKind.CONST:
+            value = node.const_value or 0
+            bits = [
+                self._const_bit(bool((value >> i) & 1)) for i in range(width)
+            ]
+        elif kind is OpKind.REG:
+            raise UnsupportedOperationError("unroll registers before blasting")
+        else:
+            operands = [self.result.bits_of_net[n.index] for n in node.operands]
+            bits = self._blast_operator(node, operands, width)
+        self.result.bits_of_net[node.output.index] = bits
+
+    def _blast_operator(self, node, operands, width) -> List[int]:
+        kind = node.kind
+        if kind is OpKind.BUF:
+            return list(operands[0])
+        if kind is OpKind.NOT:
+            return [-operands[0][0]]
+        if kind in (OpKind.AND, OpKind.NAND):
+            out = self.cnf.new_var()
+            self.cnf.add_and(out, [bits[0] for bits in operands])
+            return [out if kind is OpKind.AND else -out]
+        if kind in (OpKind.OR, OpKind.NOR):
+            out = self.cnf.new_var()
+            self.cnf.add_or(out, [bits[0] for bits in operands])
+            return [out if kind is OpKind.OR else -out]
+        if kind in (OpKind.XOR, OpKind.XNOR):
+            out = self._xor2(operands[0][0], operands[1][0])
+            return [out if kind is OpKind.XOR else -out]
+        if kind is OpKind.MUX:
+            sel = operands[0][0]
+            return [
+                self._mux_bit(sel, t, e)
+                for t, e in zip(operands[1], operands[2])
+            ]
+        if kind is OpKind.ADD:
+            return self._add_vectors(operands[0], operands[1])
+        if kind is OpKind.SUB:
+            negated = [-bit for bit in operands[1]]
+            one = [self._const_bit(i == 0) for i in range(width)]
+            return self._add_vectors(
+                self._add_vectors(operands[0], negated), one
+            )
+        if kind is OpKind.MULC:
+            factor = node.factor or 0
+            accumulator = [self._const_bit(False)] * width
+            shifted = list(operands[0])
+            bit_index = 0
+            while factor >> bit_index and bit_index < width:
+                if (factor >> bit_index) & 1:
+                    partial = (
+                        [self._const_bit(False)] * bit_index
+                        + shifted[: width - bit_index]
+                    )
+                    accumulator = self._add_vectors(accumulator, partial)
+                bit_index += 1
+            return accumulator
+        if kind is OpKind.SHL:
+            amount = node.shift_amount or 0
+            if amount >= width:
+                return [self._const_bit(False)] * width
+            return (
+                [self._const_bit(False)] * amount
+                + operands[0][: width - amount]
+            )
+        if kind is OpKind.SHR:
+            amount = node.shift_amount or 0
+            source = operands[0]
+            if amount >= len(source):
+                return [self._const_bit(False)] * width
+            return source[amount:] + [self._const_bit(False)] * amount
+        if kind is OpKind.CONCAT:
+            return list(operands[1]) + list(operands[0])
+        if kind is OpKind.EXTRACT:
+            lo = node.extract_lo or 0
+            hi = node.extract_hi
+            return operands[0][lo : hi + 1]
+        if kind is OpKind.ZEXT:
+            pad = width - len(operands[0])
+            return list(operands[0]) + [self._const_bit(False)] * pad
+        if kind is OpKind.EQ:
+            return [self._equal(operands[0], operands[1])]
+        if kind is OpKind.NE:
+            return [-self._equal(operands[0], operands[1])]
+        if kind is OpKind.LT:
+            return [self._less_than(operands[0], operands[1])]
+        if kind is OpKind.GT:
+            return [self._less_than(operands[1], operands[0])]
+        if kind is OpKind.LE:
+            return [-self._less_than(operands[1], operands[0])]
+        if kind is OpKind.GE:
+            return [-self._less_than(operands[0], operands[1])]
+        raise UnsupportedOperationError(f"cannot bit-blast {kind.value}")
+
+
+def bitblast(circuit: Circuit) -> BitBlastedCircuit:
+    """Translate a combinational circuit to CNF."""
+    return _Blaster(circuit).blast()
+
+
+AssumptionValue = Union[int, Interval]
+
+
+def assert_assumptions(
+    blasted: BitBlastedCircuit,
+    assumptions: Mapping[str, AssumptionValue],
+) -> None:
+    """Constrain nets (or output aliases) to values or intervals."""
+    circuit = blasted.circuit
+    for name, required in assumptions.items():
+        net = (
+            circuit.outputs[name]
+            if name in circuit.outputs
+            else circuit.net(name)
+        )
+        bits = blasted.bits(net)
+        if isinstance(required, Interval):
+            _assert_interval(blasted, bits, required)
+        else:
+            for position, literal in enumerate(bits):
+                bit_value = (required >> position) & 1
+                blasted.cnf.add_clause([literal if bit_value else -literal])
+
+
+def _less_than_cnf(cnf: Cnf, true_lit: int, a: List[int], b: List[int]) -> int:
+    """Unsigned ``a < b`` over little-endian literal vectors."""
+    lt = -true_lit
+    for bit_a, bit_b in zip(a, b):  # LSB to MSB
+        bit_lt = cnf.new_var()
+        cnf.add_and(bit_lt, [-bit_a, bit_b])
+        bit_xor = cnf.new_var()
+        cnf.add_xor(bit_xor, bit_a, bit_b)
+        keep = cnf.new_var()
+        cnf.add_and(keep, [-bit_xor, lt])
+        new_lt = cnf.new_var()
+        cnf.add_or(new_lt, [bit_lt, keep])
+        lt = new_lt
+    return lt
+
+
+def _assert_interval(
+    blasted: BitBlastedCircuit, bits: List[int], interval: Interval
+) -> None:
+    cnf = blasted.cnf
+    width = len(bits)
+
+    def const_bits(value: int) -> List[int]:
+        return [
+            blasted.true_literal if (value >> i) & 1 else -blasted.true_literal
+            for i in range(width)
+        ]
+
+    if interval.lo > 0:
+        below = _less_than_cnf(cnf, blasted.true_literal, bits, const_bits(interval.lo))
+        cnf.add_clause([-below])
+    if interval.hi < (1 << width) - 1:
+        above = _less_than_cnf(cnf, blasted.true_literal, const_bits(interval.hi), bits)
+        cnf.add_clause([-above])
+
+
+def solve_by_bitblasting(
+    circuit: Circuit,
+    assumptions: Mapping[str, AssumptionValue],
+    timeout: Optional[float] = None,
+    max_conflicts: Optional[int] = None,
+) -> Tuple[Optional[bool], Optional[Dict[str, int]], SatResult]:
+    """Decide satisfiability via CNF translation + CDCL.
+
+    Returns ``(satisfiable, model, sat_result)`` where the model maps
+    every net name to its value (SAT only).
+    """
+    blasted = bitblast(circuit)
+    assert_assumptions(blasted, assumptions)
+    sat_result = solve_cnf(
+        blasted.cnf, timeout=timeout, max_conflicts=max_conflicts
+    )
+    if sat_result.satisfiable is not True:
+        return sat_result.satisfiable, None, sat_result
+    assert sat_result.model is not None
+    model = {
+        net.name: blasted.decode_net(net, sat_result.model)
+        for net in circuit.nets
+    }
+    for alias, net in circuit.outputs.items():
+        model[alias] = model[net.name]
+    return True, model, sat_result

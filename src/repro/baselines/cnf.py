@@ -1,0 +1,115 @@
+"""CNF formulas in DIMACS-style signed-integer form."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import SolverError
+
+
+@dataclass
+class Cnf:
+    """A CNF formula: clauses of non-zero signed variable numbers."""
+
+    num_vars: int = 0
+    clauses: List[List[int]] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable (numbered from 1)."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = sorted(set(literals), key=abs)
+        for literal in clause:
+            if literal == 0 or abs(literal) > self.num_vars:
+                raise SolverError(f"literal {literal} out of range")
+        # Drop tautologies (x and ~x in the same clause).
+        present = set(clause)
+        if any(-literal in present for literal in clause):
+            return
+        self.clauses.append(clause)
+
+    # ------------------------------------------------------------------
+    # Tseitin gate encodings
+    # ------------------------------------------------------------------
+    def add_and(self, out: int, inputs: Sequence[int]) -> None:
+        """``out <-> AND(inputs)``."""
+        for literal in inputs:
+            self.add_clause([-out, literal])
+        self.add_clause([out] + [-literal for literal in inputs])
+
+    def add_or(self, out: int, inputs: Sequence[int]) -> None:
+        """``out <-> OR(inputs)``."""
+        for literal in inputs:
+            self.add_clause([out, -literal])
+        self.add_clause([-out] + list(inputs))
+
+    def add_xor(self, out: int, a: int, b: int) -> None:
+        """``out <-> a XOR b``."""
+        self.add_clause([-out, a, b])
+        self.add_clause([-out, -a, -b])
+        self.add_clause([out, -a, b])
+        self.add_clause([out, a, -b])
+
+    def add_eq(self, a: int, b: int) -> None:
+        """``a <-> b``."""
+        self.add_clause([-a, b])
+        self.add_clause([a, -b])
+
+    def add_mux(self, out: int, sel: int, then_lit: int, else_lit: int) -> None:
+        """``out <-> (sel ? then_lit : else_lit)``."""
+        self.add_clause([-sel, -then_lit, out])
+        self.add_clause([-sel, then_lit, -out])
+        self.add_clause([sel, -else_lit, out])
+        self.add_clause([sel, else_lit, -out])
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """Truth of the formula under a full assignment."""
+        for clause in self.clauses:
+            satisfied = False
+            for literal in clause:
+                value = assignment.get(abs(literal))
+                if value is None:
+                    raise SolverError(f"variable {abs(literal)} unassigned")
+                if value == (literal > 0):
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def to_dimacs(self) -> str:
+        """Serialise in DIMACS format."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+
+def from_dimacs(text: str) -> Cnf:
+    """Parse a DIMACS CNF file."""
+    cnf = Cnf()
+    declared_vars: Optional[int] = None
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SolverError(f"bad DIMACS header: {line!r}")
+            declared_vars = int(parts[2])
+            cnf.num_vars = declared_vars
+            continue
+        numbers = [int(token) for token in line.split()]
+        if numbers and numbers[-1] == 0:
+            numbers.pop()
+        if numbers:
+            cnf.num_vars = max(cnf.num_vars, max(abs(n) for n in numbers))
+            cnf.add_clause(numbers)
+    return cnf

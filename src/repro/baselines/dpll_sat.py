@@ -1,0 +1,321 @@
+"""A from-scratch CDCL Boolean SAT solver.
+
+This is the "Boolean SAT solver on the Boolean translation" route the
+paper's introduction describes as the popular-but-datapath-weak method,
+and the SAT core behind the UCLID-like lazy CDP baseline.  Standard
+architecture: two-watched-literal propagation, 1-UIP conflict analysis
+with non-chronological backtracking, VSIDS activities, phase saving and
+geometric restarts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.cnf import Cnf
+from repro.errors import SolverError
+
+
+@dataclass
+class SatStats:
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned: int = 0
+
+
+class SatResult:
+    """SAT outcome: model (1-indexed truth values) or UNSAT or unknown."""
+
+    def __init__(
+        self,
+        satisfiable: Optional[bool],
+        model: Optional[Dict[int, bool]] = None,
+        stats: Optional[SatStats] = None,
+    ):
+        self.satisfiable = satisfiable
+        self.model = model
+        self.stats = stats or SatStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SatResult({self.satisfiable})"
+
+
+_UNASSIGNED = 0
+
+
+class CdclSolver:
+    """CDCL over a :class:`Cnf` formula."""
+
+    def __init__(
+        self,
+        cnf: Cnf,
+        timeout: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+    ):
+        self.num_vars = cnf.num_vars
+        self.clauses: List[List[int]] = [list(c) for c in cnf.clauses]
+        self.timeout = timeout
+        self.max_conflicts = max_conflicts
+        # assignment[v]: 0 unassigned, +1 true, -1 false.
+        self.assignment = [0] * (self.num_vars + 1)
+        self.level = [0] * (self.num_vars + 1)
+        self.reason: List[Optional[List[int]]] = [None] * (self.num_vars + 1)
+        self.trail: List[int] = []  # literals in assignment order
+        self.trail_lim: List[int] = []
+        self.queue_head = 0
+        # watches[lit] = clauses watching literal lit (lit is falsified
+        # trigger: we store, per clause, its two watched literals at
+        # positions 0 and 1).
+        self.watches: Dict[int, List[List[int]]] = {}
+        self.activity = [0.0] * (self.num_vars + 1)
+        self.phase = [False] * (self.num_vars + 1)
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.stats = SatStats()
+        self._ok = True
+        for clause in self.clauses:
+            if not self._attach(clause):
+                self._ok = False
+                break
+
+    # ------------------------------------------------------------------
+    # Clause attachment and watches
+    # ------------------------------------------------------------------
+    def _attach(self, clause: List[int]) -> bool:
+        """Install a clause; returns False on immediate inconsistency."""
+        if not clause:
+            return False
+        if len(clause) == 1:
+            return self._enqueue(clause[0], None)
+        self.watches.setdefault(-clause[0], []).append(clause)
+        self.watches.setdefault(-clause[1], []).append(clause)
+        return True
+
+    def _value(self, literal: int) -> int:
+        value = self.assignment[abs(literal)]
+        return value if literal > 0 else -value
+
+    def _enqueue(self, literal: int, reason: Optional[List[int]]) -> bool:
+        current = self._value(literal)
+        if current == 1:
+            return True
+        if current == -1:
+            return False
+        var = abs(literal)
+        self.assignment[var] = 1 if literal > 0 else -1
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(literal)
+        return True
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self.queue_head < len(self.trail):
+            literal = self.trail[self.queue_head]
+            self.queue_head += 1
+            self.stats.propagations += 1
+            watch_list = self.watches.get(literal, [])
+            i = 0
+            while i < len(watch_list):
+                clause = watch_list[i]
+                # Normalise: watched literals at positions 0 and 1; the
+                # falsified one is -literal.
+                if clause[0] == -literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                # clause[1] == -literal now.
+                if self._value(clause[0]) == 1:
+                    i += 1
+                    continue
+                # Search replacement watch.
+                found = False
+                for position in range(2, len(clause)):
+                    if self._value(clause[position]) != -1:
+                        clause[1], clause[position] = (
+                            clause[position],
+                            clause[1],
+                        )
+                        self.watches.setdefault(-clause[1], []).append(clause)
+                        watch_list[i] = watch_list[-1]
+                        watch_list.pop()
+                        found = True
+                        break
+                if found:
+                    continue
+                # Unit or conflicting.
+                if not self._enqueue(clause[0], clause):
+                    self.queue_head = len(self.trail)
+                    return clause
+                i += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (1-UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: List[int]) -> Tuple[List[int], int]:
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        skip_var = 0  # variable whose reason is being expanded
+        clause: Optional[List[int]] = conflict
+        index = len(self.trail) - 1
+        current_level = len(self.trail_lim)
+
+        while True:
+            assert clause is not None, "resolved into a decision/assumption"
+            for q in clause:
+                var = abs(q)
+                if var == skip_var or seen[var] or self.level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self.level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(q)
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            pivot = self.trail[index]
+            skip_var = abs(pivot)
+            seen[skip_var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self.reason[skip_var]
+            index -= 1
+        learned[0] = -pivot
+
+        if len(learned) == 1:
+            backtrack_level = 0
+        else:
+            backtrack_level = max(
+                self.level[abs(q)] for q in learned[1:]
+            )
+            # Move a literal of that level to position 1 (watch).
+            for position in range(1, len(learned)):
+                if self.level[abs(learned[position])] == backtrack_level:
+                    learned[1], learned[position] = (
+                        learned[position],
+                        learned[1],
+                    )
+                    break
+        return learned, backtrack_level
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+    def _cancel_until(self, target_level: int) -> None:
+        if len(self.trail_lim) <= target_level:
+            return
+        keep = self.trail_lim[target_level]
+        for literal in reversed(self.trail[keep:]):
+            var = abs(literal)
+            self.phase[var] = literal > 0
+            self.assignment[var] = 0
+            self.reason[var] = None
+        del self.trail[keep:]
+        del self.trail_lim[target_level:]
+        self.queue_head = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _pick_branch_var(self) -> Optional[int]:
+        best = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assignment[var] == 0 and self.activity[var] > best_activity:
+                best = var
+                best_activity = self.activity[var]
+        return best
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Optional[List[int]] = None) -> SatResult:
+        if not self._ok:
+            return SatResult(False, stats=self.stats)
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        conflict = self._propagate()
+        if conflict is not None:
+            return SatResult(False, stats=self.stats)
+        for literal in assumptions or []:
+            if not self._enqueue(literal, None):
+                return SatResult(False, stats=self.stats)
+            if self._propagate() is not None:
+                return SatResult(False, stats=self.stats)
+
+        restart_budget = 128
+        conflicts_since_restart = 0
+        assumption_count = 0  # assumptions live at level 0 here
+
+        while True:
+            if deadline is not None and time.monotonic() > deadline:
+                return SatResult(None, stats=self.stats)
+            if (
+                self.max_conflicts is not None
+                and self.stats.conflicts >= self.max_conflicts
+            ):
+                return SatResult(None, stats=self.stats)
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if not self.trail_lim:
+                    return SatResult(False, stats=self.stats)
+                learned, backtrack_level = self._analyze(conflict)
+                self._cancel_until(backtrack_level)
+                self.stats.learned += 1
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        return SatResult(False, stats=self.stats)
+                else:
+                    self.clauses.append(learned)
+                    self.watches.setdefault(-learned[0], []).append(learned)
+                    self.watches.setdefault(-learned[1], []).append(learned)
+                    self._enqueue(learned[0], learned)
+                self.var_inc /= self.var_decay
+                continue
+            if conflicts_since_restart >= restart_budget:
+                conflicts_since_restart = 0
+                restart_budget = int(restart_budget * 1.5)
+                self.stats.restarts += 1
+                self._cancel_until(assumption_count)
+                continue
+            var = self._pick_branch_var()
+            if var is None:
+                model = {
+                    v: self.assignment[v] > 0
+                    for v in range(1, self.num_vars + 1)
+                }
+                return SatResult(True, model=model, stats=self.stats)
+            self.stats.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            literal = var if self.phase[var] else -var
+            if not self._enqueue(literal, None):
+                raise SolverError("decision on assigned variable")
+
+
+def solve_cnf(
+    cnf: Cnf,
+    assumptions: Optional[List[int]] = None,
+    timeout: Optional[float] = None,
+    max_conflicts: Optional[int] = None,
+) -> SatResult:
+    """One-shot CDCL solve."""
+    return CdclSolver(cnf, timeout, max_conflicts).solve(assumptions)

@@ -1,0 +1,279 @@
+"""UCLID-style lazy combined decision procedure (comparator substitute).
+
+UCLID [15] decides these instances by encoding to propositional SAT
+(chaff) with the theory handled around the SAT core.  The real binary is
+not available offline, so this baseline reproduces the *architecture and
+qualitative profile*: a lazy DPLL(T) loop —
+
+1. Build a **Boolean abstraction**: the circuit's Boolean skeleton with
+   every comparator output replaced by a free abstract variable (the
+   datapath disappears entirely).
+2. Solve the abstraction with the CDCL SAT core.
+3. **Theory-check** the abstract model by pinning every Boolean net to
+   its abstract value and running hybrid propagation plus the integer
+   leaf check.
+4. On theory failure, extract a conflict core (the theory lemma) by
+   tracing the hybrid implication graph, add it to the abstraction and
+   iterate.
+
+The datapath is invisible to the SAT core, so each lemma teaches it one
+fact at a time — the per-iteration churn on datapath-heavy BMC is the
+qualitative weakness Table 2 shows for UCLID.  See DESIGN.md
+("Substitutions") for the fidelity argument.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.baselines.cnf import Cnf
+from repro.baselines.dpll_sat import CdclSolver
+from repro.constraints.clause import BoolLit
+from repro.constraints.compile import compile_circuit
+from repro.constraints.engine import PropagationEngine
+from repro.constraints.propagators import ComparatorProp
+from repro.constraints.store import DECISION, Conflict, DomainStore
+from repro.core.conflict import analyze_conflict
+from repro.core.fme_leaf import check_solution_box
+from repro.core.result import SolverResult, SolverStats, Status
+from repro.intervals import Interval
+from repro.rtl.circuit import Circuit
+from repro.rtl.simulate import simulate_combinational
+from repro.rtl.types import BOOLEAN_KINDS, PREDICATE_KINDS, OpKind
+
+AssumptionValue = Union[int, Interval]
+
+
+@dataclass
+class LazySmtStats:
+    """Per-run counters for the harness."""
+
+    iterations: int = 0
+    sat_decisions: int = 0
+    sat_conflicts: int = 0
+    blocking_clauses: int = 0
+
+
+class LazySmtSolver:
+    """Lazy Boolean-abstraction + theory-lemma refinement loop."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        timeout: Optional[float] = None,
+        max_iterations: int = 500_000,
+    ):
+        self.circuit = circuit
+        self.timeout = timeout
+        self.max_iterations = max_iterations
+        self.stats = LazySmtStats()
+        self.cnf = Cnf()
+        #: net index -> abstraction CNF variable (Boolean nets only).
+        self.abstract_var: Dict[int, int] = {}
+        self._build_abstraction()
+        # One persistent theory solver state, reset per check.
+        self.system = compile_circuit(circuit)
+        self.store = DomainStore(self.system.variables)
+        self.engine = PropagationEngine(self.store, self.system.propagators)
+
+    def _build_abstraction(self) -> None:
+        """Boolean skeleton + free variables for predicates."""
+        for node in self.circuit.topological_nodes():
+            net = node.output
+            if not net.is_bool:
+                continue
+            kind = node.kind
+            if kind in PREDICATE_KINDS or kind in (OpKind.INPUT, OpKind.MUX):
+                self.abstract_var[net.index] = self.cnf.new_var()
+                continue
+            if kind is OpKind.CONST:
+                var = self.cnf.new_var()
+                self.abstract_var[net.index] = var
+                self.cnf.add_clause([var if node.const_value else -var])
+                continue
+            if kind in BOOLEAN_KINDS:
+                out = self.cnf.new_var()
+                self.abstract_var[net.index] = out
+                inputs = [
+                    self.abstract_var[operand.index]
+                    for operand in node.operands
+                ]
+                if kind is OpKind.BUF:
+                    self.cnf.add_eq(out, inputs[0])
+                elif kind is OpKind.NOT:
+                    self.cnf.add_eq(out, -inputs[0])
+                elif kind is OpKind.AND:
+                    self.cnf.add_and(out, inputs)
+                elif kind is OpKind.NAND:
+                    self.cnf.add_and(-out, inputs)
+                elif kind is OpKind.OR:
+                    self.cnf.add_or(out, inputs)
+                elif kind is OpKind.NOR:
+                    self.cnf.add_or(-out, inputs)
+                elif kind is OpKind.XOR:
+                    self.cnf.add_xor(out, inputs[0], inputs[1])
+                else:  # XNOR
+                    self.cnf.add_xor(-out, inputs[0], inputs[1])
+
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Mapping[str, AssumptionValue]) -> SolverResult:
+        start = time.monotonic()
+        deadline = start + self.timeout if self.timeout is not None else None
+        stats = SolverStats()
+
+        # Boolean-valued assumptions constrain the abstraction directly.
+        for name, value in assumptions.items():
+            net = (
+                self.circuit.outputs[name]
+                if name in self.circuit.outputs
+                else self.circuit.net(name)
+            )
+            if net.is_bool and not isinstance(value, Interval):
+                literal = self.abstract_var[net.index]
+                self.cnf.add_clause([literal if value else -literal])
+
+        # Theory-side level-0 setup (assumptions on words and bools).
+        for name, value in assumptions.items():
+            var = self.system.var_by_name(name)
+            interval = (
+                value if isinstance(value, Interval) else Interval.point(value)
+            )
+            if isinstance(self.store.assume(var, interval), Conflict):
+                return SolverResult(Status.UNSAT, stats=stats)
+        self.engine.enqueue_all()
+        if self.engine.propagate() is not None:
+            return SolverResult(Status.UNSAT, stats=stats)
+
+        # Seed the abstraction with every Boolean fact the theory derives
+        # at level 0 (theory propagation seeding).  Without this, an
+        # abstract model can contradict a theory fact outright and the
+        # contradiction would not be attributable to any abstract choice.
+        for net_index, cnf_var in self.abstract_var.items():
+            net = self.circuit.nets[net_index]
+            value = self.store.bool_value(self.system.var(net))
+            if value is not None:
+                self.cnf.add_clause([cnf_var if value else -cnf_var])
+
+        while self.stats.iterations < self.max_iterations:
+            if deadline is not None and time.monotonic() > deadline:
+                return SolverResult(
+                    Status.UNKNOWN,
+                    stats=stats,
+                    note=f"timeout after {self.timeout}s",
+                )
+            self.stats.iterations += 1
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            sat_result = CdclSolver(self.cnf, timeout=remaining).solve()
+            self.stats.sat_decisions += sat_result.stats.decisions
+            self.stats.sat_conflicts += sat_result.stats.conflicts
+            if sat_result.satisfiable is None:
+                return SolverResult(
+                    Status.UNKNOWN, stats=stats, note="SAT core timeout"
+                )
+            if sat_result.satisfiable is False:
+                stats.solve_time = time.monotonic() - start
+                return SolverResult(Status.UNSAT, stats=stats)
+
+            assert sat_result.model is not None
+            verdict, payload = self._theory_check(sat_result.model)
+            if verdict == "model":
+                stats.solve_time = time.monotonic() - start
+                return SolverResult(Status.SAT, model=payload, stats=stats)
+            if verdict == "root":
+                # The theory refutation rests on level-0 facts alone.
+                stats.solve_time = time.monotonic() - start
+                return SolverResult(Status.UNSAT, stats=stats)
+            # Theory lemma: add and iterate.
+            self.cnf.add_clause(payload)
+            self.stats.blocking_clauses += 1
+            stats.conflicts += 1
+        return SolverResult(
+            Status.UNKNOWN, stats=stats, note="iteration budget exhausted"
+        )
+
+    # ------------------------------------------------------------------
+    def _theory_check(
+        self, model: Dict[int, bool]
+    ) -> Tuple[str, Optional[object]]:
+        """Check an abstract model against the theory.
+
+        Returns ``("model", full_model)``, ``("core", blocking_clause)``
+        or ``("root", None)`` when the refutation is assignment-free.
+        """
+        store = self.store
+        entry_level = store.decision_level
+        store.push_level()
+        try:
+            conflict: Optional[Conflict] = None
+            for net_index, cnf_var in self.abstract_var.items():
+                net = self.circuit.nets[net_index]
+                var = self.system.var(net)
+                value = 1 if model[cnf_var] else 0
+                outcome = store.assign_bool(var, value, DECISION)
+                if isinstance(outcome, Conflict):
+                    # Contradicts a level-0 theory fact: the seeding pass
+                    # makes this unreachable, but defend with the unit
+                    # lemma forcing the theory's value.
+                    pinned = store.bool_value(var)
+                    assert pinned is not None
+                    return "core", [cnf_var if pinned else -cnf_var]
+            if conflict is None:
+                conflict = self.engine.propagate()
+            if conflict is None:
+                leaf = check_solution_box(store, self.system)
+                if leaf.feasible:
+                    input_values = {
+                        net.name: leaf.witness[self.system.var(net).index]
+                        for net in self.circuit.inputs
+                    }
+                    return "model", simulate_combinational(
+                        self.circuit, input_values
+                    )
+                conflict = self._fme_conflict(leaf)
+            analysis = analyze_conflict(
+                conflict, store, hybrid_word_literals=False
+            )
+            if analysis is None:
+                return "root", None
+            blocking: List[int] = []
+            for literal in analysis.clause.literals:
+                assert isinstance(literal, BoolLit)
+                assert literal.var.net_index is not None
+                cnf_var = self.abstract_var[literal.var.net_index]
+                blocking.append(cnf_var if literal.positive else -cnf_var)
+            return "core", blocking
+        finally:
+            store.backtrack_to(entry_level)
+            self.engine.notify_backtrack()
+
+    def _fme_conflict(self, leaf) -> Conflict:
+        antecedents = set()
+        for var_index in leaf.failing_var_indices:
+            event_id = self.store.latest_event[var_index]
+            if event_id is not None:
+                antecedents.add(event_id)
+        for prop in leaf.failing_sources:
+            control = (
+                prop.pred if isinstance(prop, ComparatorProp) else prop.sel
+            )
+            event_id = self.store.latest_event[control.index]
+            if event_id is not None:
+                antecedents.add(event_id)
+        return Conflict(
+            source="fme-refutation", antecedents=tuple(sorted(antecedents))
+        )
+
+
+def solve_lazy_smt(
+    circuit: Circuit,
+    assumptions: Mapping[str, AssumptionValue],
+    timeout: Optional[float] = None,
+) -> SolverResult:
+    """One-shot lazy-SMT solve (the UCLID-like comparator)."""
+    return LazySmtSolver(circuit, timeout=timeout).solve(assumptions)

@@ -1,0 +1,28 @@
+"""Bounded model checking: time-frame expansion, safety properties and
+k-induction for unbounded proofs."""
+
+from repro.bmc.induction import (
+    InductionResult,
+    InductionStatus,
+    prove_by_induction,
+)
+from repro.bmc.property import BmcInstance, SafetyProperty, make_bmc_instance
+from repro.bmc.unroll import (
+    frame_name,
+    input_trace_from_model,
+    unroll,
+    unroll_free_initial,
+)
+
+__all__ = [
+    "BmcInstance",
+    "InductionResult",
+    "InductionStatus",
+    "SafetyProperty",
+    "frame_name",
+    "input_trace_from_model",
+    "make_bmc_instance",
+    "prove_by_induction",
+    "unroll",
+    "unroll_free_initial",
+]

@@ -1,0 +1,124 @@
+"""k-induction: unbounded safety proofs on top of the BMC engine.
+
+BMC at bound k only *refutes* a property (or proves it up to depth k).
+k-induction turns the same machinery into an unbounded prover:
+
+* **Base case** — no violation in the first k frames (k BMC queries, or
+  equivalently one query per depth).
+* **Inductive step** — a time-frame window of k+1 states with *free*
+  (unconstrained) starting registers, assuming the monitor holds in the
+  first k frames, cannot violate it in frame k+1.  If this is UNSAT the
+  property holds at every depth.
+
+The step circuit is built like :func:`repro.bmc.unroll.unroll` except
+that frame 0's registers become fresh primary inputs instead of reset
+constants.  Increasing k strengthens the induction hypothesis, so the
+engine iterates k = 1, 2, ... up to a limit.
+
+This is the natural "unbounded" companion of the paper's evaluation:
+the UNSAT BMC families (b02_1, b13_1...) are invariants, and k-induction
+proves them once instead of once per bound.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import SolverConfig
+from repro.core.hdpll import solve_circuit
+from repro.core.result import Status
+from repro.rtl.circuit import Circuit
+from repro.bmc.property import SafetyProperty, make_bmc_instance
+from repro.bmc.unroll import frame_name, unroll_free_initial
+
+
+class InductionStatus(enum.Enum):
+    """Outcome of a k-induction run."""
+
+    PROVED = "proved"          # property holds at every depth
+    VIOLATED = "violated"      # base case found a counterexample
+    UNDECIDED = "undecided"    # k limit or budget exhausted
+
+
+@dataclass
+class InductionResult:
+    status: InductionStatus
+    #: Induction depth that closed the proof (PROVED) or the depth of
+    #: the counterexample (VIOLATED).
+    k: int = 0
+    #: Counterexample model over the unrolled nets (VIOLATED only).
+    counterexample: Optional[Dict[str, int]] = None
+    note: str = ""
+    #: Per-depth timings for diagnostics.
+    base_seconds: List[float] = field(default_factory=list)
+    step_seconds: List[float] = field(default_factory=list)
+
+
+
+
+def prove_by_induction(
+    circuit: Circuit,
+    prop: SafetyProperty,
+    max_k: int = 10,
+    config: Optional[SolverConfig] = None,
+    timeout: Optional[float] = None,
+) -> InductionResult:
+    """Attempt an unbounded proof of a safety property by k-induction."""
+    config = config or SolverConfig()
+    deadline = time.monotonic() + timeout if timeout is not None else None
+
+    def remaining() -> Optional[float]:
+        if deadline is None:
+            return config.timeout
+        return max(0.0, deadline - time.monotonic())
+
+    result = InductionResult(status=InductionStatus.UNDECIDED)
+    for k in range(1, max_k + 1):
+        if deadline is not None and time.monotonic() > deadline:
+            result.note = f"timeout before depth {k}"
+            return result
+
+        # Base case: no violation at depth exactly k.
+        base_instance = make_bmc_instance(circuit, prop, k)
+        start = time.monotonic()
+        base = solve_circuit(
+            base_instance.circuit,
+            base_instance.assumptions,
+            config.with_overrides(timeout=remaining()),
+        )
+        result.base_seconds.append(time.monotonic() - start)
+        if base.status is Status.UNKNOWN:
+            result.note = f"base case budget exhausted at depth {k}"
+            return result
+        if base.is_sat:
+            result.status = InductionStatus.VIOLATED
+            result.k = k
+            result.counterexample = base.model
+            return result
+
+        # Inductive step: ok in frames 0..k-1 (free start) forces ok in
+        # frame k.
+        step_circuit = unroll_free_initial(circuit, k + 1)
+        assumptions: Dict[str, int] = {
+            frame_name(prop.ok_signal, frame): 1 for frame in range(k)
+        }
+        assumptions[frame_name(prop.ok_signal, k)] = 0
+        start = time.monotonic()
+        step = solve_circuit(
+            step_circuit,
+            assumptions,
+            config.with_overrides(timeout=remaining()),
+        )
+        result.step_seconds.append(time.monotonic() - start)
+        if step.status is Status.UNKNOWN:
+            result.note = f"inductive step budget exhausted at depth {k}"
+            return result
+        if step.is_unsat:
+            result.status = InductionStatus.PROVED
+            result.k = k
+            return result
+    result.note = f"not inductive up to k = {max_k}"
+    return result

@@ -1,0 +1,68 @@
+"""Safety properties and BMC instance construction.
+
+A safety property names a 1-bit circuit output (the "ok" monitor) that
+must be 1 in every cycle.  The BMC query at bound ``k`` asks whether some
+input sequence drives the monitor to 0 **at frame k-1** (violation at
+exactly the last frame) — the semantics under which the paper's
+instances flip between SAT and UNSAT as the bound changes (b01_1 is SAT
+at bound 10 and 50 but UNSAT at 20 and 100).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from repro.errors import CircuitError
+from repro.intervals import Interval
+from repro.rtl.circuit import Circuit
+from repro.bmc.unroll import frame_name, unroll
+
+
+@dataclass(frozen=True)
+class SafetyProperty:
+    """An always-1 monitor signal on a sequential circuit."""
+
+    name: str
+    ok_signal: str
+    description: str = ""
+
+
+@dataclass
+class BmcInstance:
+    """A ready-to-solve combinational satisfiability problem."""
+
+    name: str
+    circuit: Circuit            # the unrolled, combinational circuit
+    assumptions: Dict[str, Union[int, Interval]]
+    bound: int
+    sequential: Circuit         # the original sequential circuit
+    prop: SafetyProperty
+
+    @property
+    def violation_net(self) -> str:
+        return frame_name(self.prop.ok_signal, self.bound - 1)
+
+
+def make_bmc_instance(
+    circuit: Circuit, prop: SafetyProperty, bound: int
+) -> BmcInstance:
+    """Unroll and constrain: "the monitor is 0 at frame bound-1"."""
+    if prop.ok_signal not in circuit.outputs:
+        raise CircuitError(
+            f"property signal {prop.ok_signal!r} is not a circuit output"
+        )
+    if not circuit.outputs[prop.ok_signal].is_bool:
+        raise CircuitError(
+            f"property signal {prop.ok_signal!r} must be 1 bit"
+        )
+    unrolled = unroll(circuit, bound)
+    target = frame_name(prop.ok_signal, bound - 1)
+    return BmcInstance(
+        name=f"{circuit.name}_{prop.name}({bound})",
+        circuit=unrolled,
+        assumptions={target: 0},
+        bound=bound,
+        sequential=circuit,
+        prop=prop,
+    )

@@ -1,0 +1,63 @@
+"""Hybrid constraint system: variables, trail, clauses, propagators, engine.
+
+This package is the substrate beneath HDPLL (Algorithm 1 of the paper):
+it provides hybrid consistency checking — Boolean constraint propagation
+plus interval constraint propagation over the compiled RTL — together
+with the trail/implication-graph bookkeeping conflict analysis needs.
+"""
+
+from repro.constraints.clause import (
+    FALSE,
+    TRUE,
+    UNASSIGNED,
+    BoolLit,
+    Clause,
+    ClauseDatabase,
+    Literal,
+    WordLit,
+    make_bool_lit,
+)
+from repro.constraints.compile import CompiledSystem, compile_circuit
+from repro.constraints.engine import PropagationEngine
+from repro.constraints.propagators import (
+    BoolGateProp,
+    ComparatorProp,
+    LinearEqProp,
+    MuxProp,
+    Propagator,
+)
+from repro.constraints.store import (
+    ASSUMPTION,
+    DECISION,
+    Conflict,
+    DomainStore,
+    Event,
+)
+from repro.constraints.variable import Variable, VarOrigin
+
+__all__ = [
+    "ASSUMPTION",
+    "BoolGateProp",
+    "BoolLit",
+    "Clause",
+    "ClauseDatabase",
+    "ComparatorProp",
+    "CompiledSystem",
+    "Conflict",
+    "DECISION",
+    "DomainStore",
+    "Event",
+    "FALSE",
+    "LinearEqProp",
+    "Literal",
+    "MuxProp",
+    "PropagationEngine",
+    "Propagator",
+    "TRUE",
+    "UNASSIGNED",
+    "Variable",
+    "VarOrigin",
+    "WordLit",
+    "compile_circuit",
+    "make_bool_lit",
+]

@@ -1,0 +1,338 @@
+"""Hybrid clauses: disjunctions of Boolean and word literals.
+
+Section 2.1 of the paper: a *hybrid clause* is a disjunction of Boolean
+literals and word literals, where a word literal pairs a word variable
+with a finite interval.  A positive word literal ``{w, b}`` asserts that
+``w`` takes a value in ``b``; a negative literal asserts a value in
+``D(w) \\ b``.
+
+Against a monotonically narrowing domain store, literal status is
+three-valued and monotone (unassigned can become true or false, and then
+never changes), which is what makes watched-literal propagation sound for
+hybrid clauses exactly as for Boolean ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SolverError
+from repro.intervals import Interval
+from repro.constraints.store import Conflict, DomainStore, Event
+from repro.constraints.variable import Variable
+
+TRUE = 1
+FALSE = 0
+UNASSIGNED = -1
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    """A Boolean literal: ``var`` (positive) or ``¬var`` (negative)."""
+
+    var: Variable
+    positive: bool = True
+
+    def negated(self) -> "BoolLit":
+        return BoolLit(self.var, not self.positive)
+
+    def status(self, store: DomainStore) -> int:
+        value = store.bool_value(self.var)
+        if value is None:
+            return UNASSIGNED
+        satisfied = bool(value) == self.positive
+        return TRUE if satisfied else FALSE
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        prefix = "" if self.positive else "~"
+        return f"{prefix}{self.var.name}"
+
+
+@dataclass(frozen=True)
+class WordLit:
+    """A word literal ``{var, interval}`` or its negation.
+
+    Positive: true when ``D(var) ⊆ interval``; false when
+    ``D(var) ∩ interval = ∅``.  Negative literals are the dual.
+    """
+
+    var: Variable
+    interval: Interval
+    positive: bool = True
+
+    def negated(self) -> "WordLit":
+        return WordLit(self.var, self.interval, not self.positive)
+
+    def status(self, store: DomainStore) -> int:
+        domain = store.domain(self.var)
+        if self.positive:
+            if self.interval.contains_interval(domain):
+                return TRUE
+            if not self.interval.intersects(domain):
+                return FALSE
+            return UNASSIGNED
+        if not self.interval.intersects(domain):
+            return TRUE
+        if self.interval.contains_interval(domain):
+            return FALSE
+        return UNASSIGNED
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        relation = "in" if self.positive else "notin"
+        return f"({self.var.name} {relation} {self.interval})"
+
+
+Literal = Union[BoolLit, WordLit]
+
+
+def make_bool_lit(var: Variable, value: int) -> BoolLit:
+    """The literal satisfied when ``var == value``."""
+    return BoolLit(var, positive=bool(value))
+
+
+@dataclass(eq=False)
+class Clause:
+    """A hybrid clause with optional learned-clause bookkeeping."""
+
+    literals: Tuple[Literal, ...]
+    learned: bool = False
+    #: Provenance tag: "predicate-learning", "conflict", "j-conflict", ...
+    origin: str = "problem"
+    activity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.literals:
+            raise SolverError("empty clause constructed directly")
+        seen = set()
+        unique: List[Literal] = []
+        for literal in self.literals:
+            key = (
+                literal.var.index,
+                literal.positive,
+                getattr(literal, "interval", None),
+            )
+            if key not in seen:
+                seen.add(key)
+                unique.append(literal)
+        self.literals = tuple(unique)
+
+    def status(self, store: DomainStore) -> int:
+        """TRUE if any literal true, FALSE if all false, else UNASSIGNED."""
+        any_unassigned = False
+        for literal in self.literals:
+            state = literal.status(store)
+            if state == TRUE:
+                return TRUE
+            if state == UNASSIGNED:
+                any_unassigned = True
+        return UNASSIGNED if any_unassigned else FALSE
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = " | ".join(repr(literal) for literal in self.literals)
+        return f"Clause[{body}]"
+
+
+def _propagate_literal(
+    clause: Clause, literal: Literal, store: DomainStore
+) -> object:
+    """Make the last unassigned literal of a unit clause true."""
+    involved = [lit.var for lit in clause.literals]
+    if isinstance(literal, BoolLit):
+        return store.assign_bool(
+            literal.var, 1 if literal.positive else 0, clause, involved
+        )
+    if literal.positive:
+        return store.narrow(literal.var, literal.interval, clause, involved)
+    # Negative word literal: remove the interval where representable.
+    remainder = store.domain(literal.var).difference(literal.interval)
+    if remainder is None:
+        # Domain entirely inside the excluded interval: conflict.
+        antecedents = tuple(
+            event_id
+            for var in involved
+            if (event_id := store.latest_event[var.index]) is not None
+        )
+        return Conflict(source=clause, antecedents=antecedents, var=literal.var)
+    return store.narrow(literal.var, remainder, clause, involved)
+
+
+class ClauseDatabase:
+    """Clause storage with two-watched-literal propagation.
+
+    Every clause watches two of its literals; a clause is only examined
+    when a watched variable's domain changes.  Because literal status is
+    monotone under narrowing, the standard invariant (watch two non-false
+    literals, or the clause is unit/conflicting) carries over unchanged
+    from Boolean CDCL.
+    """
+
+    def __init__(self, store: DomainStore):
+        self.store = store
+        self.clauses: List[Clause] = []
+        #: var index -> list of (clause, watch position) pairs.
+        self.watches: Dict[int, List[Tuple[Clause, int]]] = {}
+        self._watch_positions: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Clause installation
+    # ------------------------------------------------------------------
+    def add_clause(self, clause: Clause) -> Optional[Conflict]:
+        """Install a clause; may immediately propagate or conflict.
+
+        The clause may be unit or even false under the current trail
+        (learned clauses usually are); the caller must then backtrack
+        and re-propagate as appropriate.
+        """
+        self.clauses.append(clause)
+        count = len(clause.literals)
+        self._set_watches(clause, 0, min(1, count - 1))
+        return self._examine(clause)
+
+    def _set_watches(self, clause: Clause, first: int, second: int) -> None:
+        """(Re)point the clause's watches at literal positions."""
+        old = self._watch_positions.get(id(clause))
+        if old is not None:
+            for position in set(old):
+                var = clause.literals[position].var
+                entries = self.watches.get(var.index, [])
+                for i, (watched_clause, watched_position) in enumerate(entries):
+                    if watched_clause is clause and watched_position == position:
+                        entries.pop(i)
+                        break
+        self._watch_positions[id(clause)] = (first, second)
+        for position in {first, second}:
+            var = clause.literals[position].var
+            self.watches.setdefault(var.index, []).append((clause, position))
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def on_var_event(self, var: Variable) -> Optional[Conflict]:
+        """Re-examine all clauses watching ``var``; returns a conflict or None."""
+        entries = self.watches.get(var.index)
+        if not entries:
+            return None
+        for clause, _position in list(entries):
+            conflict = self._examine(clause)
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _examine(self, clause: Clause) -> Optional[Conflict]:
+        """Examine one clause: satisfied, unit, conflicting, or rewatch.
+
+        Fast path first: while both watched literals are non-false (or
+        either is true) the clause cannot be unit or conflicting, so the
+        full literal scan only runs when a watch has actually been
+        falsified — the textbook two-watched-literal argument.
+        """
+        first, second = self._watch_positions[id(clause)]
+        literals = clause.literals
+        first_status = literals[first].status(self.store)
+        if first_status == TRUE:
+            return None
+        second_status = (
+            literals[second].status(self.store) if second != first else first_status
+        )
+        if second_status == TRUE:
+            return None
+        if (
+            first != second
+            and first_status == UNASSIGNED
+            and second_status == UNASSIGNED
+        ):
+            return None
+        statuses = [literal.status(self.store) for literal in clause.literals]
+        if TRUE in statuses:
+            # Park a watch on the satisfying literal so subsequent visits
+            # take the fast path while it stays true.
+            true_position = statuses.index(TRUE)
+            other = next(
+                (
+                    i
+                    for i, s in enumerate(statuses)
+                    if s != FALSE and i != true_position
+                ),
+                true_position,
+            )
+            self._set_watches(clause, true_position, other)
+            return None
+        unassigned = [i for i, s in enumerate(statuses) if s == UNASSIGNED]
+        if not unassigned:
+            return self._conflict(clause)
+        if len(unassigned) == 1:
+            outcome = _propagate_literal(
+                clause, clause.literals[unassigned[0]], self.store
+            )
+            if isinstance(outcome, Conflict):
+                return outcome
+            return None
+        # Two or more open literals: watch two of them so the clause is
+        # revisited no later than when one becomes false.
+        self._set_watches(clause, unassigned[0], unassigned[1])
+        return None
+
+    def _conflict(self, clause: Clause) -> Conflict:
+        antecedents = tuple(
+            event_id
+            for literal in clause.literals
+            if (event_id := self.store.latest_event[literal.var.index])
+            is not None
+        )
+        return Conflict(source=clause, antecedents=antecedents)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def recheck_all(self) -> Optional[Conflict]:
+        """Examine every clause (used after backtracking past watches)."""
+        for clause in self.clauses:
+            conflict = self._examine(clause)
+            if conflict is not None:
+                return conflict
+        return None
+
+    def remove_clause(self, clause: Clause) -> None:
+        """Detach a clause from the database and its watch lists."""
+        positions = self._watch_positions.pop(id(clause), None)
+        if positions is not None:
+            for position in set(positions):
+                var = clause.literals[position].var
+                entries = self.watches.get(var.index, [])
+                for i, (watched, watched_position) in enumerate(entries):
+                    if watched is clause and watched_position == position:
+                        entries.pop(i)
+                        break
+        try:
+            self.clauses.remove(clause)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    def reduce_learned(self, keep_fraction: float = 0.5) -> int:
+        """Drop the least active disposable learned clauses.
+
+        Only multi-literal conflict-learned clauses are candidates:
+        problem clauses, static-learning relations and unit facts stay.
+        Deletion is always sound (learned clauses are consequences), and
+        safe mid-search — conflict analysis references trail events, not
+        clause objects, so a deleted clause serving as a ``reason`` tag
+        is simply garbage-collected later.  Returns the number removed.
+        """
+        candidates = [
+            clause
+            for clause in self.clauses
+            if clause.learned
+            and len(clause.literals) > 1
+            and clause.origin in ("conflict", "fme-conflict", "j-conflict")
+        ]
+        if len(candidates) < 8:
+            return 0
+        candidates.sort(key=lambda clause: clause.activity)
+        drop_count = int(len(candidates) * (1.0 - keep_fraction))
+        for clause in candidates[:drop_count]:
+            self.remove_clause(clause)
+        return drop_count
+
+    def __len__(self) -> int:
+        return len(self.clauses)

@@ -1,0 +1,279 @@
+"""Compilation of a combinational circuit into a constraint system.
+
+Every net becomes a solver variable with its full width domain; every node
+becomes a propagator.  Datapath operators with modular semantics (add,
+sub, multiplication by constant, shifts, extract) introduce auxiliary
+carry/remainder variables so that every datapath constraint is a *linear
+integer equality* — the paper's Section 2.1 treatment ("non-linear
+operations ... are modeled as arithmetic constraints by adding auxiliary
+variables").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import UnsupportedOperationError
+from repro.intervals import Interval
+from repro.constraints.propagators import (
+    BoolGateProp,
+    ComparatorProp,
+    LinearEqProp,
+    MuxProp,
+    Propagator,
+)
+from repro.constraints.variable import Variable, VarOrigin
+from repro.rtl.circuit import Circuit, Net, Node
+from repro.rtl.types import BOOLEAN_KINDS, PREDICATE_KINDS, OpKind
+
+
+@dataclass
+class CompiledSystem:
+    """The solver-facing form of a circuit."""
+
+    circuit: Circuit
+    variables: List[Variable] = field(default_factory=list)
+    propagators: List[Propagator] = field(default_factory=list)
+    #: net index -> variable backing that net.
+    var_of_net: Dict[int, Variable] = field(default_factory=dict)
+    #: circuit node index -> the propagator compiled from it.
+    prop_of_node: Dict[int, Propagator] = field(default_factory=dict)
+    #: auxiliary variables introduced during compilation.
+    aux_variables: List[Variable] = field(default_factory=list)
+
+    def var(self, net: Net) -> Variable:
+        """The solver variable backing a circuit net."""
+        return self.var_of_net[net.index]
+
+    def var_by_name(self, name: str) -> Variable:
+        """Variable backing the net (or output alias) with this name."""
+        if name in self.circuit.outputs:
+            return self.var(self.circuit.outputs[name])
+        return self.var(self.circuit.net(name))
+
+    @property
+    def boolean_net_vars(self) -> List[Variable]:
+        """Boolean variables backed by circuit nets (decision candidates)."""
+        return [
+            var
+            for var in self.variables
+            if var.is_bool and var.origin is VarOrigin.NET
+        ]
+
+
+class _Compiler:
+    def __init__(self, circuit: Circuit, mux_select_implication: bool = False):
+        circuit.validate()
+        if not circuit.is_combinational:
+            raise UnsupportedOperationError(
+                "only combinational circuits can be compiled; unroll "
+                "sequential circuits with repro.bmc first"
+            )
+        self.circuit = circuit
+        self.mux_select_implication = mux_select_implication
+        self.system = CompiledSystem(circuit=circuit)
+
+    # ------------------------------------------------------------------
+    def _new_var(
+        self,
+        name: str,
+        width: int,
+        origin: VarOrigin,
+        net_index: Optional[int] = None,
+        domain: Optional[Interval] = None,
+    ) -> Variable:
+        var = Variable(
+            index=len(self.system.variables),
+            name=name,
+            width=width,
+            origin=origin,
+            net_index=net_index,
+            initial_domain=domain,  # type: ignore[arg-type]
+        )
+        self.system.variables.append(var)
+        if origin is VarOrigin.AUXILIARY:
+            self.system.aux_variables.append(var)
+        return var
+
+    def _aux(self, name: str, lo: int, hi: int) -> Variable:
+        width = max(1, (hi if hi > 0 else 1).bit_length())
+        return self._new_var(
+            name, width, VarOrigin.AUXILIARY, domain=Interval(lo, hi)
+        )
+
+    def _add_prop(self, propagator: Propagator, node: Node) -> None:
+        propagator.node_index = node.index
+        self.system.propagators.append(propagator)
+        self.system.prop_of_node[node.index] = propagator
+
+    def _linear(
+        self,
+        node: Node,
+        coeffs: List[int],
+        variables: List[Variable],
+        constant: int,
+        label: str,
+    ) -> None:
+        self._add_prop(LinearEqProp(coeffs, variables, constant, label), node)
+
+    # ------------------------------------------------------------------
+    def compile(self) -> CompiledSystem:
+        for node in self.circuit.topological_nodes():
+            self._compile_node(node)
+        return self.system
+
+    def _compile_node(self, node: Node) -> None:
+        net = node.output
+        kind = node.kind
+        if kind is OpKind.CONST:
+            self.system.var_of_net[net.index] = self._new_var(
+                net.name,
+                net.width,
+                VarOrigin.NET,
+                net.index,
+                Interval.point(node.const_value or 0),
+            )
+            return
+        out = self._new_var(net.name, net.width, VarOrigin.NET, net.index)
+        self.system.var_of_net[net.index] = out
+        if kind is OpKind.INPUT:
+            return
+        if kind is OpKind.REG:
+            raise UnsupportedOperationError(
+                "registers cannot be compiled; unroll the circuit first"
+            )
+        operands = [self.system.var_of_net[n.index] for n in node.operands]
+
+        if kind in BOOLEAN_KINDS:
+            self._add_prop(BoolGateProp(kind, out, operands), node)
+        elif kind in PREDICATE_KINDS:
+            self._add_prop(
+                ComparatorProp(out, kind, operands[0], operands[1]), node
+            )
+        elif kind is OpKind.MUX:
+            self._add_prop(
+                MuxProp(
+                    out,
+                    operands[0],
+                    operands[1],
+                    operands[2],
+                    imply_select=self.mux_select_implication,
+                ),
+                node,
+            )
+        elif kind is OpKind.ADD:
+            carry = self._aux(f"{net.name}__carry", 0, 1)
+            modulus = 1 << net.width
+            # a + b == out + 2**w * carry
+            self._linear(
+                node,
+                [1, 1, -1, -modulus],
+                [operands[0], operands[1], out, carry],
+                0,
+                "add",
+            )
+        elif kind is OpKind.SUB:
+            borrow = self._aux(f"{net.name}__borrow", 0, 1)
+            modulus = 1 << net.width
+            # a - b == out - 2**w * borrow
+            self._linear(
+                node,
+                [1, -1, -1, modulus],
+                [operands[0], operands[1], out, borrow],
+                0,
+                "sub",
+            )
+        elif kind in (OpKind.MULC, OpKind.SHL):
+            factor = (
+                node.factor
+                if kind is OpKind.MULC
+                else 1 << (node.shift_amount or 0)
+            )
+            assert factor is not None
+            modulus = 1 << net.width
+            if factor == 0:
+                self._linear(node, [1], [out], 0, "mulc0")
+                return
+            overflow_max = (factor * (modulus - 1)) // modulus
+            if overflow_max == 0:
+                # k * a == out (no wrap possible)
+                self._linear(
+                    node, [factor, -1], [operands[0], out], 0, "mulc"
+                )
+            else:
+                quotient = self._aux(f"{net.name}__ovf", 0, overflow_max)
+                # k * a == out + 2**w * q
+                self._linear(
+                    node,
+                    [factor, -1, -modulus],
+                    [operands[0], out, quotient],
+                    0,
+                    "mulc",
+                )
+        elif kind is OpKind.SHR:
+            amount = node.shift_amount or 0
+            if amount == 0:
+                self._linear(node, [1, -1], [operands[0], out], 0, "shr0")
+                return
+            scale = 1 << amount
+            remainder = self._aux(f"{net.name}__rem", 0, scale - 1)
+            # a == 2**k * out + r
+            self._linear(
+                node,
+                [1, -scale, -1],
+                [operands[0], out, remainder],
+                0,
+                "shr",
+            )
+        elif kind is OpKind.CONCAT:
+            lo_width = node.operands[1].width
+            # hi * 2**lo_width + lo == out
+            self._linear(
+                node,
+                [1 << lo_width, 1, -1],
+                [operands[0], operands[1], out],
+                0,
+                "concat",
+            )
+        elif kind is OpKind.EXTRACT:
+            self._compile_extract(node, operands[0], out)
+        elif kind is OpKind.ZEXT:
+            self._linear(node, [1, -1], [operands[0], out], 0, "zext")
+        else:  # pragma: no cover - new kinds must be handled explicitly
+            raise UnsupportedOperationError(f"cannot compile {kind.value}")
+
+    def _compile_extract(self, node: Node, source: Variable, out: Variable) -> None:
+        """``out = source[hi_bit : lo_bit]`` via the auxiliary decomposition
+        ``source == hp * 2**(hi+1) + out * 2**lo + lp``."""
+        lo_bit = node.extract_lo or 0
+        hi_bit = node.extract_hi
+        assert hi_bit is not None
+        source_width = node.operands[0].width
+        coeffs: List[int] = [1, -(1 << lo_bit)]
+        variables: List[Variable] = [source, out]
+        high_width = source_width - hi_bit - 1
+        if high_width > 0:
+            high_part = self._aux(
+                f"{node.output.name}__hi", 0, (1 << high_width) - 1
+            )
+            coeffs.append(-(1 << (hi_bit + 1)))
+            variables.append(high_part)
+        if lo_bit > 0:
+            low_part = self._aux(
+                f"{node.output.name}__lo", 0, (1 << lo_bit) - 1
+            )
+            coeffs.append(-1)
+            variables.append(low_part)
+        self._linear(node, coeffs, variables, 0, "extract")
+
+
+def compile_circuit(
+    circuit: Circuit, mux_select_implication: bool = False
+) -> CompiledSystem:
+    """Compile a combinational circuit into variables and propagators.
+
+    ``mux_select_implication`` enables the strengthened mux backward rule
+    (see :class:`repro.constraints.propagators.MuxProp`).
+    """
+    return _Compiler(circuit, mux_select_implication).compile()

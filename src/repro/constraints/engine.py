@@ -1,0 +1,106 @@
+"""Event-driven hybrid constraint propagation (the paper's ``Ddeduce``).
+
+The engine maintains a worklist of propagators.  Whenever a variable's
+domain changes (by decision, assumption, clause propagation or another
+propagator) every propagator registered on that variable is enqueued; the
+loop runs until no further narrowing is possible (bounds consistency,
+Section 2.2) or a conflict is found.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set
+
+from repro.constraints.clause import Clause, ClauseDatabase
+from repro.constraints.propagators import Propagator
+from repro.constraints.store import Conflict, DomainStore
+from repro.constraints.variable import Variable
+
+
+class PropagationEngine:
+    """Runs BCP + ICP to a fixpoint over propagators and hybrid clauses."""
+
+    def __init__(self, store: DomainStore, propagators: Sequence[Propagator]):
+        self.store = store
+        self.propagators: List[Propagator] = list(propagators)
+        self.clause_db = ClauseDatabase(store)
+        #: var index -> propagators mentioning that variable.
+        self._watchers: Dict[int, List[int]] = {}
+        for position, propagator in enumerate(self.propagators):
+            for var in propagator.variables:
+                self._watchers.setdefault(var.index, []).append(position)
+        self._queue: Deque[int] = deque()
+        self._queued: Set[int] = set()
+        #: Trail index up to which events have been dispatched.
+        self._dispatched = 0
+        #: Statistics.
+        self.propagation_count = 0
+
+    # ------------------------------------------------------------------
+    # Worklist management
+    # ------------------------------------------------------------------
+    def _enqueue(self, position: int) -> None:
+        if position not in self._queued:
+            self._queued.add(position)
+            self._queue.append(position)
+
+    def enqueue_watchers_of(self, var: Variable) -> None:
+        for position in self._watchers.get(var.index, ()):
+            self._enqueue(position)
+
+    def enqueue_all(self) -> None:
+        """Schedule every propagator (initial deduction / after learning)."""
+        for position in range(len(self.propagators)):
+            self._enqueue(position)
+
+    def notify_backtrack(self) -> None:
+        """Reset dispatch bookkeeping after the trail shrank."""
+        self._dispatched = min(self._dispatched, len(self.store.trail))
+        self._queue.clear()
+        self._queued.clear()
+
+    # ------------------------------------------------------------------
+    # Clause installation
+    # ------------------------------------------------------------------
+    def add_clause(self, clause: Clause) -> Optional[Conflict]:
+        """Install a clause and fold its consequences into the worklist."""
+        conflict = self.clause_db.add_clause(clause)
+        if conflict is not None:
+            return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # Fixpoint loop
+    # ------------------------------------------------------------------
+    def _dispatch_new_events(self) -> Optional[Conflict]:
+        """Process trail events added since the last dispatch.
+
+        Each new event triggers clause propagation (which may append more
+        events) and schedules the propagators watching the variable.
+        """
+        while self._dispatched < len(self.store.trail):
+            event = self.store.trail[self._dispatched]
+            self._dispatched += 1
+            conflict = self.clause_db.on_var_event(event.var)
+            if conflict is not None:
+                return conflict
+            self.enqueue_watchers_of(event.var)
+        return None
+
+    def propagate(self) -> Optional[Conflict]:
+        """Run to bounds consistency; returns the first conflict or None."""
+        conflict = self._dispatch_new_events()
+        if conflict is not None:
+            return conflict
+        while self._queue:
+            position = self._queue.popleft()
+            self._queued.discard(position)
+            self.propagation_count += 1
+            conflict = self.propagators[position].propagate(self.store)
+            if conflict is not None:
+                return conflict
+            conflict = self._dispatch_new_events()
+            if conflict is not None:
+                return conflict
+        return None

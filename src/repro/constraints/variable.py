@@ -1,0 +1,49 @@
+"""Solver variables.
+
+A variable is either Boolean (domain ``<0, 1>``) or a word of some width
+(domain ``<0, 2**w - 1>``), per Section 2.1 of the paper.  Auxiliary
+variables (carries, borrows, extract parts) are marked so that decision
+heuristics and statistics can distinguish them from circuit nets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.intervals import BOOL_DOMAIN, Interval, interval_for_width
+
+
+class VarOrigin(enum.Enum):
+    """Where a solver variable came from."""
+
+    NET = "net"            # backed by a circuit net
+    AUXILIARY = "aux"      # carry/borrow/quotient introduced by compilation
+    ASSUMPTION = "assume"  # proposition-level helper
+
+
+@dataclass(eq=False)
+class Variable:
+    """A solver variable with a fixed initial interval domain."""
+
+    index: int
+    name: str
+    width: int
+    origin: VarOrigin = VarOrigin.NET
+    #: Index of the backing net in the source circuit, when origin is NET.
+    net_index: Optional[int] = None
+    #: Initial domain; defaults to the full width domain.
+    initial_domain: Interval = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.initial_domain is None:
+            self.initial_domain = interval_for_width(self.width)
+
+    @property
+    def is_bool(self) -> bool:
+        """True when this variable ranges over ``<0, 1>``."""
+        return self.width == 1 and self.initial_domain == BOOL_DOMAIN
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Var({self.name}:{self.width})"

@@ -1,0 +1,71 @@
+"""Solver configuration.
+
+The three solver configurations of the paper's Table 2 map to:
+
+* HDPLL      — ``SolverConfig()`` (activity/fanout decision heuristic)
+* HDPLL+S    — ``SolverConfig(structural_decisions=True)``
+* HDPLL+S+P  — ``SolverConfig(structural_decisions=True,
+                              predicate_learning=True)``
+
+and Table 1's HDPLL+P is ``SolverConfig(predicate_learning=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Knobs for :class:`repro.core.hdpll.HdpllSolver`."""
+
+    #: Section 4: justification-driven decision strategy (+S).
+    structural_decisions: bool = False
+    #: Section 3: static predicate learning pre-processing (+P).
+    predicate_learning: bool = False
+    #: Cap on the number of learned relations.  ``None`` applies the
+    #: paper's Section 5.2 rule: min(#predicate logic gates, 2000).
+    learning_threshold: Optional[int] = None
+    #: Keep lower-level word narrowings as word literals in learned
+    #: clauses — the paper's hybrid clauses ("HDPLL can learn clauses
+    #: where the literals can be Boolean or word variables", Section
+    #: 2.4).  On by default; turning it off (Boolean-only learning) is
+    #: the ablation that shows why hybrid learning matters.
+    hybrid_learned_clauses: bool = True
+    #: Wall-clock limit in seconds (None = no limit).
+    timeout: Optional[float] = None
+    #: Conflict budget (None = no limit).
+    max_conflicts: Optional[int] = None
+    #: Conflicts before the first restart; 0 disables restarts.
+    restart_interval: int = 256
+    #: Geometric growth factor of the restart interval.
+    restart_multiplier: float = 1.5
+    #: Value tried first on a fresh decision variable.
+    default_phase: int = 1
+    #: Activity decay applied after each conflict (VSIDS-style).
+    activity_decay: float = 0.95
+    #: Verify SAT models against the concrete simulator (cheap insurance).
+    verify_models: bool = True
+    #: Branch budget for each Omega leaf call.
+    omega_branch_budget: int = 200_000
+    #: Strengthened mux backward rule in Ddeduce (ablation knob; the
+    #: paper leaves select inference to the structural Decide).
+    mux_select_implication: bool = False
+    #: Export Section 4.4 phase hints from static learning (ablation
+    #: knob; hurts counterexample search, see predlearn docs).
+    learned_phase_hints: bool = False
+    #: Reduce the learned-clause database (drop the less active half)
+    #: every this many learned clauses; 0 disables reduction.
+    clause_db_reduce_interval: int = 4000
+
+    def with_overrides(self, **kwargs) -> "SolverConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Paper configuration shorthands.
+HDPLL_BASE = SolverConfig()
+HDPLL_P = SolverConfig(predicate_learning=True)
+HDPLL_S = SolverConfig(structural_decisions=True)
+HDPLL_SP = SolverConfig(structural_decisions=True, predicate_learning=True)

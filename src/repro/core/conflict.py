@@ -1,0 +1,169 @@
+"""Hybrid conflict analysis over the implication graph (Section 2.4).
+
+Starting from the antecedents of a conflict, the analysis walks the
+hybrid implication graph backwards to find a *cut*: a set of value
+assignments whose conjunction is sufficient for the conflict.  The
+negation of the cut is the learned (conflict-avoiding) clause.
+
+The cut is the first unique implication point (1-UIP) generalised to the
+hybrid trail: events at the conflict level are resolved with their
+antecedents until a single Boolean assignment remains; events from lower
+levels become literals directly when Boolean, and are either expanded to
+their Boolean causes or (optionally) kept as *word literals* — the
+paper's hybrid learned clauses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.constraints.clause import BoolLit, Clause, Literal, WordLit
+from repro.constraints.store import Conflict, DomainStore, Event
+
+
+@dataclass
+class AnalysisResult:
+    """A learned clause and where to backtrack to."""
+
+    clause: Clause
+    backtrack_level: int
+    #: The literal asserted by the clause after backtracking (may be None
+    #: in the rare no-UIP corner).
+    asserting_literal: Optional[Literal]
+
+
+def _negate_event_literal(event: Event) -> BoolLit:
+    """The Boolean literal falsified by this point assignment."""
+    value = event.new.lo
+    return BoolLit(event.var, positive=(value == 0))
+
+
+def _is_bool_point(event: Event) -> bool:
+    return event.var.is_bool and event.new.is_point
+
+
+def analyze_conflict(
+    conflict: Conflict,
+    store: DomainStore,
+    hybrid_word_literals: bool = False,
+) -> Optional[AnalysisResult]:
+    """1-UIP conflict analysis; ``None`` means the problem is UNSAT.
+
+    ``None`` is returned when the conflict does not depend on any
+    decision (it follows from the problem plus level-0 assumptions).
+    """
+    seen: Set[int] = set()
+    heap: List[int] = []
+
+    def mark(event_id: int) -> None:
+        if event_id not in seen:
+            seen.add(event_id)
+            heapq.heappush(heap, -event_id)
+
+    for antecedent in conflict.antecedents:
+        mark(antecedent)
+
+    live = [eid for eid in seen if store.trail[eid].level > 0]
+    if not live:
+        return None
+    conflict_level = max(store.trail[eid].level for eid in live)
+    pending_at_level = sum(
+        1 for eid in live if store.trail[eid].level == conflict_level
+    )
+
+    lits_by_var: Dict[int, Literal] = {}
+    #: var index -> level at which its literal became false (the level
+    #: of the trail event it was derived from).
+    lit_levels: Dict[int, int] = {}
+    uip_literal: Optional[Literal] = None
+
+    while heap:
+        event_id = -heapq.heappop(heap)
+        event = store.trail[event_id]
+        if event.level == 0:
+            continue
+        if event.level < conflict_level:
+            if _is_bool_point(event):
+                lit = _negate_event_literal(event)
+                lits_by_var[event.var.index] = lit
+                lit_levels[event.var.index] = event.level
+            elif hybrid_word_literals:
+                # Keep the narrowing itself as a (negative) word literal:
+                # "not (var in event.new)".
+                if event.var.index not in lits_by_var:
+                    lits_by_var[event.var.index] = WordLit(
+                        event.var, event.new, positive=False
+                    )
+                    lit_levels[event.var.index] = event.level
+            else:
+                for antecedent in event.antecedents:
+                    mark(antecedent)
+            continue
+        # Event at the conflict level.
+        pending_at_level -= 1
+        if (
+            pending_at_level == 0
+            and _is_bool_point(event)
+            and uip_literal is None
+        ):
+            # UIP found; keep draining the heap so lower-level causes
+            # still become literals.
+            uip_literal = _negate_event_literal(event)
+            continue
+        if not event.antecedents:
+            # A decision at the conflict level that is not the UIP (this
+            # happens when several decisions share a level, e.g. the
+            # lazy-SMT theory check): keep it as a clause literal.
+            if _is_bool_point(event):
+                lits_by_var[event.var.index] = _negate_event_literal(event)
+                lit_levels[event.var.index] = event.level
+            continue
+        for antecedent in event.antecedents:
+            if antecedent not in seen:
+                ante_event = store.trail[antecedent]
+                if ante_event.level == conflict_level:
+                    pending_at_level += 1
+                mark(antecedent)
+
+    literals = list(lits_by_var.values())
+    if uip_literal is not None:
+        literals.append(uip_literal)
+
+    if not literals:
+        return None
+
+    if uip_literal is not None:
+        backtrack_level = max(lit_levels.values(), default=0)
+    else:
+        # No asserting literal (conflict resolved entirely into lower
+        # levels): back off one level below the deepest literal so the
+        # clause re-opens.
+        backtrack_level = max(0, max(lit_levels.values()) - 1)
+
+    clause = Clause(
+        literals=tuple(literals), learned=True, origin="conflict"
+    )
+    return AnalysisResult(
+        clause=clause,
+        backtrack_level=backtrack_level,
+        asserting_literal=uip_literal,
+    )
+
+
+def decision_cut_clause(store: DomainStore) -> Optional[Clause]:
+    """The all-decisions conflict clause (used for FME leaf refutations).
+
+    The Omega refutation of a solution box depends, through propagation,
+    on the decisions that shaped the box; negating the full decision
+    conjunction is always a sound (if blunt) learned clause — the classic
+    decision cut.  Returns ``None`` when there are no decisions (UNSAT).
+    """
+    literals: List[Literal] = []
+    for event in store.trail:
+        if event.is_decision:
+            literals.append(_negate_event_literal(event))
+    if not literals:
+        return None
+    return Clause(literals=tuple(literals), learned=True, origin="fme-conflict")

@@ -1,0 +1,121 @@
+"""The baseline HDPLL decision heuristic ([9]).
+
+"A decision variable is picked based on an exponentially decaying
+function based on its original fanout and the number of learned clauses
+that it appears in": variable activity is seeded with the net's
+transitive fanout count, bumped whenever the variable appears in a
+learned clause, and decayed multiplicatively after every conflict —
+VSIDS with a structural seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.constraints.clause import Clause
+from repro.constraints.compile import CompiledSystem
+from repro.constraints.store import DomainStore
+from repro.constraints.variable import Variable
+from repro.rtl.levelize import transitive_fanout_count
+
+
+class ActivityOrder:
+    """Max-activity variable selection with lazy-deletion heap."""
+
+    def __init__(
+        self,
+        system: CompiledSystem,
+        store: DomainStore,
+        default_phase: int = 1,
+        decay: float = 0.95,
+    ):
+        self.store = store
+        self.candidates: List[Variable] = system.boolean_net_vars
+        self.activity: Dict[int, float] = {}
+        for var in self.candidates:
+            assert var.net_index is not None
+            net = system.circuit.nets[var.net_index]
+            self.activity[var.index] = float(transitive_fanout_count(net))
+        self._heap: List[Tuple[float, int]] = []
+        self._var_by_index = {var.index: var for var in self.candidates}
+        self._rebuild_heap()
+        self._bump_amount = 1.0
+        self._decay = decay
+        self.phase: Dict[int, int] = {
+            var.index: default_phase for var in self.candidates
+        }
+        #: Extra per-variable weight from predicate learning (Section 3,
+        #: step 5: "learned relations guide the decision strategy by
+        #: assigning a higher weight to variables in these relations").
+        self.static_weight: Dict[int, float] = {}
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [
+            (-self.activity[var.index], var.index) for var in self.candidates
+        ]
+        heapq.heapify(self._heap)
+
+    # ------------------------------------------------------------------
+    # Activity maintenance
+    # ------------------------------------------------------------------
+    def bump_var(self, var: Variable) -> None:
+        if var.index not in self.activity:
+            return
+        self.activity[var.index] += self._bump_amount
+        heapq.heappush(self._heap, (-self.activity[var.index], var.index))
+
+    def bump_clause(self, clause: Clause) -> None:
+        for literal in clause.literals:
+            self.bump_var(literal.var)
+
+    def decay(self) -> None:
+        """Exponential decay: future bumps weigh more."""
+        self._bump_amount /= self._decay
+        if self._bump_amount > 1e100:
+            scale = 1e-100
+            for index in self.activity:
+                self.activity[index] *= scale
+            self._bump_amount *= scale
+            self._rebuild_heap()
+
+    def add_static_weight(self, var: Variable, weight: float) -> None:
+        """Seed extra activity from statically learned relations."""
+        self.static_weight[var.index] = (
+            self.static_weight.get(var.index, 0.0) + weight
+        )
+        if var.index in self.activity:
+            self.activity[var.index] += weight
+            heapq.heappush(
+                self._heap, (-self.activity[var.index], var.index)
+            )
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def pick(self) -> Optional[Tuple[Variable, int]]:
+        """Highest-activity unassigned Boolean net variable, with phase."""
+        while self._heap:
+            negative_activity, index = self._heap[0]
+            if -negative_activity != self.activity[index]:
+                heapq.heappop(self._heap)  # stale entry
+                continue
+            var = self._var_by_index[index]
+            if self.store.is_assigned(var):
+                heapq.heappop(self._heap)
+                continue
+            return var, self.phase.get(index, 1)
+        return None
+
+    def replenish(self) -> None:
+        """Re-add all candidates (after backtracking frees variables)."""
+        self._rebuild_heap()
+
+    def save_phase(self, var: Variable, value: int) -> None:
+        self.phase[var.index] = value
+
+    def free_candidates(self) -> List[Variable]:
+        """All currently unassigned decision candidates."""
+        return [
+            var for var in self.candidates if not self.store.is_assigned(var)
+        ]

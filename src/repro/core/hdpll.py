@@ -1,0 +1,432 @@
+"""HDPLL: the hybrid DPLL solver of Algorithm 1.
+
+The loop interleaves decisions on Boolean variables with hybrid deduction
+(``Ddeduce``: Boolean + interval constraint propagation to bounds
+consistency).  Conflicts are analysed on the hybrid implication graph and
+learned as clauses with non-chronological backtracking.  When every
+decision variable is assigned and the box is bounds-consistent, the
+integer-linear leaf check (:mod:`repro.core.fme_leaf`) certifies or
+refutes a point solution, exactly as in Section 2.4 of the paper.
+
+Optional strategies (the paper's contributions):
+
+* ``predicate_learning`` — Section 3 static learning pre-processing, run
+  before search (see :mod:`repro.core.predlearn`).
+* ``structural_decisions`` — Section 4 justification-driven ``Decide``
+  (see :mod:`repro.core.justify`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.errors import ResourceLimitError, SolverError
+from repro.intervals import Interval
+from repro.constraints.clause import Clause
+from repro.constraints.compile import CompiledSystem, compile_circuit
+from repro.constraints.engine import PropagationEngine
+from repro.constraints.store import Conflict, DomainStore
+from repro.core.config import SolverConfig
+from repro.core.conflict import analyze_conflict, decision_cut_clause
+from repro.core.decide import ActivityOrder
+from repro.core.fme_leaf import check_solution_box
+from repro.core.result import SolverResult, SolverStats, Status
+from repro.rtl.circuit import Circuit
+from repro.rtl.simulate import simulate_combinational
+
+AssumptionValue = Union[int, Interval]
+
+#: Sentinel decision: the J-frontier just emptied; try certifying early.
+_EARLY_LEAF = object()
+#: Sentinel result: early certification inconclusive; resume decisions.
+_FALLBACK = object()
+
+
+class HdpllSolver:
+    """Satisfiability of a combinational RTL circuit under assumptions."""
+
+    def __init__(self, circuit: Circuit, config: Optional[SolverConfig] = None):
+        self.circuit = circuit
+        self.config = config or SolverConfig()
+        self.system: CompiledSystem = compile_circuit(
+            circuit,
+            mux_select_implication=self.config.mux_select_implication,
+        )
+        self.store = DomainStore(self.system.variables)
+        self.engine = PropagationEngine(self.store, self.system.propagators)
+        self.order = ActivityOrder(
+            self.system,
+            self.store,
+            default_phase=self.config.default_phase,
+            decay=self.config.activity_decay,
+        )
+        self.stats = SolverStats()
+        self._structural = None
+        if self.config.structural_decisions:
+            from repro.core.justify import StructuralDecide
+
+            self._structural = StructuralDecide(
+                self.system, self.store, self.order
+            )
+        self._deadline: Optional[float] = None
+        # Attempt an early solution-box certification whenever the
+        # J-frontier has just emptied (the paper's Decide() == done with
+        # free don't-care variables remaining).
+        self._early_leaf_pending = True
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(
+        self, assumptions: Mapping[str, AssumptionValue]
+    ) -> SolverResult:
+        """Check satisfiability under net-name assumptions.
+
+        ``assumptions`` maps net names to required values (ints) or
+        intervals.  The solver instance is single-shot: construct a new
+        one for each query.
+        """
+        if getattr(self, "_consumed", False):
+            raise SolverError(
+                "HdpllSolver is single-shot; construct a new instance "
+                "per query"
+            )
+        self._consumed = True
+        start = time.monotonic()
+        if self.config.timeout is not None:
+            self._deadline = start + self.config.timeout
+
+        if self.config.predicate_learning:
+            from repro.core.predlearn import run_predicate_learning
+
+            learn_start = time.monotonic()
+            report = run_predicate_learning(
+                self.system,
+                self.store,
+                self.engine,
+                self.order,
+                threshold=self.config.learning_threshold,
+                deadline=self._deadline,
+                phase_hints=self.config.learned_phase_hints,
+            )
+            self.stats.learned_relations = report.relations_learned
+            self.stats.learn_time = time.monotonic() - learn_start
+            if report.root_conflict:
+                self.stats.solve_time = time.monotonic() - start
+                return self._finish(Status.UNSAT)
+
+        conflict = self._apply_assumptions(assumptions)
+        if conflict is not None:
+            self.stats.solve_time = time.monotonic() - start
+            return self._finish(Status.UNSAT)
+
+        result = self._search_loop(assumptions)
+        self.stats.solve_time = time.monotonic() - start - self.stats.learn_time
+        return result
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _apply_assumptions(
+        self, assumptions: Mapping[str, AssumptionValue]
+    ) -> Optional[Conflict]:
+        # Reach the circuit-only level-0 fixpoint first: it is the
+        # baseline against which structural justification measures
+        # requirements (narrowings caused by the proposition and by
+        # search, not by the circuit or static learning).
+        self.engine.enqueue_all()
+        conflict = self.engine.propagate()
+        if conflict is not None:
+            return conflict
+        if self._structural is not None:
+            self._structural.snapshot_baseline()
+        for name, value in assumptions.items():
+            var = self.system.var_by_name(name)
+            interval = (
+                value if isinstance(value, Interval) else Interval.point(value)
+            )
+            outcome = self.store.assume(var, interval)
+            if isinstance(outcome, Conflict):
+                return outcome
+        self.engine.enqueue_all()
+        return self.engine.propagate()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _search_loop(
+        self, assumptions: Mapping[str, AssumptionValue]
+    ) -> SolverResult:
+        restart_budget = self.config.restart_interval
+        conflicts_since_restart = 0
+
+        while True:
+            if self._out_of_budget():
+                return self._finish(Status.UNKNOWN, note=self._budget_note())
+
+            decision = self._next_decision()
+            if decision is _EARLY_LEAF:
+                # J-frontier empty but free don't-care variables remain:
+                # try certifying the box over the active constraints.
+                # Success must survive model verification; otherwise fall
+                # back to assigning the remaining variables.
+                leaf_result = self._leaf_check(assumptions, strict=False)
+                if leaf_result is _FALLBACK:
+                    continue
+                if leaf_result is not None:
+                    return leaf_result
+                conflict = None  # box refuted; clause installed, continue
+            elif decision is None:
+                # Decide() == done: certify the solution box.
+                leaf_result = self._leaf_check(assumptions)
+                assert leaf_result is not _FALLBACK
+                if leaf_result is not None:
+                    return leaf_result
+                conflict = None  # leaf refuted; clause installed, continue
+            elif isinstance(decision, Conflict):
+                conflict = decision
+            else:
+                var, value = decision
+                self.store.decide_bool(var, value)
+                self.order.save_phase(var, value)
+                self.stats.decisions += 1
+                self.stats.max_decision_level = max(
+                    self.stats.max_decision_level, self.store.decision_level
+                )
+                conflict = self.engine.propagate()
+
+            while conflict is not None:
+                if self._out_of_budget():
+                    return self._finish(
+                        Status.UNKNOWN, note=self._budget_note()
+                    )
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if isinstance(conflict.source, Clause):
+                    conflict.source.activity += 1.0
+                analysis = analyze_conflict(
+                    conflict,
+                    self.store,
+                    hybrid_word_literals=self.config.hybrid_learned_clauses,
+                )
+                if analysis is None:
+                    return self._finish(Status.UNSAT)
+                self.order.bump_clause(analysis.clause)
+                self.order.decay()
+                conflict = self._install_learned(
+                    analysis.clause, analysis.backtrack_level
+                )
+
+            if (
+                self.config.restart_interval
+                and conflicts_since_restart >= restart_budget
+            ):
+                self.stats.restarts += 1
+                conflicts_since_restart = 0
+                restart_budget = int(
+                    restart_budget * self.config.restart_multiplier
+                )
+                self._backtrack(0)
+
+    def _next_decision(self):
+        """Next decision: (var, value), a J-conflict, the early-leaf
+        marker, or None when every decision variable is assigned."""
+        if self._structural is not None:
+            outcome = self._structural.next_decision()
+            if outcome is not None:
+                if isinstance(outcome, Conflict):
+                    self.stats.j_conflicts += 1
+                else:
+                    self.stats.structural_decisions += 1
+                self._early_leaf_pending = True
+                return outcome
+            if self._early_leaf_pending:
+                self._early_leaf_pending = False
+                if self.order.pick() is not None:
+                    return _EARLY_LEAF
+        return self.order.pick()
+
+    # ------------------------------------------------------------------
+    # Conflict bookkeeping
+    # ------------------------------------------------------------------
+    def _backtrack(self, level: int) -> None:
+        self.store.backtrack_to(level)
+        self.engine.notify_backtrack()
+        self.order.replenish()
+
+    def _install_learned(
+        self, clause: Clause, backtrack_level: int
+    ) -> Optional[Conflict]:
+        """Backtrack, add the clause, and re-propagate."""
+        self._backtrack(backtrack_level)
+        self.stats.learned_clauses += 1
+        interval = self.config.clause_db_reduce_interval
+        if interval and self.stats.learned_clauses % interval == 0:
+            self.engine.clause_db.reduce_learned()
+        conflict = self.engine.add_clause(clause)
+        if conflict is not None:
+            return conflict
+        conflict = self.engine.propagate()
+        self.stats.propagations = self.engine.propagation_count
+        return conflict
+
+    # ------------------------------------------------------------------
+    # Leaf certification
+    # ------------------------------------------------------------------
+    def _leaf_check(
+        self, assumptions: Mapping[str, AssumptionValue], strict: bool = True
+    ):
+        """Certify SAT, or install a refutation clause and return None.
+
+        With ``strict=False`` (early certification while don't-care
+        variables remain free) a feasible box whose extracted model fails
+        verification returns the ``_FALLBACK`` sentinel instead of being
+        an error: the skipped (inactive) constraints were genuinely
+        needed, so search resumes.  An *infeasible* box is a valid
+        refutation either way, since the active constraints are a subset
+        of the full problem.
+        """
+        self.stats.fme_checks += 1
+        try:
+            leaf = check_solution_box(
+                self.store,
+                self.system,
+                branch_budget=self.config.omega_branch_budget,
+            )
+        except ResourceLimitError as error:
+            # The integer solver ran out of branch budget: neither SAT
+            # nor UNSAT can be concluded from this box.
+            return self._finish(Status.UNKNOWN, note=str(error))
+        if leaf.feasible:
+            model = self._build_model(leaf.witness, assumptions, strict)
+            if model is None:
+                return _FALLBACK
+            return self._finish(Status.SAT, model=model)
+
+        self.stats.fme_conflicts += 1
+        analysis = self._analyze_fme_refutation(leaf)
+        if analysis is None:
+            # The refutation depends on level-0 facts alone: UNSAT.
+            return self._finish(Status.UNSAT)
+        clause, backtrack_level = analysis.clause, analysis.backtrack_level
+        self.order.bump_clause(clause)
+        self.order.decay()
+        self.stats.conflicts += 1
+        conflict = self._install_learned(clause, backtrack_level)
+        while conflict is not None:
+            if self._out_of_budget():
+                return self._finish(Status.UNKNOWN, note=self._budget_note())
+            self.stats.conflicts += 1
+            analysis = analyze_conflict(
+                conflict,
+                self.store,
+                hybrid_word_literals=self.config.hybrid_learned_clauses,
+            )
+            if analysis is None:
+                return self._finish(Status.UNSAT)
+            self.order.bump_clause(analysis.clause)
+            self.order.decay()
+            conflict = self._install_learned(
+                analysis.clause, analysis.backtrack_level
+            )
+        return None
+
+    def _analyze_fme_refutation(self, leaf):
+        """Conflict analysis of an arithmetic refutation (the [9] hybrid
+        learning): the refuted component's variable bounds and the
+        control assignments that activated its constraints are the
+        antecedents; tracing them through the implication graph yields
+        the learned clause.  Returns ``None`` when the refutation rests
+        on level-0 facts alone (the instance is UNSAT)."""
+        from repro.constraints.propagators import ComparatorProp
+
+        antecedents = set()
+        for var_index in leaf.failing_var_indices:
+            event_id = self.store.latest_event[var_index]
+            if event_id is not None:
+                antecedents.add(event_id)
+        for prop in leaf.failing_sources:
+            control = prop.pred if isinstance(prop, ComparatorProp) else prop.sel
+            event_id = self.store.latest_event[control.index]
+            if event_id is not None:
+                antecedents.add(event_id)
+        conflict = Conflict(
+            source="fme-refutation", antecedents=tuple(sorted(antecedents))
+        )
+        return analyze_conflict(
+            conflict,
+            self.store,
+            hybrid_word_literals=self.config.hybrid_learned_clauses,
+        )
+
+    def _build_model(
+        self,
+        witness: Dict[int, int],
+        assumptions: Mapping[str, AssumptionValue],
+        strict: bool = True,
+    ) -> Optional[Dict[str, int]]:
+        """Full net-valued model from the leaf witness, verified.
+
+        Verification failure raises in strict mode (an internal
+        inconsistency at a fully assigned leaf) and returns ``None`` in
+        early-certification mode (the witness ignored a constraint that
+        mattered after all).
+        """
+        input_values: Dict[str, int] = {}
+        for net in self.circuit.inputs:
+            var = self.system.var(net)
+            input_values[net.name] = witness[var.index]
+        model = simulate_combinational(self.circuit, input_values)
+        if self.config.verify_models or not strict:
+            for name, value in assumptions.items():
+                interval = (
+                    value
+                    if isinstance(value, Interval)
+                    else Interval.point(value)
+                )
+                actual = model[name]
+                if actual not in interval:
+                    if strict:
+                        raise SolverError(
+                            f"model verification failed: {name} = {actual} "
+                            f"not in {interval}"
+                        )
+                    return None
+        return model
+
+    # ------------------------------------------------------------------
+    # Budgets and results
+    # ------------------------------------------------------------------
+    def _out_of_budget(self) -> bool:
+        if (
+            self.config.max_conflicts is not None
+            and self.stats.conflicts >= self.config.max_conflicts
+        ):
+            return True
+        return self._deadline is not None and time.monotonic() > self._deadline
+
+    def _budget_note(self) -> str:
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            return f"timeout after {self.config.timeout}s"
+        return f"conflict budget {self.config.max_conflicts} exhausted"
+
+    def _finish(
+        self,
+        status: Status,
+        model: Optional[Dict[str, int]] = None,
+        note: str = "",
+    ) -> SolverResult:
+        self.stats.propagations = self.engine.propagation_count
+        return SolverResult(
+            status=status, model=model, stats=self.stats, note=note
+        )
+
+
+def solve_circuit(
+    circuit: Circuit,
+    assumptions: Mapping[str, AssumptionValue],
+    config: Optional[SolverConfig] = None,
+) -> SolverResult:
+    """One-shot convenience wrapper around :class:`HdpllSolver`."""
+    return HdpllSolver(circuit, config).solve(assumptions)

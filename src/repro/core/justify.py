@@ -1,0 +1,265 @@
+"""Structural decision strategy: RTL justification (Section 4).
+
+``Decide()`` is replaced by Algorithm 2 of the paper: instead of
+assigning an arbitrary high-activity variable, the solver maintains a
+**J-frontier** of *unjustified* operators — operators whose required
+output value/interval is not yet implied by their inputs — and picks
+decisions that justify them:
+
+* an atomic Boolean gate whose output sits at its controlled value with
+  no controlling input yet (Definition 4.1 rule 1) is justified by
+  deciding one input to the controlling value;
+* a mux whose select is free and whose output interval is tighter than
+  the hull of its data inputs (rule 2) is justified by deciding the
+  select towards a branch whose interval intersects the requirement
+  (the Figure 4 walk-through).
+
+The frontier is maintained implicitly: every trail event on an
+operator's output makes that operator a *candidate*; candidates are
+re-checked lazily, highest level first, so justification flows from the
+constrained outputs back towards the primary inputs — the breadth-first
+trace of Section 4.2.
+
+**J-conflicts (Section 4.3).**  With bounds-consistent propagators, a
+frontier entry none of whose branches can meet the requirement is almost
+always caught by constraint propagation first (the mux propagator flags
+a conflict whose antecedents are precisely the "implying Boolean
+literals" the paper traces — see the Figure 4 example reproduced in the
+tests).  The defensive J-conflict path here covers the residual case and
+reports the same antecedent cut.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.constraints.compile import CompiledSystem
+from repro.constraints.propagators import BoolGateProp, LinearEqProp, MuxProp
+from repro.constraints.store import Conflict, DomainStore
+from repro.constraints.variable import Variable, VarOrigin
+from repro.core.decide import ActivityOrder
+from repro.rtl.levelize import levelize
+from repro.rtl.types import OpKind
+
+Decision = Tuple[Variable, int]
+
+
+class StructuralDecide:
+    """Algorithm 2: justification-driven decision making."""
+
+    def __init__(
+        self,
+        system: CompiledSystem,
+        store: DomainStore,
+        order: ActivityOrder,
+    ):
+        self.system = system
+        self.store = store
+        self.order = order
+        levels = levelize(system.circuit)
+        #: node index -> (negative level, node index) sort key; high
+        #: levels (near outputs) are justified first.
+        self._level_of: Dict[int, int] = {}
+        #: driver node index for each variable index (net-backed only).
+        self._node_of_var: Dict[int, int] = {}
+        for node in system.circuit.nodes:
+            self._level_of[node.index] = levels.get(node.output.index, 0)
+            if node.index in system.prop_of_node:
+                out_var = system.var(node.output)
+                self._node_of_var[out_var.index] = node.index
+        #: Persistent candidate set: nodes whose output was ever
+        #: constrained.  Entries are checked lazily and never removed, so
+        #: backtracking cannot lose frontier entries.
+        self._candidates: Set[int] = set()
+        self._scanned = 0
+        #: Level-0 fixpoint domains (set after pre-processing): only
+        #: narrowings *beyond* this baseline are requirements.  Without
+        #: it, facts derived by static learning would flood the frontier.
+        self._baseline = [var.initial_domain for var in system.variables]
+
+    def snapshot_baseline(self) -> None:
+        """Record the current domains as the no-requirement baseline."""
+        self._baseline = list(self.store.domains)
+
+    # ------------------------------------------------------------------
+    # Frontier maintenance
+    # ------------------------------------------------------------------
+    def _drain_events(self) -> None:
+        self._scanned = min(self._scanned, len(self.store.trail))
+        while self._scanned < len(self.store.trail):
+            event = self.store.trail[self._scanned]
+            self._scanned += 1
+            node_index = self._node_of_var.get(event.var.index)
+            if node_index is not None:
+                self._candidates.add(node_index)
+
+    def frontier(self) -> List[int]:
+        """Current J-frontier: unjustified candidate nodes, by level desc."""
+        self._drain_events()
+        live = []
+        for node_index in self._candidates:
+            prop = self.system.prop_of_node.get(node_index)
+            if prop is None:
+                continue
+            if self._requirement(prop) is not None:
+                live.append(node_index)
+        live.sort(key=lambda index: -self._level_of[index])
+        return live
+
+    # ------------------------------------------------------------------
+    # Justifiability checks (Definition 4.1)
+    # ------------------------------------------------------------------
+    def _requirement(self, prop) -> Optional[object]:
+        """The unjustified requirement of a node, or None if justified."""
+        if isinstance(prop, MuxProp):
+            return self._mux_requirement(prop)
+        if isinstance(prop, BoolGateProp):
+            return self._bool_requirement(prop)
+        if isinstance(prop, LinearEqProp):
+            return self._linear_requirement(prop)
+        return None
+
+    def _linear_requirement(self, prop: LinearEqProp) -> Optional[Variable]:
+        """Modular arithmetic blocked on its carry/borrow auxiliary.
+
+        An interval requirement on a wrapped add/sub cannot flow through
+        to the operands while the carry is free (the constraint is a
+        disjunction of the wrapped and unwrapped cases).  Deciding the
+        carry is the justification step that unblocks the trace — the
+        spirit of Definition 4.1 rule 2: a Boolean-valued input prevents
+        the intervals from being determined.
+        """
+        aux: Optional[Variable] = None
+        requirement = False
+        for var in prop.variables:
+            if var.origin is VarOrigin.AUXILIARY and var.is_bool:
+                if self.store.is_assigned(var):
+                    return None
+                if aux is not None:
+                    return None  # more than one free aux: leave to CP
+                aux = var
+            elif self.store.domains[var.index] != self._baseline[var.index]:
+                requirement = True
+        return aux if (aux is not None and requirement) else None
+
+    def _mux_requirement(self, prop: MuxProp) -> Optional[object]:
+        if self.store.bool_value(prop.sel) is not None:
+            return None
+        out_domain = self.store.domain(prop.out)
+        if out_domain == self._baseline[prop.out.index]:
+            return None  # no requirement beyond the level-0 fixpoint
+        hull = self.store.domain(prop.then_var).union_hull(
+            self.store.domain(prop.else_var)
+        )
+        if out_domain.contains_interval(hull):
+            return None  # output unconstrained beyond its inputs
+        return out_domain
+
+    def _bool_requirement(self, prop: BoolGateProp) -> Optional[int]:
+        output_value = self.store.bool_value(prop.out)
+        if output_value is None:
+            return None
+        if self._baseline[prop.out.index].is_point:
+            return None  # pinned at the level-0 fixpoint: a fact
+        kind = prop.kind
+        if kind in (OpKind.NOT, OpKind.BUF):
+            return None  # implied both ways by propagation
+        if kind in (OpKind.XOR, OpKind.XNOR):
+            unassigned = [
+                v for v in prop.inputs if self.store.bool_value(v) is None
+            ]
+            return output_value if len(unassigned) >= 2 else None
+        controlling = 0 if kind in (OpKind.AND, OpKind.NAND) else 1
+        controlled_output = controlling ^ (
+            1 if kind in (OpKind.NAND, OpKind.NOR) else 0
+        )
+        if output_value != controlled_output:
+            return None  # non-controlled value: inputs forced by BCP
+        input_values = [self.store.bool_value(v) for v in prop.inputs]
+        if controlling in input_values:
+            return None  # already justified by a controlling input
+        if None not in input_values:
+            return None  # fully assigned (a conflict is CP's job)
+        return output_value
+
+    # ------------------------------------------------------------------
+    # Decision selection
+    # ------------------------------------------------------------------
+    def next_decision(self) -> Union[Decision, Conflict, None]:
+        """A justification decision, a J-conflict, or None (frontier empty)."""
+        for node_index in self.frontier():
+            prop = self.system.prop_of_node[node_index]
+            if isinstance(prop, MuxProp):
+                outcome = self._justify_mux(prop)
+            elif isinstance(prop, LinearEqProp):
+                aux = self._linear_requirement(prop)
+                # Prefer the unwrapped interpretation (carry/borrow = 0).
+                outcome = (aux, 0) if aux is not None else None
+            else:
+                outcome = self._justify_bool_gate(prop)
+            if outcome is not None:
+                return outcome
+        return None
+
+    def _justify_mux(self, prop: MuxProp) -> Union[Decision, Conflict, None]:
+        out_domain = self.store.domain(prop.out)
+        then_ok = out_domain.intersects(self.store.domain(prop.then_var))
+        else_ok = out_domain.intersects(self.store.domain(prop.else_var))
+        if not then_ok and not else_ok:
+            # J-conflict: no select value can meet the requirement.  The
+            # causes are the implying literals of the blocking intervals
+            # (Section 4.3) — exactly the latest events of the mux vars.
+            return self._j_conflict(prop)
+        if then_ok and not else_ok:
+            return prop.sel, 1
+        if else_ok and not then_ok:
+            return prop.sel, 0
+        # Both branches viable: Section 4.4 — prefer the value satisfying
+        # the most learned relations (the phase exported by predicate
+        # learning), falling back to the configured default phase.
+        return prop.sel, self.order.phase.get(prop.sel.index, 1)
+
+    def _justify_bool_gate(
+        self, prop: BoolGateProp
+    ) -> Union[Decision, Conflict, None]:
+        kind = prop.kind
+        unassigned = [
+            v for v in prop.inputs if self.store.bool_value(v) is None
+        ]
+        if not unassigned:
+            return None
+        if kind in (OpKind.XOR, OpKind.XNOR):
+            var = self._pick_input(unassigned)
+            return var, self.order.phase.get(var.index, 1)
+        controlling = 0 if kind in (OpKind.AND, OpKind.NAND) else 1
+        var = self._pick_input(unassigned)
+        return var, controlling
+
+    def _pick_input(self, candidates: List[Variable]) -> Variable:
+        """Heuristic of Section 4.2: fanout count and input distance.
+
+        Highest combined weight (static learning weight + activity,
+        which is fanout-seeded) wins; ties go to the lower-level input
+        (closer to the primary inputs).
+        """
+
+        def weight(var: Variable) -> Tuple[float, int]:
+            activity = self.order.activity.get(var.index, 0.0)
+            static = self.order.static_weight.get(var.index, 0.0)
+            node_index = self._node_of_var.get(var.index)
+            level = (
+                self._level_of.get(node_index, 0)
+                if node_index is not None
+                else 0
+            )
+            return (activity + static, -level)
+
+        return max(candidates, key=weight)
+
+    def _j_conflict(self, prop: MuxProp) -> Conflict:
+        antecedents = tuple(
+            event_id
+            for var in prop.variables
+            if (event_id := self.store.latest_event[var.index]) is not None
+        )
+        return Conflict(source="j-conflict", antecedents=antecedents, var=prop.out)

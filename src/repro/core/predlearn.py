@@ -1,0 +1,270 @@
+"""Predicate-based static learning (Section 3 of the paper).
+
+Pre-processing before search:
+
+1. Level-order the circuit; extract the predicate logic controlling the
+   datapath (cone-of-influence, :mod:`repro.rtl.predicates`).
+2. Probe the controlling value of each candidate gate, lowest level
+   first, with level-1 recursive learning extended by interval
+   constraint propagation across the datapath.
+3. Common implications become learned clauses — Boolean 2-literal
+   relations like the paper's ``(b5 ∨ ¬b6)`` and hybrid clauses with
+   word literals for common interval narrowings.
+4. Learned relations are stored in the clause database, so later probes
+   reuse them (exactly how Figure 2 learns ``(¬b8 ∨ b9)`` from the
+   earlier ``b5``/``b6`` relations).
+5. A threshold caps the number of relations (Section 3.1: "a threshold
+   on the number of relations learned is used to control run-time").
+6. Variables in learned relations get extra decision weight, and their
+   preferred phase is set to the value satisfying the most relations
+   (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.intervals import Interval
+from repro.constraints.clause import BoolLit, Clause, Literal, WordLit
+from repro.constraints.compile import CompiledSystem
+from repro.constraints.engine import PropagationEngine
+from repro.constraints.store import Conflict, DomainStore
+from repro.constraints.variable import Variable
+from repro.core.decide import ActivityOrder
+from repro.core.recursive import RecursiveLearner, justification_options
+from repro.rtl.predicates import extract_predicates
+
+#: The paper's default cap (Section 5.2): min(#predicate gates, 2000).
+DEFAULT_THRESHOLD_CAP = 2000
+
+#: Conditional relations kept per probe.  A single branching probe can
+#: imply hundreds of forward-chain narrowings; emitting them all starves
+#: the global threshold before learning reaches the deeper time frames,
+#: where the per-frame case-split facts (the potent ones for the UNSAT
+#: families) are mined.  Boolean-Boolean relations are kept first — they
+#: are the paper's Figure 2(b) shape — then the tightest word relations.
+CONDITIONALS_PER_PROBE = 8
+
+
+@dataclass
+class LearnReport:
+    """Outcome of the pre-processing pass."""
+
+    relations_learned: int = 0
+    probes: int = 0
+    candidates: int = 0
+    #: True when learning alone proved the circuit internally
+    #: inconsistent (a probe value and its complement both impossible).
+    root_conflict: bool = False
+    #: The learned clauses, in learning order (for tests/diagnostics).
+    clauses: List[Clause] = field(default_factory=list)
+
+
+def _clause_key(literals: Tuple[Literal, ...]) -> Tuple:
+    return tuple(
+        sorted(
+            (
+                lit.var.index,
+                lit.positive,
+                getattr(lit, "interval", None),
+            )
+            for lit in literals
+        )
+    )
+
+
+def run_predicate_learning(
+    system: CompiledSystem,
+    store: DomainStore,
+    engine: PropagationEngine,
+    order: Optional[ActivityOrder] = None,
+    threshold: Optional[int] = None,
+    deadline: Optional[float] = None,
+    phase_hints: bool = False,
+    include_direct_relations: bool = False,
+) -> LearnReport:
+    """Run the Section 3 pre-processing pass on a live solver state.
+
+    Must be called at decision level 0 before any assumptions; learned
+    clauses are installed into ``engine``'s clause database.
+    """
+    report = LearnReport()
+    predicates = extract_predicates(system.circuit)
+    candidates = predicates.learning_candidates
+    report.candidates = len(candidates)
+    if threshold is None:
+        threshold = min(len(candidates), DEFAULT_THRESHOLD_CAP)
+
+    learner = RecursiveLearner(system, store, engine)
+    seen_clauses: Set[Tuple] = set()
+    phase_votes: Dict[int, List[int]] = {}
+
+    for net in candidates:
+        if report.relations_learned >= threshold:
+            break
+        if deadline is not None and time.monotonic() > deadline:
+            break
+        var = system.var(net)
+        node = net.driver
+        assert node is not None
+        probe_results: Dict[int, Optional[Dict[int, Interval]]] = {}
+        for probe_value in (0, 1):
+            if report.relations_learned >= threshold:
+                break
+            if store.is_assigned(var):
+                break
+            options = justification_options(system, node, probe_value)
+            implications = learner.probe(var, probe_value, depth=1)
+            probe_results[probe_value] = implications
+            if implications is None:
+                # The probe value is impossible: learn it as a fact
+                # (failed-literal detection / all options conflicting).
+                conflict = _install(
+                    engine,
+                    report,
+                    seen_clauses,
+                    phase_votes,
+                    (BoolLit(var, positive=(probe_value == 0)),),
+                )
+                if conflict is not None:
+                    report.root_conflict = True
+                    return report
+                continue
+            if not options or len(options) < 2:
+                # No branching justification: the per-value implications
+                # are plain propagation consequences (search rediscovers
+                # them, so they are skipped when learning feeds the
+                # solver) — but consumers like predicate abstraction
+                # want them spelled out as explicit relations.
+                if not include_direct_relations:
+                    continue
+            probe_literal = BoolLit(var, positive=(probe_value == 0))
+            ranked = sorted(
+                implications.items(),
+                key=lambda item: (
+                    not store.variables[item[0]].is_bool,  # booleans first
+                    item[1].size,                          # then tightest
+                ),
+            )
+            emitted = 0
+            for index, interval in ranked:
+                if emitted >= CONDITIONALS_PER_PROBE:
+                    break
+                implied_var = store.variables[index]
+                literal = _implication_literal(implied_var, interval)
+                if literal is None or implied_var is var:
+                    continue
+                conflict = _install(
+                    engine,
+                    report,
+                    seen_clauses,
+                    phase_votes,
+                    (probe_literal, literal),
+                )
+                if conflict is not None:
+                    report.root_conflict = True
+                    return report
+                emitted += 1
+                if report.relations_learned >= threshold:
+                    break
+
+        # Case-split learning: {var = 0} and {var = 1} cover all cases,
+        # so an implication common to both probes holds unconditionally
+        # — a level-0 fact.  This is how learning captures facts like
+        # "the guarded increment never leaves <0, 6>" that no single
+        # Boolean relation can express.
+        zero_result = probe_results.get(0)
+        one_result = probe_results.get(1)
+        if zero_result is not None and one_result is not None:
+            for index in zero_result.keys() & one_result.keys():
+                if report.relations_learned >= threshold:
+                    break
+                hull = zero_result[index].union_hull(one_result[index])
+                implied_var = store.variables[index]
+                if hull.contains_interval(store.domains[index]):
+                    continue
+                literal = _implication_literal(implied_var, hull)
+                if literal is None:
+                    continue
+                conflict = _install(
+                    engine, report, seen_clauses, phase_votes, (literal,)
+                )
+                if conflict is not None:
+                    report.root_conflict = True
+                    return report
+
+    report.probes = learner.probes
+    if order is not None:
+        # Phase hints (Section 4.4's "pick the value satisfying the most
+        # learned relations") are off by default: on SAT instances they
+        # bias the search towards typical circuit behaviour and away
+        # from counterexamples — the ablation benchmark quantifies this.
+        _export_weights(
+            order, report.clauses, phase_votes if phase_hints else {}
+        )
+    return report
+
+
+def _implication_literal(
+    var: Variable, interval: Interval
+) -> Optional[Literal]:
+    """Literal expressing ``var ∈ interval``."""
+    if var.is_bool:
+        if not interval.is_point:
+            return None
+        return BoolLit(var, positive=bool(interval.lo))
+    return WordLit(var, interval, positive=True)
+
+
+def _install(
+    engine: PropagationEngine,
+    report: LearnReport,
+    seen: Set[Tuple],
+    phase_votes: Dict[int, List[int]],
+    literals: Tuple[Literal, ...],
+) -> Optional[Conflict]:
+    """Add one learned relation; returns a conflict on level-0 refutation."""
+    key = _clause_key(literals)
+    if key in seen:
+        return None
+    seen.add(key)
+    clause = Clause(
+        literals=literals, learned=True, origin="predicate-learning"
+    )
+    conflict = engine.add_clause(clause)
+    if conflict is None:
+        conflict = engine.propagate()
+    if conflict is not None:
+        return conflict
+    report.relations_learned += 1
+    report.clauses.append(clause)
+    # Phase votes (Section 4.4): count only *implied* literals — the
+    # probe literal of a conditional relation is a hypothesis, not a
+    # preferred value.  Unit facts vote with their single literal.
+    implied = literals[1:] if len(literals) > 1 else literals
+    for literal in implied:
+        if isinstance(literal, BoolLit):
+            votes = phase_votes.setdefault(literal.var.index, [0, 0])
+            votes[1 if literal.positive else 0] += 1
+    return None
+
+
+def _export_weights(
+    order: ActivityOrder,
+    clauses: List[Clause],
+    phase_votes: Dict[int, List[int]],
+) -> None:
+    """Feed learned-relation weights into the decision heuristic."""
+    counts: Dict[int, int] = {}
+    by_index: Dict[int, Variable] = {}
+    for clause in clauses:
+        for literal in clause.literals:
+            counts[literal.var.index] = counts.get(literal.var.index, 0) + 1
+            by_index[literal.var.index] = literal.var
+    for index, count in counts.items():
+        order.add_static_weight(by_index[index], float(count))
+    for index, votes in phase_votes.items():
+        if votes[0] != votes[1]:
+            order.phase[index] = 1 if votes[1] > votes[0] else 0

@@ -1,0 +1,260 @@
+"""Recursive learning (Section 2.3), generalised with interval propagation.
+
+Classic recursive learning (Kunz–Pradhan [10]): to learn from a value
+assignment ``val(s)``, enumerate every way W of *justifying* it at the
+driving gate, propagate each justification in isolation, and keep the
+implications common to all of them — those must hold whenever ``val(s)``
+holds.  The paper extends the propagation step from Boolean implication
+to full hybrid propagation (BCP + interval constraint propagation), so
+implications flow through the datapath.
+
+:class:`RecursiveLearner` implements the scheme to arbitrary recursion
+depth over a compiled constraint system; Section 3's predicate learning
+uses it at depth 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.intervals import Interval
+from repro.constraints.compile import CompiledSystem
+from repro.constraints.engine import PropagationEngine
+from repro.constraints.store import Conflict, DomainStore
+from repro.constraints.variable import Variable
+from repro.rtl.circuit import Node
+from repro.rtl.types import OpKind
+
+#: Reason tag for implications applied during probing.  These events only
+#: ever exist inside a probe level that is backtracked before search.
+RECURSIVE_TAG = "recursive-learning"
+
+#: A justification option: a set of (variable, value) assignments that is
+#: sufficient (and part of an exhaustive case split) for the probed value.
+Option = List[Tuple[Variable, int]]
+
+
+def justification_options(
+    system: CompiledSystem, node: Node, value: int
+) -> Optional[List[Option]]:
+    """Exhaustive justification case split for a Boolean gate output.
+
+    Returns ``None`` when the gate offers no *branching* justification
+    (the value is implied directly, or the operator is not enumerable —
+    e.g. an atomic comparator).  Soundness of recursive learning rests on
+    the returned options covering every way the output can take ``value``.
+    """
+    kind = node.kind
+    inputs = [system.var(net) for net in node.operands]
+    if kind in (OpKind.AND, OpKind.NAND):
+        controlled = 0 if kind is OpKind.AND else 1
+        if value == controlled:
+            return [[(var, 0)] for var in inputs]
+        return None
+    if kind in (OpKind.OR, OpKind.NOR):
+        controlled = 1 if kind is OpKind.OR else 0
+        if value == controlled:
+            return [[(var, 1)] for var in inputs]
+        return None
+    if kind in (OpKind.XOR, OpKind.XNOR):
+        target = value if kind is OpKind.XOR else 1 - value
+        a, b = inputs
+        return [
+            [(a, 0), (b, target)],
+            [(a, 1), (b, 1 - target)],
+        ]
+    return None
+
+
+class RecursiveLearner:
+    """Probe-and-intersect machinery over a live store/engine pair.
+
+    The learner temporarily pushes decision levels on the store; it always
+    restores the entry level before returning.
+    """
+
+    def __init__(
+        self,
+        system: CompiledSystem,
+        store: DomainStore,
+        engine: PropagationEngine,
+    ):
+        self.system = system
+        self.store = store
+        self.engine = engine
+        #: Probe statistics.
+        self.probes = 0
+
+    # ------------------------------------------------------------------
+    def _propagate_under(
+        self, assignments: Sequence[Tuple[Variable, int]]
+    ) -> Optional[Dict[int, Interval]]:
+        """Assign at a fresh level, propagate, snapshot, backtrack.
+
+        Returns the final domain of every variable changed at the probe
+        level (keyed by variable index), or ``None`` on conflict.
+        """
+        entry_level = self.store.decision_level
+        self.store.push_level()
+        mark = len(self.store.trail)
+        failed = False
+        for var, value in assignments:
+            outcome = self.store.assign_bool(var, value, RECURSIVE_TAG)
+            if isinstance(outcome, Conflict):
+                failed = True
+                break
+        if not failed:
+            conflict = self.engine.propagate()
+            failed = conflict is not None
+        if failed:
+            self.store.backtrack_to(entry_level)
+            self.engine.notify_backtrack()
+            return None
+        implied: Dict[int, Interval] = {}
+        for event in self.store.trail[mark:]:
+            implied[event.var.index] = event.new
+        self.store.backtrack_to(entry_level)
+        self.engine.notify_backtrack()
+        return implied
+
+    # ------------------------------------------------------------------
+    def probe(
+        self, var: Variable, value: int, depth: int = 1
+    ) -> Optional[Dict[int, Interval]]:
+        """Common implications of ``var == value``.
+
+        Returns a map from variable index to the implied interval
+        (the *union hull* over all justification branches), or ``None``
+        when ``var == value`` is impossible in the current state.
+
+        ``depth`` 0 is plain propagation; depth ``d`` enumerates the
+        justification options of the probed gate and recurses into each
+        branch at depth ``d - 1`` (Figure 1 of the paper is depth 1).
+        """
+        self.probes += 1
+        if self.store.is_assigned(var):
+            current = self.store.value(var)
+            if current != value:
+                return None
+            return {}
+        node = self._driver_node(var)
+        options = (
+            justification_options(self.system, node, value)
+            if node is not None and depth > 0
+            else None
+        )
+        if not options:
+            return self._propagate_under([(var, value)])
+        return self._probe_options(var, value, options, depth)
+
+    def _probe_options(
+        self,
+        var: Variable,
+        value: int,
+        options: List[Option],
+        depth: int,
+    ) -> Optional[Dict[int, Interval]]:
+        """Intersect the implications of every justification branch."""
+        common: Optional[Dict[int, Interval]] = None
+        viable_branches = 0
+        for option in options:
+            branch = self._probe_branch(var, value, option, depth)
+            if branch is None:
+                continue  # impossible branch contributes nothing
+            viable_branches += 1
+            if common is None:
+                common = dict(branch)
+            else:
+                merged: Dict[int, Interval] = {}
+                for index, interval in common.items():
+                    other = branch.get(index)
+                    if other is None:
+                        # Not narrowed in this branch: falls back to the
+                        # pre-probe domain, so no common narrowing.
+                        continue
+                    merged[index] = interval.union_hull(other)
+                common = merged
+        if viable_branches == 0:
+            return None
+        assert common is not None
+        # Keep only genuine narrowings relative to the current domains.
+        return {
+            index: interval
+            for index, interval in common.items()
+            if not interval.contains_interval(
+                self.store.domains[index]
+            )
+        }
+
+    def _probe_branch(
+        self,
+        var: Variable,
+        value: int,
+        option: Option,
+        depth: int,
+    ) -> Optional[Dict[int, Interval]]:
+        """Implications of one justification branch (with recursion)."""
+        assignments = [(var, value)] + list(option)
+        implied = self._propagate_under(assignments)
+        if implied is None or depth <= 1:
+            return implied
+        # Deeper recursion: re-enter the branch and recursively probe the
+        # still-unassigned Boolean support, merging what it implies.
+        entry_level = self.store.decision_level
+        self.store.push_level()
+        mark = len(self.store.trail)
+        conflict = None
+        for assign_var, assign_value in assignments:
+            outcome = self.store.assign_bool(
+                assign_var, assign_value, RECURSIVE_TAG
+            )
+            if isinstance(outcome, Conflict):
+                conflict = outcome
+                break
+        if conflict is None:
+            conflict = self.engine.propagate()
+        if conflict is not None:
+            self.store.backtrack_to(entry_level)
+            self.engine.notify_backtrack()
+            return None
+        deeper: Dict[int, Interval] = {}
+        for event in self.store.trail[mark:]:
+            deeper[event.var.index] = event.new
+        # Recursively analyse gates assigned-but-unjustified here.
+        for event in list(self.store.trail[mark:]):
+            target = event.var
+            if not target.is_bool or not event.new.is_point:
+                continue
+            node = self._driver_node(target)
+            if node is None:
+                continue
+            options = justification_options(
+                self.system, node, event.new.lo
+            )
+            if not options:
+                continue
+            nested = self._probe_options(
+                target, event.new.lo, options, depth - 1
+            )
+            if nested is None:
+                # No justification of this implied value survives: the
+                # whole branch is inconsistent.
+                self.store.backtrack_to(entry_level)
+                self.engine.notify_backtrack()
+                return None
+            for index, interval in nested.items():
+                known = deeper.get(index)
+                deeper[index] = (
+                    interval
+                    if known is None
+                    else known.intersect(interval) or known
+                )
+        self.store.backtrack_to(entry_level)
+        self.engine.notify_backtrack()
+        return deeper
+
+    def _driver_node(self, var: Variable) -> Optional[Node]:
+        if var.net_index is None:
+            return None
+        net = self.system.circuit.nets[var.net_index]
+        return net.driver

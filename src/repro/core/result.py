@@ -1,0 +1,67 @@
+"""Solver results and statistics."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class Status(enum.Enum):
+    """Outcome of a satisfiability query."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"  # timeout or budget exhaustion
+
+
+@dataclass
+class SolverStats:
+    """Counters the benchmark harness and tests inspect."""
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    learned_clauses: int = 0
+    restarts: int = 0
+    max_decision_level: int = 0
+    #: Leaf checks: calls into the Omega integer solver.
+    fme_checks: int = 0
+    #: Leaf checks that refuted the solution box.
+    fme_conflicts: int = 0
+    #: Structural (justification) decisions taken.
+    structural_decisions: int = 0
+    #: J-conflicts found by the structural strategy (Section 4.3).
+    j_conflicts: int = 0
+    #: Relations learned by predicate learning (Section 3).
+    learned_relations: int = 0
+    #: Wall-clock seconds spent in predicate learning pre-processing.
+    learn_time: float = 0.0
+    #: Wall-clock seconds spent in search (excludes learn_time).
+    solve_time: float = 0.0
+
+
+@dataclass
+class SolverResult:
+    """Status plus (for SAT) a full verified model."""
+
+    status: Status
+    #: net name -> value for every net of the circuit (SAT only).
+    model: Optional[Dict[str, int]] = None
+    stats: SolverStats = field(default_factory=SolverStats)
+    #: Human-readable note, e.g. "timeout after 10.0s".
+    note: str = ""
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is Status.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is Status.UNSAT
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolverResult({self.status.value}, decisions="
+            f"{self.stats.decisions}, conflicts={self.stats.conflicts})"
+        )

@@ -1,0 +1,172 @@
+"""RTL-RTL equivalence checking on top of HDPLL.
+
+Section 6 of the paper singles out "data-path that has considerable
+duplication such as in an RTL-RTL equivalence checking environment" as
+the natural next application of predicate learning — a miter duplicates
+every predicate, and learned cross-copy relations prune the search.
+This module provides that environment:
+
+* **combinational equivalence** — a miter over shared inputs; the two
+  implementations are equivalent iff "some output differs" is UNSAT.
+* **sequential equivalence** — the product machine of two designs
+  checked cycle-by-cycle, bounded (BMC) or unbounded (k-induction).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.errors import CircuitError
+from repro.core.config import SolverConfig
+from repro.core.hdpll import solve_circuit
+from repro.core.result import Status
+from repro.rtl.circuit import Circuit
+from repro.rtl.compose import copy_into
+from repro.rtl.types import OpKind
+from repro.bmc.induction import InductionStatus, prove_by_induction
+from repro.bmc.property import SafetyProperty, make_bmc_instance
+
+
+class EquivalenceStatus(enum.Enum):
+    EQUIVALENT = "equivalent"
+    DIFFERENT = "different"
+    UNDECIDED = "undecided"
+
+
+@dataclass
+class EquivalenceResult:
+    status: EquivalenceStatus
+    #: Distinguishing input assignment (DIFFERENT only; miter net model).
+    counterexample: Optional[Dict[str, int]] = None
+    note: str = ""
+    #: For sequential proofs: the induction depth that closed it.
+    k: int = 0
+
+
+def build_miter(
+    left: Circuit,
+    right: Circuit,
+    outputs: Optional[Sequence[str]] = None,
+) -> Circuit:
+    """A miter: shared inputs, ``mismatch`` = OR of output differences.
+
+    Both circuits must expose the compared ``outputs`` (default: every
+    output alias of ``left``) at equal widths, and agree on the names
+    and widths of their primary inputs.  Works for sequential circuits
+    too — registers are instantiated per side (the product machine) and
+    a 1-bit ``equal`` output monitors the outputs every cycle.
+    """
+    compared = list(outputs) if outputs is not None else sorted(left.outputs)
+    for name in compared:
+        if name not in left.outputs or name not in right.outputs:
+            raise CircuitError(f"output {name!r} missing from one side")
+        if left.outputs[name].width != right.outputs[name].width:
+            raise CircuitError(f"output {name!r} widths differ")
+    left_inputs = {net.name: net.width for net in left.inputs}
+    right_inputs = {net.name: net.width for net in right.inputs}
+    if left_inputs != right_inputs:
+        raise CircuitError(
+            f"input interfaces differ: {left_inputs} vs {right_inputs}"
+        )
+
+    miter = Circuit(f"miter_{left.name}_vs_{right.name}")
+    left_map = copy_into(miter, left, prefix="l::", share_inputs=True)
+    right_map = copy_into(miter, right, prefix="r::", share_inputs=True)
+
+    difference_bits = []
+    for name in compared:
+        left_net = left_map[left.outputs[name].name]
+        right_net = right_map[right.outputs[name].name]
+        difference_bits.append(
+            miter.add_node(
+                OpKind.NE, (left_net, right_net), name=f"diff::{name}"
+            )
+        )
+    if len(difference_bits) == 1:
+        mismatch = miter.add_node(
+            OpKind.BUF, (difference_bits[0],), name="mismatch"
+        )
+    else:
+        mismatch = miter.add_node(
+            OpKind.OR, tuple(difference_bits), name="mismatch"
+        )
+    equal = miter.add_node(OpKind.NOT, (mismatch,), name="equal")
+    miter.mark_output("mismatch", mismatch)
+    miter.mark_output("equal", equal)
+    miter.validate()
+    return miter
+
+
+def check_combinational_equivalence(
+    left: Circuit,
+    right: Circuit,
+    outputs: Optional[Sequence[str]] = None,
+    config: Optional[SolverConfig] = None,
+) -> EquivalenceResult:
+    """Decide combinational equivalence via the miter."""
+    if not left.is_combinational or not right.is_combinational:
+        raise CircuitError(
+            "use check_sequential_equivalence for circuits with registers"
+        )
+    miter = build_miter(left, right, outputs)
+    result = solve_circuit(miter, {"mismatch": 1}, config)
+    if result.status is Status.UNSAT:
+        return EquivalenceResult(EquivalenceStatus.EQUIVALENT)
+    if result.status is Status.SAT:
+        return EquivalenceResult(
+            EquivalenceStatus.DIFFERENT, counterexample=result.model
+        )
+    return EquivalenceResult(EquivalenceStatus.UNDECIDED, note=result.note)
+
+
+def check_sequential_equivalence(
+    left: Circuit,
+    right: Circuit,
+    outputs: Optional[Sequence[str]] = None,
+    config: Optional[SolverConfig] = None,
+    bound: Optional[int] = None,
+    max_k: int = 8,
+) -> EquivalenceResult:
+    """Sequential equivalence of the product machine.
+
+    With ``bound`` set: a BMC check ("outputs agree for the first
+    ``bound`` cycles") — refutation-complete up to the bound.  Without:
+    an unbounded k-induction proof attempt of the ``equal`` monitor.
+    """
+    miter = build_miter(left, right, outputs)
+    prop = SafetyProperty("equal", "equal", "both sides agree every cycle")
+    if bound is not None:
+        for depth in range(1, bound + 1):
+            instance = make_bmc_instance(miter, prop, depth)
+            result = solve_circuit(instance.circuit, instance.assumptions, config)
+            if result.status is Status.SAT:
+                return EquivalenceResult(
+                    EquivalenceStatus.DIFFERENT,
+                    counterexample=result.model,
+                    k=depth,
+                )
+            if result.status is Status.UNKNOWN:
+                return EquivalenceResult(
+                    EquivalenceStatus.UNDECIDED, note=result.note
+                )
+        return EquivalenceResult(
+            EquivalenceStatus.UNDECIDED,
+            note=f"no mismatch within {bound} cycles (bounded check)",
+            k=bound,
+        )
+    induction = prove_by_induction(miter, prop, max_k=max_k, config=config)
+    if induction.status is InductionStatus.PROVED:
+        return EquivalenceResult(
+            EquivalenceStatus.EQUIVALENT, k=induction.k
+        )
+    if induction.status is InductionStatus.VIOLATED:
+        return EquivalenceResult(
+            EquivalenceStatus.DIFFERENT,
+            counterexample=induction.counterexample,
+            k=induction.k,
+        )
+    return EquivalenceResult(
+        EquivalenceStatus.UNDECIDED, note=induction.note
+    )

@@ -1,0 +1,25 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CircuitError(ReproError):
+    """Structural problem in a circuit: width mismatch, cycle, bad operand."""
+
+
+class NetlistFormatError(ReproError):
+    """A textual netlist could not be parsed."""
+
+
+class SolverError(ReproError):
+    """Internal solver invariant violation."""
+
+
+class ResourceLimitError(ReproError):
+    """A configured limit (time, conflicts, learned relations) was exceeded."""
+
+
+class UnsupportedOperationError(ReproError):
+    """An RTL operator is not supported by the requested engine."""

@@ -1,0 +1,27 @@
+"""Interchange exporters: SMT-LIB2 and DIMACS."""
+
+from typing import Mapping, Union
+
+from repro.export.smtlib import to_smtlib2
+from repro.intervals import Interval
+from repro.rtl.circuit import Circuit
+
+
+def to_dimacs(
+    circuit: Circuit,
+    assumptions: Mapping[str, Union[int, Interval]],
+) -> str:
+    """DIMACS CNF of "circuit under assumptions" via bit-blasting.
+
+    The variable numbering is the bit-blaster's; use
+    :func:`repro.baselines.bitblast` directly when the net-to-literal
+    map is needed.
+    """
+    from repro.baselines.bitblast import assert_assumptions, bitblast
+
+    blasted = bitblast(circuit)
+    assert_assumptions(blasted, assumptions)
+    return blasted.cnf.to_dimacs()
+
+
+__all__ = ["to_dimacs", "to_smtlib2"]

@@ -1,0 +1,172 @@
+"""SMT-LIB2 (QF_BV) export of circuit satisfiability queries.
+
+Lets a downstream user cross-check any instance this library solves
+against an external bit-vector solver (Z3, Boolector, cvc5, ...)::
+
+    from repro.export import to_smtlib2
+    text = to_smtlib2(instance.circuit, instance.assumptions)
+    open("query.smt2", "w").write(text)   # then: z3 query.smt2
+
+Every net becomes a ``(_ BitVec w)`` constant; every operator becomes a
+defining assertion; assumptions become value/range assertions; the file
+ends with ``(check-sat)`` and ``(get-model)``.  Names are sanitised to
+the SMT-LIB quoted-symbol form where needed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Union
+
+from repro.errors import UnsupportedOperationError
+from repro.intervals import Interval
+from repro.rtl.circuit import Circuit, Net
+from repro.rtl.types import OpKind
+
+AssumptionValue = Union[int, Interval]
+
+_PLAIN_SYMBOL = re.compile(r"^[A-Za-z_~!@$%^&*+=<>.?/-][A-Za-z0-9_~!@$%^&*+=<>.?/-]*$")
+
+
+def _symbol(name: str) -> str:
+    """SMT-LIB symbol for a net name (quoted if necessary)."""
+    if _PLAIN_SYMBOL.match(name) and "@" not in name:
+        return name
+    return f"|{name}|"
+
+
+def _bv(value: int, width: int) -> str:
+    return f"(_ bv{value} {width})"
+
+
+def _bool_of(term: str) -> str:
+    """1-bit vector -> Bool."""
+    return f"(= {term} {_bv(1, 1)})"
+
+
+def _of_bool(term: str) -> str:
+    """Bool -> 1-bit vector."""
+    return f"(ite {term} {_bv(1, 1)} {_bv(0, 1)})"
+
+
+def to_smtlib2(
+    circuit: Circuit,
+    assumptions: Mapping[str, AssumptionValue],
+    logic: str = "QF_BV",
+) -> str:
+    """Serialise "circuit under assumptions" as an SMT-LIB2 script."""
+    circuit.validate()
+    if not circuit.is_combinational:
+        raise UnsupportedOperationError(
+            "export unrolled (combinational) circuits; use repro.bmc first"
+        )
+    lines: List[str] = [
+        f"; circuit {circuit.name} exported by repro",
+        f"(set-logic {logic})",
+    ]
+    for net in circuit.nets:
+        lines.append(
+            f"(declare-const {_symbol(net.name)} (_ BitVec {net.width}))"
+        )
+    for node in circuit.topological_nodes():
+        assertion = _node_assertion(node)
+        if assertion is not None:
+            lines.append(f"(assert {assertion})")
+    for name, value in assumptions.items():
+        net = (
+            circuit.outputs[name]
+            if name in circuit.outputs
+            else circuit.net(name)
+        )
+        symbol = _symbol(net.name)
+        if isinstance(value, Interval):
+            lines.append(
+                f"(assert (bvuge {symbol} {_bv(value.lo, net.width)}))"
+            )
+            lines.append(
+                f"(assert (bvule {symbol} {_bv(value.hi, net.width)}))"
+            )
+        else:
+            lines.append(f"(assert (= {symbol} {_bv(value, net.width)}))")
+    lines.append("(check-sat)")
+    lines.append("(get-model)")
+    return "\n".join(lines) + "\n"
+
+
+def _node_assertion(node) -> "str | None":
+    kind = node.kind
+    out = _symbol(node.output.name)
+    width = node.output.width
+    operands = [_symbol(net.name) for net in node.operands]
+
+    if kind is OpKind.INPUT:
+        return None
+    if kind is OpKind.CONST:
+        return f"(= {out} {_bv(node.const_value or 0, width)})"
+    if kind is OpKind.REG:
+        raise UnsupportedOperationError("unroll registers before export")
+    if kind is OpKind.BUF:
+        return f"(= {out} {operands[0]})"
+    if kind is OpKind.NOT:
+        return f"(= {out} (bvnot {operands[0]}))"
+    if kind in (OpKind.AND, OpKind.NAND):
+        body = f"(bvand {' '.join(operands)})"
+        if kind is OpKind.NAND:
+            body = f"(bvnot {body})"
+        return f"(= {out} {body})"
+    if kind in (OpKind.OR, OpKind.NOR):
+        body = f"(bvor {' '.join(operands)})"
+        if kind is OpKind.NOR:
+            body = f"(bvnot {body})"
+        return f"(= {out} {body})"
+    if kind in (OpKind.XOR, OpKind.XNOR):
+        body = f"(bvxor {operands[0]} {operands[1]})"
+        if kind is OpKind.XNOR:
+            body = f"(bvnot {body})"
+        return f"(= {out} {body})"
+    if kind is OpKind.MUX:
+        return (
+            f"(= {out} (ite {_bool_of(operands[0])} "
+            f"{operands[1]} {operands[2]}))"
+        )
+    if kind is OpKind.ADD:
+        return f"(= {out} (bvadd {operands[0]} {operands[1]}))"
+    if kind is OpKind.SUB:
+        return f"(= {out} (bvsub {operands[0]} {operands[1]}))"
+    if kind is OpKind.MULC:
+        return (
+            f"(= {out} (bvmul {operands[0]} "
+            f"{_bv((node.factor or 0) % (1 << width), width)}))"
+        )
+    if kind is OpKind.SHL:
+        return (
+            f"(= {out} (bvshl {operands[0]} "
+            f"{_bv(min(node.shift_amount or 0, (1 << width) - 1), width)}))"
+        )
+    if kind is OpKind.SHR:
+        return (
+            f"(= {out} (bvlshr {operands[0]} "
+            f"{_bv(min(node.shift_amount or 0, (1 << width) - 1), width)}))"
+        )
+    if kind is OpKind.CONCAT:
+        return f"(= {out} (concat {operands[0]} {operands[1]}))"
+    if kind is OpKind.EXTRACT:
+        return (
+            f"(= {out} ((_ extract {node.extract_hi} {node.extract_lo}) "
+            f"{operands[0]}))"
+        )
+    if kind is OpKind.ZEXT:
+        pad = width - node.operands[0].width
+        return f"(= {out} ((_ zero_extend {pad}) {operands[0]}))"
+    comparator = {
+        OpKind.EQ: "=",
+        OpKind.NE: "distinct",
+        OpKind.LT: "bvult",
+        OpKind.LE: "bvule",
+        OpKind.GT: "bvugt",
+        OpKind.GE: "bvuge",
+    }.get(kind)
+    if comparator is not None:
+        condition = f"({comparator} {operands[0]} {operands[1]})"
+        return f"(= {out} {_of_bool(condition)})"
+    raise UnsupportedOperationError(f"cannot export {kind.value}")

@@ -1,0 +1,128 @@
+"""Reconstructions of the paper's running examples (Figures 1–4).
+
+These circuits are used by the test suite to reproduce the paper's
+worked examples literally, and by the example scripts to demonstrate
+the library on the exact structures the paper discusses.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.circuit import Circuit
+
+
+def figure1_circuit() -> Circuit:
+    """Figure 1: recursive learning example.
+
+    ``e = OR(c, d)`` with ``c = AND(a, b)`` and ``d = AND(a, b)``:
+    level-1 recursive learning on ``e = 1`` discovers ``a = 1`` and
+    ``b = 1``.
+    """
+    b = CircuitBuilder("figure1")
+    a = b.input("a", 1)
+    b_in = b.input("b", 1)
+    c = b.and_(a, b_in, name="c")
+    d = b.and_(a, b_in, name="d")
+    e = b.or_(c, d, name="e")
+    b.output("e", e)
+    return b.build()
+
+
+def figure2_circuit() -> Circuit:
+    """Figure 2(a): the b04 fragment used for predicate learning.
+
+    Control relations::
+
+        b1 = (w1 > 0)      b2 = (w1 > 0)     (distinct comparator nodes)
+        b3 = (w2 >= 1)     b4 = (w2 <= 1)
+        b5 = AND(b0, b1)   b6 = AND(b0, b2)  b7 = AND(b3, b4)
+        b8 = OR(b5, b7)    b9 = OR(b6, b7)
+
+    ``b8``/``b9`` drive the two mux selects; predicate learning derives
+    the four relations of Figure 2(b): ``b5=0 → b6=0``, ``b6=0 → b5=0``,
+    ``b8=1 → b9=1`` and ``b9=1 → b8=1``.
+    """
+    b = CircuitBuilder("figure2")
+    w0 = b.input("w0", 3)
+    w1 = b.input("w1", 3)
+    w2 = b.input("w2", 3)
+    w3 = b.input("w3", 3)
+    w4 = b.input("w4", 3)
+    b0 = b.input("b0", 1)
+    b1 = b.gt(w1, 0, name="b1")
+    b2 = b.gt(w1, 0, name="b2")
+    b3 = b.ge(w2, 1, name="b3")
+    b4 = b.le(w2, 1, name="b4")
+    b5 = b.and_(b0, b1, name="b5")
+    b6 = b.and_(b0, b2, name="b6")
+    b7 = b.and_(b3, b4, name="b7")
+    b8 = b.or_(b5, b7, name="b8")
+    b9 = b.or_(b6, b7, name="b9")
+    w5 = b.mux(b8, w3, w0, name="w5")
+    w6 = b.mux(b9, w4, w0, name="w6")
+    b.output("w5", w5)
+    b.output("w6", w6)
+    return b.build()
+
+
+def figure3_circuits() -> "tuple[Circuit, Circuit]":
+    """Figure 3: the two justification examples.
+
+    (a) ``o = AND(i1, i2)`` — requiring ``o = 0`` is unjustified until an
+        input is decided to 0.
+    (b) ``o = sel ? i2 : i1`` — an RTL mux whose output interval demands
+        a select decision.
+    """
+    b = CircuitBuilder("figure3a")
+    i1 = b.input("i1", 1)
+    i2 = b.input("i2", 1)
+    o = b.and_(i1, i2, name="o")
+    b.output("o", o)
+    and_circuit = b.build()
+
+    b = CircuitBuilder("figure3b")
+    sel = b.input("sel", 1)
+    i1 = b.input("i1", 4)
+    i2 = b.input("i2", 4)
+    o = b.mux(sel, i2, i1, name="o")
+    b.output("o", o)
+    mux_circuit = b.build()
+    return and_circuit, mux_circuit
+
+
+def figure4_circuit() -> Circuit:
+    """Figure 4(a): the structural-decision example.
+
+    Datapath::
+
+        w3 = mux(b2, <6>, w1)       # b2 = 1 selects the constant 6
+        w4 = mux(b1, w2, w3)        # b1 = 1 selects w2
+
+    Predicates on ``w4`` (the "Comp" column of the figure)::
+
+        b4 = (w4 > 5),  b5 = (w4 < 5),  b6 = (w4 == 5)
+        b7 = AND(NOT b4, NOT b5, b6)
+
+    Checking ``b7 = 1`` with ``w2`` assumed in ``<6, 7>`` reproduces the
+    Figure 4(b) trace: imply ``{b4=0, b5=0, b6=1, w4=<5>}``; justify the
+    ``w4`` mux with the decision ``b1 = 0`` (since ``w4 ∩ w2 = ∅``);
+    justify the ``w3`` mux with ``b2 = 0`` (since ``<6> ∩ w3 = ∅``);
+    J-frontier empty; the arithmetic solver certifies SAT.
+    """
+    b = CircuitBuilder("figure4")
+    w1 = b.input("w1", 3)
+    w2 = b.input("w2", 3)
+    b1 = b.input("b1", 1)
+    b2 = b.input("b2", 1)
+    k6 = b.const(6, 3, name="k6")
+    w3 = b.mux(b2, k6, w1, name="w3")
+    w4 = b.mux(b1, w2, w3, name="w4")
+    b4 = b.gt(w4, 5, name="b4")
+    b5 = b.lt(w4, 5, name="b5")
+    b6 = b.eq(w4, 5, name="b6")
+    nb4 = b.not_(b4, name="nb4")
+    nb5 = b.not_(b5, name="nb5")
+    b7 = b.and_(nb4, nb5, b6, name="b7")
+    b.output("b7", b7)
+    b.output("w4", w4)
+    return b.build()

@@ -1,0 +1,25 @@
+"""Integer linear arithmetic: Fourier–Motzkin and the Omega stand-in.
+
+HDPLL's leaf check (Algorithm 1: "the solution box P is checked for a
+point solution using an integer-linear solver that performs
+Fourier–Motzkin elimination") is served by :class:`OmegaSolver`.
+"""
+
+from repro.fme.fourier_motzkin import (
+    eliminate_variable,
+    rational_feasible,
+    variable_bounds_after_projection,
+)
+from repro.fme.linear import LinearConstraint, bounds_to_constraints
+from repro.fme.omega import OmegaSolver, OmegaStats, dark_shadow_feasible
+
+__all__ = [
+    "LinearConstraint",
+    "OmegaSolver",
+    "OmegaStats",
+    "bounds_to_constraints",
+    "dark_shadow_feasible",
+    "eliminate_variable",
+    "rational_feasible",
+    "variable_bounds_after_projection",
+]

@@ -1,0 +1,138 @@
+"""Linear integer constraints over numbered variables.
+
+The FME/Omega layer is deliberately independent of the circuit and solver
+packages: it works on bare integer variable ids, so it can be unit-tested
+against brute force and reused by the lazy-SMT baseline.
+
+A constraint is ``sum(coeff_i * x_i) <= constant`` (inequality) or
+``sum(coeff_i * x_i) == constant`` (equality), with integer coefficients.
+``normalized()`` divides by the gcd of the coefficients — for an
+inequality the constant side is *floored*, which is exact over the
+integers and is the first strengthening step of the Omega test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """``sum(c_i * x_i) (<=|==) constant`` with integer coefficients."""
+
+    coeffs: Tuple[Tuple[int, int], ...]  # sorted (var_id, coefficient) pairs
+    constant: int
+    equality: bool = False
+
+    @staticmethod
+    def make(
+        coeffs: Mapping[int, int], constant: int, equality: bool = False
+    ) -> "LinearConstraint":
+        cleaned = tuple(
+            sorted((v, c) for v, c in coeffs.items() if c != 0)
+        )
+        return LinearConstraint(cleaned, constant, equality)
+
+    @staticmethod
+    def le(coeffs: Mapping[int, int], constant: int) -> "LinearConstraint":
+        """``sum(c_i x_i) <= constant``."""
+        return LinearConstraint.make(coeffs, constant, equality=False)
+
+    @staticmethod
+    def eq(coeffs: Mapping[int, int], constant: int) -> "LinearConstraint":
+        """``sum(c_i x_i) == constant``."""
+        return LinearConstraint.make(coeffs, constant, equality=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_trivial(self) -> bool:
+        """True when no variables remain (a pure constant fact)."""
+        return not self.coeffs
+
+    @property
+    def trivially_true(self) -> bool:
+        if not self.is_trivial:
+            return False
+        return self.constant == 0 if self.equality else self.constant >= 0
+
+    @property
+    def trivially_false(self) -> bool:
+        return self.is_trivial and not self.trivially_true
+
+    def coeff_of(self, var: int) -> int:
+        for var_id, coeff in self.coeffs:
+            if var_id == var:
+                return coeff
+        return 0
+
+    def variables(self) -> Tuple[int, ...]:
+        return tuple(var_id for var_id, _ in self.coeffs)
+
+    def evaluate(self, assignment: Mapping[int, int]) -> bool:
+        """Truth of the constraint under a full assignment."""
+        total = sum(c * assignment[v] for v, c in self.coeffs)
+        return total == self.constant if self.equality else total <= self.constant
+
+    # ------------------------------------------------------------------
+    def normalized(self) -> Optional["LinearConstraint"]:
+        """Divide by the coefficient gcd.
+
+        Returns ``None`` when an equality becomes unsatisfiable (gcd does
+        not divide the constant) — the caller must treat that as a
+        contradiction.  Trivial constraints are returned unchanged.
+        """
+        if not self.coeffs:
+            return self
+        g = 0
+        for _, coeff in self.coeffs:
+            g = math.gcd(g, abs(coeff))
+        if g == 1:
+            return self
+        if self.equality:
+            if self.constant % g != 0:
+                return None
+            constant = self.constant // g
+        else:
+            constant = self.constant // g  # floor: exact for integers
+        coeffs = tuple((v, c // g) for v, c in self.coeffs)
+        return LinearConstraint(coeffs, constant, self.equality)
+
+    def substitute(self, var: int, value: int) -> "LinearConstraint":
+        """Replace ``var`` with a concrete integer value."""
+        coeff = self.coeff_of(var)
+        if coeff == 0:
+            return self
+        coeffs = tuple((v, c) for v, c in self.coeffs if v != var)
+        return LinearConstraint(
+            coeffs, self.constant - coeff * value, self.equality
+        )
+
+    def substitute_expr(
+        self, var: int, expr_coeffs: Mapping[int, int], expr_const: int
+    ) -> "LinearConstraint":
+        """Replace ``var`` with the affine expression ``expr + const``."""
+        coeff = self.coeff_of(var)
+        if coeff == 0:
+            return self
+        merged: Dict[int, int] = {v: c for v, c in self.coeffs if v != var}
+        for v, c in expr_coeffs.items():
+            merged[v] = merged.get(v, 0) + coeff * c
+        return LinearConstraint.make(
+            merged, self.constant - coeff * expr_const, self.equality
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        terms = " + ".join(f"{c}*x{v}" for v, c in self.coeffs) or "0"
+        op = "==" if self.equality else "<="
+        return f"({terms} {op} {self.constant})"
+
+
+def bounds_to_constraints(
+    bounds: Mapping[int, Tuple[int, int]]
+) -> Iterable[LinearConstraint]:
+    """Turn variable bounds ``lo <= x <= hi`` into constraints."""
+    for var, (lo, hi) in bounds.items():
+        yield LinearConstraint.le({var: 1}, hi)
+        yield LinearConstraint.le({var: -1}, -lo)

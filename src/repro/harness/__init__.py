@@ -1,0 +1,29 @@
+"""Benchmark harness: instance runners and the paper's table drivers."""
+
+from repro.harness.experiments import (
+    ABLATION_INSTANCES,
+    TABLE1_INSTANCES,
+    TABLE2_INSTANCES,
+    TableRow,
+    run_ablation,
+    run_table1,
+    run_table2,
+)
+from repro.harness.runner import ENGINE_NAMES, RunRecord, run_engine
+from repro.harness.tables import format_records, format_table1, format_table2
+
+__all__ = [
+    "ABLATION_INSTANCES",
+    "ENGINE_NAMES",
+    "RunRecord",
+    "TABLE1_INSTANCES",
+    "TABLE2_INSTANCES",
+    "TableRow",
+    "format_records",
+    "format_table1",
+    "format_table2",
+    "run_ablation",
+    "run_engine",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,187 @@
+"""Command-line interface: ``repro-hdpll`` / ``python -m repro.harness``.
+
+Subcommands::
+
+    repro-hdpll solve b13_5 50 --engine hdpll+sp
+    repro-hdpll table1 --max-bound 30 --timeout 60
+    repro-hdpll table2 --max-bound 30 --timeout 60
+    repro-hdpll ablation
+    repro-hdpll list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.experiments import run_ablation, run_table1, run_table2
+from repro.harness.runner import ENGINE_NAMES, run_engine
+from repro.harness.tables import format_records, format_table1, format_table2
+from repro.itc99 import available_cases, instance
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout", type=float, default=120.0, help="per-run timeout (s)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hdpll",
+        description=(
+            "Structural search for RTL with predicate learning "
+            "(DAC 2005 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve one BMC instance")
+    solve.add_argument("case", help="e.g. b13_5")
+    solve.add_argument("bound", type=int, help="time frames")
+    solve.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="hdpll+sp"
+    )
+    _add_common(solve)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument(
+        "--max-bound",
+        type=int,
+        default=50,
+        help="cap unrolling depth (0 = paper's full bounds)",
+    )
+    _add_common(table1)
+
+    table2 = sub.add_parser("table2", help="regenerate Table 2")
+    table2.add_argument("--max-bound", type=int, default=50)
+    table2.add_argument(
+        "--engines",
+        default="hdpll,hdpll+s,hdpll+sp,uclid,ics",
+        help="comma-separated engine list",
+    )
+    _add_common(table2)
+
+    ablation = sub.add_parser("ablation", help="run the ablation study")
+    _add_common(ablation)
+
+    scaling = sub.add_parser(
+        "scaling", help="run-time vs unrolling depth for one family"
+    )
+    scaling.add_argument("case", nargs="?", default="b13_1")
+    scaling.add_argument(
+        "--bounds", default="10,20,30,40,50", help="comma-separated depths"
+    )
+    scaling.add_argument(
+        "--engines", default="hdpll,hdpll+s,hdpll+sp"
+    )
+    _add_common(scaling)
+
+    prove = sub.add_parser(
+        "prove",
+        help="unbounded proof of a benchmark property "
+        "(k-induction or predicate abstraction)",
+    )
+    prove.add_argument("case", help="e.g. b13_1")
+    prove.add_argument(
+        "--method",
+        choices=("induction", "abstraction"),
+        default="induction",
+    )
+    prove.add_argument("--max-k", type=int, default=8)
+    _add_common(prove)
+
+    sub.add_parser("list", help="list benchmark cases")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for case in available_cases():
+            print(case)
+        return 0
+    if args.command == "solve":
+        inst = instance(args.case, args.bound)
+        record = run_engine(inst, args.engine, args.timeout)
+        print(
+            f"{inst.name} [{args.engine}]: {record.status} in "
+            f"{record.seconds:.2f}s (decisions={record.decisions}, "
+            f"conflicts={record.conflicts})"
+        )
+        if record.note:
+            print(f"note: {record.note}")
+        return 0
+    if args.command == "table1":
+        max_bound = args.max_bound or None
+        rows = run_table1(timeout=args.timeout, max_bound=max_bound)
+        print(format_table1(rows))
+        return 0
+    if args.command == "table2":
+        max_bound = args.max_bound or None
+        engines = tuple(args.engines.split(","))
+        rows = run_table2(
+            timeout=args.timeout, max_bound=max_bound, engines=engines
+        )
+        print(format_table2(rows, engines))
+        return 0
+    if args.command == "prove":
+        from repro.core import HDPLL_SP
+        from repro.itc99 import CIRCUITS, circuit as get_circuit
+
+        circuit_name, _, property_name = args.case.partition("_")
+        _, properties = CIRCUITS[circuit_name]
+        prop = properties[property_name]
+        sequential = get_circuit(circuit_name)
+        if args.method == "induction":
+            from repro.bmc import prove_by_induction
+
+            outcome = prove_by_induction(
+                sequential,
+                prop,
+                max_k=args.max_k,
+                config=HDPLL_SP,
+                timeout=args.timeout,
+            )
+            print(f"{args.case}: {outcome.status.value} (k = {outcome.k})")
+            if outcome.note:
+                print(f"note: {outcome.note}")
+        else:
+            from repro.core import predicate_abstraction_check
+
+            outcome = predicate_abstraction_check(sequential, prop)
+            verdict = "proved" if outcome.proved else "not proved"
+            print(
+                f"{args.case}: {verdict} "
+                f"({len(outcome.reachable_states)} abstract states, "
+                f"{outcome.solver_calls} solver calls, "
+                f"{outcome.pruned_by_relations} pruned by relations)"
+            )
+            if outcome.note:
+                print(f"note: {outcome.note}")
+        return 0
+    if args.command == "scaling":
+        from repro.harness.experiments import run_scaling
+
+        engines = tuple(args.engines.split(","))
+        rows = run_scaling(
+            case=args.case,
+            bounds=[int(b) for b in args.bounds.split(",")],
+            engines=engines,
+            timeout=args.timeout,
+        )
+        print(format_table2(rows, engines))
+        return 0
+    if args.command == "ablation":
+        results = run_ablation(timeout=args.timeout)
+        for name, records in results.items():
+            print(f"== {name} ==")
+            print(format_records(records))
+            print()
+        return 0
+    return 1  # pragma: no cover - unreachable
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Instance runner: one (engine, instance) measurement.
+
+Engines are addressed by the names used in the paper's tables plus the
+extra baselines this reproduction adds:
+
+========  ====================================================
+name      solver
+========  ====================================================
+hdpll     HDPLL (activity decisions, hybrid learning) [9]
+hdpll+p   HDPLL + predicate learning (Table 1)
+hdpll+s   HDPLL + structural decisions (Table 2, "+S")
+hdpll+sp  HDPLL + both (Table 2, "+S+P")
+uclid     lazy-SMT comparator substitute (Table 2, UCLID)
+ics       eager-CDP comparator substitute (Table 2, ICS)
+bitblast  CNF translation + CDCL (the introduction's baseline)
+========  ====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.baselines import (
+    solve_by_bitblasting,
+    solve_eager_cdp,
+    solve_lazy_smt,
+)
+from repro.bmc.property import BmcInstance
+from repro.core import SolverConfig, SolverResult, Status, solve_circuit
+
+ENGINE_NAMES = (
+    "hdpll",
+    "hdpll+p",
+    "hdpll+s",
+    "hdpll+sp",
+    "uclid",
+    "ics",
+    "bitblast",
+)
+
+
+@dataclass
+class RunRecord:
+    """One timed solver run on one instance."""
+
+    case: str
+    bound: int
+    engine: str
+    status: str              # "S", "U", "-to-" (timeout) or "-A-" (abort)
+    seconds: float
+    learn_seconds: float = 0.0
+    learned_relations: int = 0
+    decisions: int = 0
+    conflicts: int = 0
+    arith_ops: int = 0
+    bool_ops: int = 0
+    note: str = ""
+
+    @property
+    def timed_out(self) -> bool:
+        return self.status == "-to-"
+
+
+def _status_letter(result: SolverResult) -> str:
+    if result.status is Status.SAT:
+        return "S"
+    if result.status is Status.UNSAT:
+        return "U"
+    return "-to-"
+
+
+def _hdpll_config(
+    engine: str,
+    timeout: Optional[float],
+    learning_threshold: Optional[int],
+) -> SolverConfig:
+    return SolverConfig(
+        structural_decisions=engine in ("hdpll+s", "hdpll+sp"),
+        predicate_learning=engine in ("hdpll+p", "hdpll+sp"),
+        learning_threshold=learning_threshold,
+        timeout=timeout,
+    )
+
+
+def run_engine(
+    instance: BmcInstance,
+    engine: str,
+    timeout: Optional[float] = None,
+    learning_threshold: Optional[int] = None,
+) -> RunRecord:
+    """Run one engine on a BMC instance, catching aborts."""
+    stats = instance.circuit.stats()
+    record = RunRecord(
+        case=instance.name.rsplit("(", 1)[0],
+        bound=instance.bound,
+        engine=engine,
+        status="-A-",
+        seconds=0.0,
+        arith_ops=stats.arith_ops,
+        bool_ops=stats.bool_ops,
+    )
+    start = time.monotonic()
+    try:
+        if engine.startswith("hdpll"):
+            result = solve_circuit(
+                instance.circuit,
+                instance.assumptions,
+                _hdpll_config(engine, timeout, learning_threshold),
+            )
+            record.status = _status_letter(result)
+            record.learn_seconds = result.stats.learn_time
+            record.learned_relations = result.stats.learned_relations
+            record.decisions = result.stats.decisions
+            record.conflicts = result.stats.conflicts
+            record.note = result.note
+        elif engine == "uclid":
+            result = solve_lazy_smt(
+                instance.circuit, instance.assumptions, timeout=timeout
+            )
+            record.status = _status_letter(result)
+            record.note = result.note
+        elif engine == "ics":
+            result = solve_eager_cdp(
+                instance.circuit, instance.assumptions, timeout=timeout
+            )
+            record.status = _status_letter(result)
+            record.decisions = result.stats.decisions
+            record.note = result.note
+        elif engine == "bitblast":
+            satisfiable, _model, sat_result = solve_by_bitblasting(
+                instance.circuit, instance.assumptions, timeout=timeout
+            )
+            if satisfiable is True:
+                record.status = "S"
+            elif satisfiable is False:
+                record.status = "U"
+            else:
+                record.status = "-to-"
+            record.decisions = sat_result.stats.decisions
+            record.conflicts = sat_result.stats.conflicts
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+    except Exception as error:  # aborts are data, not crashes (cf. -A-)
+        record.status = "-A-"
+        record.note = f"{type(error).__name__}: {error}"
+    record.seconds = time.monotonic() - start
+    return record

@@ -1,0 +1,90 @@
+"""Paper-style table formatting."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.harness.experiments import TableRow
+from repro.harness.runner import RunRecord
+
+
+def _time_cell(record: RunRecord) -> str:
+    if record.status == "-to-":
+        return "-to-"
+    if record.status == "-A-":
+        return "-A-"
+    return f"{record.seconds:.2f}"
+
+
+def format_table1(rows: Iterable[TableRow]) -> str:
+    """Columns of the paper's Table 1: Ckt, Type, No. Rels, Learn Time,
+    HDPLL, HDPLL+Pred.Learn."""
+    lines = [
+        f"{'Ckt':16s} {'Type':4s} {'No.Rels':>8s} {'LearnT':>8s} "
+        f"{'HDPLL':>9s} {'HDPLL+P':>9s}"
+    ]
+    for row in rows:
+        base = row.records["hdpll"]
+        learned = row.records["hdpll+p"]
+        lines.append(
+            f"{row.case + f'({row.bound})':16s} "
+            f"{row.result_letter:4s} "
+            f"{learned.learned_relations:>8d} "
+            f"{learned.learn_seconds:>8.2f} "
+            f"{_time_cell(base):>9s} "
+            f"{_time_cell(learned):>9s}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(
+    rows: Iterable[TableRow],
+    engines: Sequence[str] = ("hdpll", "hdpll+s", "hdpll+sp", "uclid", "ics"),
+) -> str:
+    """Columns of the paper's Table 2: Test-case, Rslt, Arith Ops, Bool
+    Ops, then one run-time column per engine."""
+    headers = {
+        "hdpll": "HDPLL",
+        "hdpll+s": "+S",
+        "hdpll+sp": "+S+P",
+        "uclid": "UCLID*",
+        "ics": "ICS*",
+        "bitblast": "BITBLAST",
+    }
+    header = (
+        f"{'Test-case':16s} {'Rslt':4s} {'Arith':>7s} {'Bool':>7s}"
+        + "".join(f" {headers.get(e, e):>9s}" for e in engines)
+    )
+    lines = [header]
+    for row in rows:
+        any_record = next(iter(row.records.values()))
+        cells = "".join(
+            f" {_time_cell(row.records[e]):>9s}" for e in engines
+            if e in row.records
+        )
+        lines.append(
+            f"{row.case + f'({row.bound})':16s} "
+            f"{row.result_letter:4s} "
+            f"{any_record.arith_ops:>7d} "
+            f"{any_record.bool_ops:>7d}"
+            + cells
+        )
+    return "\n".join(lines)
+
+
+def format_records(records: List[RunRecord]) -> str:
+    """Generic per-record listing (used for ablations)."""
+    lines = [
+        f"{'case':16s} {'engine':24s} {'st':3s} {'secs':>8s} "
+        f"{'conf':>6s} {'dec':>6s}"
+    ]
+    for record in records:
+        lines.append(
+            f"{record.case + f'({record.bound})':16s} "
+            f"{record.engine:24s} "
+            f"{record.status:3s} "
+            f"{record.seconds:>8.2f} "
+            f"{record.conflicts:>6d} "
+            f"{record.decisions:>6d}"
+        )
+    return "\n".join(lines)

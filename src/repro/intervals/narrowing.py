@@ -1,0 +1,188 @@
+"""Backward narrowing rules for interval constraint propagation.
+
+Each function takes the current intervals of the variables appearing in one
+RTL constraint and returns the narrowed intervals, or ``None`` when the
+constraint is inconsistent with the current intervals (an empty domain — a
+conflict for the solver).
+
+The rules implement bounds consistency: no integer that participates in a
+solution of the single constraint is ever removed (soundness), and for the
+monotonic operators the resulting bounds are tight (the rule of Equation 3
+in the paper, generalised).  The ICP engine in :mod:`repro.constraints`
+iterates these rules to a fixpoint over the whole constraint set.
+
+Conventions
+-----------
+* Ternary rules ``narrow_<op>(z, x, y)`` handle the constraint
+  ``z = x <op> y`` and return ``(z', x', y')``.
+* Binary relation rules ``narrow_le(x, y)`` handle ``x <= y`` and return
+  ``(x', y')``.
+* All returned intervals are subsets of the corresponding inputs
+  (narrowing is monotonic, Section 2.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.intervals.interval import Interval
+
+Triple = Tuple[Interval, Interval, Interval]
+Pair = Tuple[Interval, Interval]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    """Ceiling division, correct for any sign of ``b`` (``b != 0``)."""
+    return -((-a) // b)
+
+
+def narrow_add(z: Interval, x: Interval, y: Interval) -> Optional[Triple]:
+    """Narrow ``z = x + y``."""
+    new_z = z.intersect(x.add(y))
+    if new_z is None:
+        return None
+    new_x = x.intersect(new_z.sub(y))
+    if new_x is None:
+        return None
+    new_y = y.intersect(new_z.sub(new_x))
+    if new_y is None:
+        return None
+    return new_z, new_x, new_y
+
+
+def narrow_sub(z: Interval, x: Interval, y: Interval) -> Optional[Triple]:
+    """Narrow ``z = x - y``."""
+    new_z = z.intersect(x.sub(y))
+    if new_z is None:
+        return None
+    new_x = x.intersect(new_z.add(y))
+    if new_x is None:
+        return None
+    new_y = y.intersect(new_x.sub(new_z))
+    if new_y is None:
+        return None
+    return new_z, new_x, new_y
+
+
+def narrow_neg(z: Interval, x: Interval) -> Optional[Pair]:
+    """Narrow ``z = -x``."""
+    new_z = z.intersect(x.neg())
+    if new_z is None:
+        return None
+    new_x = x.intersect(new_z.neg())
+    if new_x is None:
+        return None
+    return new_z, new_x
+
+
+def narrow_mul_const(z: Interval, x: Interval, k: int) -> Optional[Pair]:
+    """Narrow ``z = k * x`` for a constant ``k``; returns ``(z', x')``."""
+    new_z = z.intersect(x.mul_const(k))
+    if new_z is None:
+        return None
+    if k == 0:
+        # z is pinned to 0; x is unconstrained by this rule.
+        return new_z, x
+    if k > 0:
+        back_lo, back_hi = _ceil_div(new_z.lo, k), new_z.hi // k
+    else:
+        back_lo, back_hi = _ceil_div(new_z.hi, k), new_z.lo // k
+    if back_lo > back_hi:
+        return None
+    new_x = x.intersect(Interval(back_lo, back_hi))
+    if new_x is None:
+        return None
+    return new_z, new_x
+
+
+def narrow_shift_left(z: Interval, x: Interval, k: int) -> Optional[Pair]:
+    """Narrow ``z = x << k`` (constant shift), i.e. ``z = x * 2**k``."""
+    return narrow_mul_const(z, x, 1 << k)
+
+
+def narrow_shift_right(z: Interval, x: Interval, k: int) -> Optional[Pair]:
+    """Narrow ``z = x >> k`` (logical shift; ``z = x // 2**k``)."""
+    scale = 1 << k
+    new_z = z.intersect(x.floordiv_const(scale))
+    if new_z is None:
+        return None
+    back = Interval(new_z.lo * scale, new_z.hi * scale + scale - 1)
+    new_x = x.intersect(back)
+    if new_x is None:
+        return None
+    return new_z, new_x
+
+
+def narrow_concat(
+    z: Interval, hi_part: Interval, lo_part: Interval, lo_width: int
+) -> Optional[Triple]:
+    """Narrow ``z = hi_part * 2**lo_width + lo_part``; returns ``(z', hi', lo')``.
+
+    ``lo_part`` is additionally expected to live in ``<0, 2**lo_width - 1>``
+    (enforced by the caller's variable domains).
+    """
+    scale = 1 << lo_width
+    new_z = z.intersect(hi_part.mul_const(scale).add(lo_part))
+    if new_z is None:
+        return None
+    hi_back_lo = _ceil_div(new_z.lo - lo_part.hi, scale)
+    hi_back_hi = (new_z.hi - lo_part.lo) // scale
+    if hi_back_lo > hi_back_hi:
+        return None
+    new_hi = hi_part.intersect(Interval(hi_back_lo, hi_back_hi))
+    if new_hi is None:
+        return None
+    lo_back = Interval(new_z.lo - new_hi.hi * scale, new_z.hi - new_hi.lo * scale)
+    new_lo = lo_part.intersect(lo_back)
+    if new_lo is None:
+        return None
+    return new_z, new_hi, new_lo
+
+
+def narrow_le(x: Interval, y: Interval) -> Optional[Pair]:
+    """Narrow under the relation ``x <= y``."""
+    new_x_hi = min(x.hi, y.hi)
+    new_y_lo = max(y.lo, x.lo)
+    if new_x_hi < x.lo or new_y_lo > y.hi:
+        return None
+    return Interval(x.lo, new_x_hi), Interval(new_y_lo, y.hi)
+
+
+def narrow_lt(x: Interval, y: Interval) -> Optional[Pair]:
+    """Narrow under ``x < y`` — Equation 3 of the paper."""
+    new_x_hi = min(x.hi, y.hi - 1)
+    new_y_lo = max(y.lo, x.lo + 1)
+    if new_x_hi < x.lo or new_y_lo > y.hi:
+        return None
+    return Interval(x.lo, new_x_hi), Interval(new_y_lo, y.hi)
+
+
+def narrow_eq(x: Interval, y: Interval) -> Optional[Pair]:
+    """Narrow under ``x == y``: both shrink to the intersection."""
+    meet = x.intersect(y)
+    if meet is None:
+        return None
+    return meet, meet
+
+
+def narrow_ne(x: Interval, y: Interval) -> Optional[Pair]:
+    """Narrow under ``x != y``.
+
+    Only effective when one side is a singleton: the other side loses that
+    endpoint if it sits on its boundary.  Interior holes cannot be
+    represented by intervals and are soundly ignored.
+    """
+    new_x: Optional[Interval] = x
+    new_y: Optional[Interval] = y
+    if y.is_point:
+        new_x = x.difference(y)
+        if new_x is None:
+            return None
+    if x.is_point:
+        new_y = y.difference(x)
+        if new_y is None:
+            return None
+    assert new_x is not None and new_y is not None
+    if new_x.is_point and new_y.is_point and new_x.lo == new_y.lo:
+        return None
+    return new_x, new_y

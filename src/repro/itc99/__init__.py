@@ -1,0 +1,84 @@
+"""ITC'99-style benchmark circuits and the BMC instance registry.
+
+The original ITC'99 RTL (VHDL, via the VIS distribution) is not
+available offline; these are re-modelled equivalents at matched shape —
+see DESIGN.md ("Substitutions").  Instances are addressed with the
+paper's naming scheme: ``instance("b13_5", 100)`` is property 5 of b13
+unrolled for 100 time frames.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import CircuitError
+from repro.bmc.property import BmcInstance, SafetyProperty, make_bmc_instance
+from repro.rtl.circuit import Circuit
+from repro.itc99 import b01, b02, b03, b04, b06, b13
+from repro.itc99.generator import (
+    random_combinational_circuit,
+    random_safety_property,
+    random_sequential_circuit,
+)
+
+#: circuit name -> (builder, properties).
+CIRCUITS: Dict[str, Tuple[Callable[[], Circuit], Dict[str, SafetyProperty]]] = {
+    "b01": (b01.build, b01.PROPERTIES),
+    "b02": (b02.build, b02.PROPERTIES),
+    "b03": (b03.build, b03.PROPERTIES),
+    "b04": (b04.build, b04.PROPERTIES),
+    "b06": (b06.build, b06.PROPERTIES),
+    "b13": (b13.build, b13.PROPERTIES),
+}
+
+_circuit_cache: Dict[str, Circuit] = {}
+
+
+def circuit(name: str) -> Circuit:
+    """The (cached) sequential circuit for a benchmark name."""
+    if name not in CIRCUITS:
+        raise CircuitError(f"unknown benchmark circuit {name!r}")
+    if name not in _circuit_cache:
+        builder, _ = CIRCUITS[name]
+        _circuit_cache[name] = builder()
+    return _circuit_cache[name]
+
+
+def instance(case: str, bound: int) -> BmcInstance:
+    """A BMC instance by paper-style name, e.g. ``instance("b13_5", 100)``."""
+    circuit_name, _, property_name = case.partition("_")
+    if not property_name:
+        raise CircuitError(
+            f"instance name {case!r} must look like 'b13_5'"
+        )
+    if circuit_name not in CIRCUITS:
+        raise CircuitError(f"unknown benchmark circuit {circuit_name!r}")
+    _, properties = CIRCUITS[circuit_name]
+    if property_name not in properties:
+        raise CircuitError(
+            f"{circuit_name} has no property {property_name!r}; "
+            f"available: {sorted(properties)}"
+        )
+    return make_bmc_instance(
+        circuit(circuit_name), properties[property_name], bound
+    )
+
+
+def available_cases() -> List[str]:
+    """Every circuit_property combination, e.g. ['b01_1', ..., 'b13_8']."""
+    cases = []
+    for name, (_, properties) in sorted(CIRCUITS.items()):
+        for property_name in sorted(properties, key=str):
+            cases.append(f"{name}_{property_name}")
+    return cases
+
+
+__all__ = [
+    "CIRCUITS",
+    "available_cases",
+    "circuit",
+    "instance",
+    "random_combinational_circuit",
+    "random_safety_property",
+    "random_sequential_circuit",
+]

@@ -1,0 +1,63 @@
+"""b01: serial-flow comparator FSM (ITC'99), re-modelled.
+
+The original b01 is a small FSM comparing two serial bit flows.  This
+model keeps that shape — two 1-bit inputs, a match-tracking FSM — and
+adds the modulo-8 frame counter and a small accumulator datapath that
+give property 1 its bound-dependent satisfiability:
+
+* ``b01_1``: "never (cnt == 1 and the flows matched twice in a row with
+  the accumulator past its threshold)".  The counter makes a violation
+  possible exactly when ``(bound - 1) mod 8 == 1`` — SAT at bounds 10
+  and 50, UNSAT at 20 and 100, matching Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+from repro.bmc.property import SafetyProperty
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.circuit import Circuit
+
+
+def build() -> Circuit:
+    """Construct the sequential b01 model."""
+    b = CircuitBuilder("b01")
+    a = b.input("a", 1)
+    flow = b.input("flow", 1)
+
+    # Modulo-8 frame counter (free running).
+    cnt = b.register("cnt", 3, init=0)
+    b.next_state(cnt, b.inc(cnt))
+
+    # Match FSM: tracks whether the two flows agreed in the last two
+    # cycles (the b01 comparison core).
+    matched_once = b.register("matched_once", 1, init=0)
+    matched_twice = b.register("matched_twice", 1, init=0)
+    agree = b.xnor(a, flow, name="agree")
+    b.next_state(matched_once, agree)
+    b.next_state(matched_twice, b.and_(agree, matched_once))
+
+    # Small datapath: accumulate 3 per agreeing cycle, 1 otherwise.
+    acc = b.register("acc", 8, init=0)
+    step = b.mux(agree, b.const(3, 8), b.const(1, 8), name="step")
+    b.next_state(acc, b.add(acc, step))
+
+    armed = b.eq(cnt, b.const(1, 3), name="armed")
+    hot = b.ge(acc, b.const(9, 8), name="hot")
+    bad = b.and_(armed, matched_twice, hot, name="bad")
+    ok = b.not_(bad, name="ok_p1")
+    b.output("ok_p1", ok)
+    b.output("cnt_out", cnt)
+    b.output("acc_out", acc)
+    return b.build()
+
+
+PROPERTIES = {
+    "1": SafetyProperty(
+        name="1",
+        ok_signal="ok_p1",
+        description=(
+            "never (cnt == 1 and flows matched twice with acc >= 9); "
+            "violable iff (bound - 1) mod 8 == 1"
+        ),
+    ),
+}

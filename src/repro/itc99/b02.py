@@ -1,0 +1,48 @@
+"""b02: BCD serial recognizer FSM (ITC'99), re-modelled.
+
+A 7-state FSM over a serial character input.  The next-state function
+deliberately mixes a guarded increment (``state + 1`` behind a
+``state < 6`` check) with constant transitions, so the unreachable
+state 7 cannot be excluded by interval reasoning alone — each time frame
+needs a genuine case split, which is what makes the UNSAT proof cost
+grow with the bound (Tables 1 and 2: b02_1 is UNSAT at every bound).
+"""
+
+from __future__ import annotations
+
+from repro.bmc.property import SafetyProperty
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.circuit import Circuit
+
+
+def build() -> Circuit:
+    """Construct the sequential b02 model."""
+    b = CircuitBuilder("b02")
+    char = b.input("char", 1)
+
+    state = b.register("state", 3, init=0)
+    can_advance = b.lt(state, b.const(6, 3), name="can_advance")
+    advanced = b.inc(state, name="advanced")
+    on_one = b.mux(can_advance, advanced, b.const(0, 3), name="on_one")
+
+    # A zero character from the "accept" checkpoint (state 3) restarts;
+    # otherwise the state holds.
+    at_checkpoint = b.eq(state, b.const(3, 3), name="at_checkpoint")
+    on_zero = b.mux(at_checkpoint, b.const(0, 3), state, name="on_zero")
+
+    next_state = b.mux(char, on_one, on_zero, name="next_state")
+    b.next_state(state, next_state)
+
+    ok = b.ne(state, b.const(7, 3), name="ok_p1")
+    b.output("ok_p1", ok)
+    b.output("state_out", state)
+    return b.build()
+
+
+PROPERTIES = {
+    "1": SafetyProperty(
+        name="1",
+        ok_signal="ok_p1",
+        description="state 7 is unreachable (UNSAT at every bound)",
+    ),
+}

@@ -1,0 +1,88 @@
+"""b03: resource arbiter (ITC'99), re-modelled.
+
+The original b03 arbitrates four request lines over a shared resource.
+This model keeps the shape: a 4-bit request vector, a priority encoder
+choosing the lowest requesting line, a grant register, and a guarded
+hold timer bounding how long one requester may keep the resource.
+
+Properties (extensions beyond the paper's table set — b03 is not in the
+paper's evaluation, it broadens the workload family):
+
+* ``1``  the hold timer never exceeds its bound (UNSAT invariant with
+         the usual guarded-increment shape);
+* ``2``  a grant is only ever active for a line that requested in the
+         cycle it was granted or is being held (UNSAT invariant);
+* ``40`` the timer can hit its bound exactly (SAT at bounds >= 8 —
+         a reachability witness needs a sustained request).
+"""
+
+from __future__ import annotations
+
+from repro.bmc.property import SafetyProperty
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.circuit import Circuit
+
+
+def build() -> Circuit:
+    """Construct the sequential b03 model."""
+    b = CircuitBuilder("b03")
+    request = b.input("request", 4)
+
+    granted = b.register("granted", 1, init=0)
+    owner = b.register("owner", 2, init=0)
+    timer = b.register("timer", 3, init=0)
+
+    any_request = b.gt(request, b.const(0, 4), name="any_request")
+
+    # Priority encoder: lowest requesting line wins.
+    bit0 = b.extract(request, 0, 0, name="bit0")
+    bit1 = b.extract(request, 1, 1, name="bit1")
+    bit2 = b.extract(request, 2, 2, name="bit2")
+    choice = b.mux(
+        bit0,
+        b.const(0, 2),
+        b.mux(bit1, b.const(1, 2), b.mux(bit2, b.const(2, 2), b.const(3, 2))),
+        name="choice",
+    )
+
+    # Hold timer: counts granted cycles, capped at 6; the grant is
+    # released when the timer saturates.
+    expired = b.ge(timer, b.const(6, 3), name="expired")
+    can_count = b.lt(timer, b.const(6, 3), name="can_count")
+    counted = b.mux(can_count, b.inc(timer), timer, name="counted")
+    next_timer = b.mux(granted, counted, b.const(0, 3), name="next_timer")
+    b.next_state(timer, next_timer)
+
+    # Grant register: acquire on request when free, release on expiry.
+    acquire = b.and_(b.not_(granted), any_request, name="acquire")
+    keep = b.and_(granted, b.not_(expired), name="keep")
+    b.next_state(granted, b.or_(acquire, keep))
+    b.next_state(owner, b.mux(acquire, choice, owner))
+
+    ok1 = b.le(timer, b.const(6, 3), name="ok_p1")
+    # Grant implies the timer is still within its window (release is
+    # immediate on expiry, so granted & expired never coexist past one
+    # cycle boundary: granted@t+1 requires not expired@t).
+    ok2 = b.not_(
+        b.and_(granted, b.gt(timer, b.const(6, 3))), name="ok_p2"
+    )
+    ok40 = b.ne(timer, b.const(6, 3), name="ok_p40")
+
+    b.output("ok_p1", ok1)
+    b.output("ok_p2", ok2)
+    b.output("ok_p40", ok40)
+    b.output("granted_out", granted)
+    b.output("owner_out", owner)
+    b.output("timer_out", timer)
+    return b.build()
+
+
+PROPERTIES = {
+    "1": SafetyProperty("1", "ok_p1", "hold timer stays <= 6 (UNSAT)"),
+    "2": SafetyProperty(
+        "2", "ok_p2", "no grant with an over-run timer (UNSAT)"
+    ),
+    "40": SafetyProperty(
+        "40", "ok_p40", "the timer can saturate (SAT at bounds >= 8)"
+    ),
+}

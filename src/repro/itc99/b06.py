@@ -1,0 +1,89 @@
+"""b06: interrupt handler (ITC'99), re-modelled.
+
+The original b06 is a small controller that acknowledges an interrupt
+line with a handshake FSM.  The model: an FSM (idle / ack / service /
+drain), a nesting counter bounded by a guard, and an urgency flag raised
+when interrupts arrive during service.
+
+Properties (extensions — b06 is not in the paper's table set):
+
+* ``1``  the nesting counter stays within its bound (UNSAT invariant);
+* ``2``  the FSM never reaches the illegal encoding 5 (UNSAT, control-
+         only — the same predicate-abstraction-friendly shape as b13_3);
+* ``40`` urgent service is reachable (SAT at small bounds).
+"""
+
+from __future__ import annotations
+
+from repro.bmc.property import SafetyProperty
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.circuit import Circuit
+
+
+def build() -> Circuit:
+    """Construct the sequential b06 model."""
+    b = CircuitBuilder("b06")
+    irq = b.input("irq", 1)
+
+    state = b.register("state", 3, init=0)
+    nesting = b.register("nesting", 3, init=0)
+    urgent = b.register("urgent", 1, init=0)
+
+    in_idle = b.eq(state, b.const(0, 3), name="in_idle")
+    in_ack = b.eq(state, b.const(1, 3), name="in_ack")
+    in_service = b.eq(state, b.const(2, 3), name="in_service")
+    in_drain = b.eq(state, b.const(3, 3), name="in_drain")
+
+    advanced = b.inc(state, name="advanced")
+    from_idle = b.mux(irq, advanced, state, name="from_idle")
+    from_ack = advanced
+    done = b.eq(nesting, b.const(0, 3), name="done")
+    from_service = b.mux(done, advanced, state, name="from_service")
+    from_drain = b.const(0, 3, name="from_drain")
+    next_state = b.mux(
+        in_idle,
+        from_idle,
+        b.mux(in_ack, from_ack, b.mux(in_service, from_service, from_drain)),
+        name="next_state",
+    )
+    b.next_state(state, next_state)
+
+    # Nesting counter: grows on irq during service (guarded at 5),
+    # drains by one per service cycle otherwise.
+    can_nest = b.lt(nesting, b.const(5, 3), name="can_nest")
+    nest_up = b.and_(in_service, irq, can_nest, name="nest_up")
+    positive = b.gt(nesting, b.const(0, 3), name="positive")
+    nest_down = b.and_(in_service, b.not_(irq), positive, name="nest_down")
+    next_nesting = b.mux(
+        nest_up,
+        b.inc(nesting),
+        b.mux(nest_down, b.sub(nesting, 1), nesting),
+        name="next_nesting",
+    )
+    b.next_state(nesting, next_nesting)
+
+    # Urgency: raised when nesting saturates during service.
+    saturated = b.ge(nesting, b.const(4, 3), name="saturated")
+    b.next_state(
+        urgent, b.or_(b.and_(in_service, saturated), urgent)
+    )
+
+    ok1 = b.le(nesting, b.const(5, 3), name="ok_p1")
+    ok2 = b.ne(state, b.const(5, 3), name="ok_p2")
+    ok40 = b.not_(urgent, name="ok_p40")
+
+    b.output("ok_p1", ok1)
+    b.output("ok_p2", ok2)
+    b.output("ok_p40", ok40)
+    b.output("state_out", state)
+    b.output("nesting_out", nesting)
+    return b.build()
+
+
+PROPERTIES = {
+    "1": SafetyProperty("1", "ok_p1", "nesting stays <= 5 (UNSAT)"),
+    "2": SafetyProperty("2", "ok_p2", "state 5 unreachable (UNSAT)"),
+    "40": SafetyProperty(
+        "40", "ok_p40", "urgent service reachable (SAT at bounds >= 11)"
+    ),
+}

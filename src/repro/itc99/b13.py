@@ -1,0 +1,142 @@
+"""b13: weather-station interface (ITC'99), re-modelled.
+
+The original b13 drives sensors over a serial link: an FSM sequences
+load/transmit phases, a 4-bit counter paces the shift register, and an
+8-bit datapath carries the sample.  This model reproduces that shape:
+
+* FSM ``state``: 0 idle -> 1 load -> 2 transmit (8 counted shifts) ->
+  3 done -> 0, with a guarded ``state + 1`` mixed into the next-state
+  logic so control reasoning needs case splits;
+* ``cnt``: 4-bit transmit counter, incremented behind a ``cnt < 8``
+  guard;
+* ``shreg``: 8-bit shift register, reloaded in load, shifted in tx;
+* ``acc``: saturating 8-bit activity accumulator (guarded at 200);
+* ``idle_cnt``: counts consecutive idle cycles (property 40).
+
+Properties (the paper's numbering is kept; all bounds refer to
+violation at exactly the last frame):
+
+* ``1``  cnt <= 8                      — invariant (UNSAT at all bounds)
+* ``2``  not(state == 2 and cnt == 15) — invariant (UNSAT)
+* ``3``  state != 6                    — control-only invariant (UNSAT);
+         the paper notes this family is provable purely in control
+         logic, the case where plain HDPLL beats justification.
+* ``5``  acc <= 250                    — datapath invariant (UNSAT)
+* ``8``  not(state == 3 and cnt == 0)  — FSM/counter invariant (UNSAT)
+* ``40`` idle_cnt != 12                — violable at frame 12, so SAT
+         at bound 13 (Table 2's b13_40(13) S row)
+"""
+
+from __future__ import annotations
+
+from repro.bmc.property import SafetyProperty
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.circuit import Circuit
+
+
+def build() -> Circuit:
+    """Construct the sequential b13 model."""
+    b = CircuitBuilder("b13")
+    start = b.input("start", 1)
+    din = b.input("din", 8)
+
+    state = b.register("state", 3, init=0)
+    cnt = b.register("cnt", 4, init=0)
+    shreg = b.register("shreg", 8, init=0)
+    acc = b.register("acc", 8, init=0)
+    idle_cnt = b.register("idle_cnt", 4, init=0)
+
+    in_idle = b.eq(state, b.const(0, 3), name="in_idle")
+    in_load = b.eq(state, b.const(1, 3), name="in_load")
+    in_tx = b.eq(state, b.const(2, 3), name="in_tx")
+    in_done = b.eq(state, b.const(3, 3), name="in_done")
+
+    # --- FSM next state -------------------------------------------------
+    tx_done = b.eq(cnt, b.const(8, 4), name="tx_done")
+    advanced = b.inc(state, name="advanced")
+    # idle: advance on start, else stay.
+    from_idle = b.mux(start, advanced, state, name="from_idle")
+    # load: always advance (guarded increment keeps the hull wide).
+    from_load = advanced
+    # tx: advance when the counter saturates.
+    from_tx = b.mux(tx_done, advanced, state, name="from_tx")
+    # done: restart.
+    from_done = b.const(0, 3, name="from_done")
+
+    next_state = b.mux(
+        in_idle,
+        from_idle,
+        b.mux(in_load, from_load, b.mux(in_tx, from_tx, from_done)),
+        name="next_state",
+    )
+    b.next_state(state, next_state)
+
+    # --- transmit counter -----------------------------------------------
+    can_count = b.lt(cnt, b.const(8, 4), name="can_count")
+    counted = b.mux(can_count, b.inc(cnt), cnt, name="counted")
+    next_cnt = b.mux(
+        in_tx,
+        counted,
+        b.mux(in_idle, b.const(0, 4), cnt),
+        name="next_cnt",
+    )
+    b.next_state(cnt, next_cnt)
+
+    # --- shift register ---------------------------------------------------
+    shifted = b.shr(shreg, 1, name="shifted")
+    next_shreg = b.mux(
+        in_load,
+        din,
+        b.mux(in_tx, shifted, shreg),
+        name="next_shreg",
+    )
+    b.next_state(shreg, next_shreg)
+
+    # --- activity accumulator ---------------------------------------------
+    acc_guard = b.and_(in_tx, b.lt(acc, b.const(200, 8)), name="acc_guard")
+    next_acc = b.mux(acc_guard, b.inc(acc), acc, name="next_acc")
+    b.next_state(acc, next_acc)
+
+    # --- idle counter -------------------------------------------------------
+    staying_idle = b.and_(in_idle, b.not_(start), name="staying_idle")
+    next_idle = b.mux(
+        staying_idle, b.inc(idle_cnt), b.const(0, 4), name="next_idle"
+    )
+    b.next_state(idle_cnt, next_idle)
+
+    # --- property monitors ---------------------------------------------------
+    ok1 = b.le(cnt, b.const(8, 4), name="ok_p1")
+    ok2 = b.not_(
+        b.and_(in_tx, b.eq(cnt, b.const(15, 4))), name="ok_p2"
+    )
+    ok3 = b.ne(state, b.const(6, 3), name="ok_p3")
+    ok5 = b.le(acc, b.const(250, 8), name="ok_p5")
+    ok8 = b.not_(
+        b.and_(in_done, b.eq(cnt, b.const(0, 4))), name="ok_p8"
+    )
+    ok40 = b.ne(idle_cnt, b.const(12, 4), name="ok_p40")
+
+    for name, net in (
+        ("ok_p1", ok1),
+        ("ok_p2", ok2),
+        ("ok_p3", ok3),
+        ("ok_p5", ok5),
+        ("ok_p8", ok8),
+        ("ok_p40", ok40),
+    ):
+        b.output(name, net)
+    b.output("state_out", state)
+    b.output("cnt_out", cnt)
+    b.output("shreg_out", shreg)
+    b.output("acc_out", acc)
+    return b.build()
+
+
+PROPERTIES = {
+    "1": SafetyProperty("1", "ok_p1", "cnt <= 8 (UNSAT)"),
+    "2": SafetyProperty("2", "ok_p2", "not in_tx with cnt == 15 (UNSAT)"),
+    "3": SafetyProperty("3", "ok_p3", "state != 6, control-only (UNSAT)"),
+    "5": SafetyProperty("5", "ok_p5", "acc <= 250 (UNSAT)"),
+    "8": SafetyProperty("8", "ok_p8", "not in done with cnt == 0 (UNSAT)"),
+    "40": SafetyProperty("40", "ok_p40", "idle_cnt != 12 (SAT at bound 13)"),
+}

@@ -1,0 +1,129 @@
+"""Parametric workload generators.
+
+Two generators back the test-suite oracles and the scaling studies:
+
+* :func:`random_sequential_circuit` — random FSM+datapath circuits in
+  the ITC'99 style (registers, guarded counters, mux trees,
+  comparators), with a designated 1-bit ``ok`` monitor output;
+* :func:`random_combinational_circuit` — plain combinational circuits
+  for direct solver cross-checking.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.bmc.property import SafetyProperty
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.circuit import Circuit
+
+
+def random_combinational_circuit(
+    seed: int,
+    num_word_inputs: int = 2,
+    width: int = 3,
+    operations: int = 8,
+) -> Circuit:
+    """A random combinational circuit with 'flag' and 'word' outputs."""
+    rng = random.Random(seed)
+    b = CircuitBuilder(f"rand_comb_{seed}")
+    words = [b.input(f"w{i}", width) for i in range(num_word_inputs)]
+    words.append(b.const(rng.randint(0, 2**width - 1), width))
+    bools = [b.input("b0", 1)]
+    for _ in range(operations):
+        roll = rng.random()
+        if roll < 0.3:
+            words.append(
+                getattr(b, rng.choice(["add", "sub"]))(
+                    rng.choice(words), rng.choice(words)
+                )
+            )
+        elif roll < 0.4:
+            words.append(b.mul_const(rng.choice(words), rng.randint(0, 3)))
+        elif roll < 0.65:
+            kind = rng.choice(["eq", "ne", "lt", "le", "gt", "ge"])
+            bools.append(
+                getattr(b, kind)(rng.choice(words), rng.choice(words))
+            )
+        elif roll < 0.8 and len(bools) >= 2:
+            kind = rng.choice(["and_", "or_", "xor"])
+            if kind == "xor":
+                bools.append(b.xor(rng.choice(bools), rng.choice(bools)))
+            else:
+                bools.append(
+                    getattr(b, kind)(rng.choice(bools), rng.choice(bools))
+                )
+        else:
+            words.append(
+                b.mux(rng.choice(bools), rng.choice(words), rng.choice(words))
+            )
+    b.output("flag", bools[-1])
+    b.output("word", words[-1])
+    return b.build()
+
+
+def random_sequential_circuit(
+    seed: int,
+    width: int = 4,
+    num_registers: int = 3,
+    operations: int = 10,
+) -> Circuit:
+    """A random sequential circuit with an ``ok`` safety monitor.
+
+    The monitor compares a derived word against a threshold, so both
+    SAT and UNSAT instances occur across seeds and bounds.
+    """
+    rng = random.Random(seed)
+    b = CircuitBuilder(f"rand_seq_{seed}")
+    control = b.input("ctl", 1)
+    data = b.input("data", width)
+
+    registers = [
+        b.register(f"r{i}", width, init=rng.randint(0, 2**width - 1))
+        for i in range(num_registers)
+    ]
+    words: List = list(registers) + [data]
+    bools: List = [control]
+
+    for _ in range(operations):
+        roll = rng.random()
+        if roll < 0.35:
+            words.append(
+                getattr(b, rng.choice(["add", "sub"]))(
+                    rng.choice(words), rng.choice(words)
+                )
+            )
+        elif roll < 0.6:
+            kind = rng.choice(["eq", "ne", "lt", "le", "gt", "ge"])
+            bools.append(
+                getattr(b, kind)(rng.choice(words), rng.choice(words))
+            )
+        elif roll < 0.75 and len(bools) >= 2:
+            bools.append(b.and_(rng.choice(bools), rng.choice(bools)))
+        else:
+            words.append(
+                b.mux(rng.choice(bools), rng.choice(words), rng.choice(words))
+            )
+
+    for register in registers:
+        candidates = [w for w in words if w.width == register.width]
+        source = rng.choice(candidates)
+        guarded = b.mux(rng.choice(bools), source, register)
+        b.next_state(register, guarded)
+
+    monitor_word = rng.choice(
+        [w for w in words if w.width == width]
+    )
+    threshold = rng.randint(0, 2**width - 1)
+    ok = b.not_(
+        b.gt(monitor_word, b.const(threshold, width)), name="ok"
+    )
+    b.output("ok", ok)
+    b.output("probe", monitor_word)
+    return b.build()
+
+
+def random_safety_property() -> SafetyProperty:
+    """The monitor property of :func:`random_sequential_circuit`."""
+    return SafetyProperty("rand", "ok", "generated monitor stays high")

@@ -1,0 +1,78 @@
+"""Word-level RTL netlist IR and structural analyses.
+
+The circuit structure is the raw material of the paper's contribution:
+both predicate learning (Section 3) and structural justification
+(Section 4) are defined directly on this netlist rather than on a flat
+formula.
+"""
+
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.circuit import Circuit, CircuitStats, Net, Node, iter_fanin_cone
+from repro.rtl.compose import copy_into
+from repro.rtl.hdl import parse_module
+from repro.rtl.optimize import optimize
+from repro.rtl.levelize import (
+    fanin_cone_nodes,
+    fanout_cone_nodes,
+    levelize,
+    max_level,
+    nets_by_level,
+    transitive_fanout_count,
+)
+from repro.rtl.netlist_io import load, load_from_path, save, save_to_path
+from repro.rtl.predicates import (
+    PredicateReport,
+    count_predicate_gates,
+    extract_predicates,
+)
+from repro.rtl.simulate import (
+    SequentialSimulator,
+    evaluate_node,
+    simulate_combinational,
+)
+from repro.rtl.types import (
+    BOOLEAN_KINDS,
+    JUSTIFIABLE_WORD_KINDS,
+    PREDICATE_KINDS,
+    WORD_KINDS,
+    OpKind,
+    is_boolean_gate,
+    is_predicate,
+    is_word_op,
+)
+
+__all__ = [
+    "BOOLEAN_KINDS",
+    "Circuit",
+    "CircuitBuilder",
+    "CircuitStats",
+    "JUSTIFIABLE_WORD_KINDS",
+    "Net",
+    "Node",
+    "OpKind",
+    "PREDICATE_KINDS",
+    "PredicateReport",
+    "SequentialSimulator",
+    "WORD_KINDS",
+    "copy_into",
+    "count_predicate_gates",
+    "evaluate_node",
+    "optimize",
+    "parse_module",
+    "extract_predicates",
+    "fanin_cone_nodes",
+    "fanout_cone_nodes",
+    "is_boolean_gate",
+    "is_predicate",
+    "is_word_op",
+    "iter_fanin_cone",
+    "levelize",
+    "load",
+    "load_from_path",
+    "max_level",
+    "nets_by_level",
+    "save",
+    "save_to_path",
+    "simulate_combinational",
+    "transitive_fanout_count",
+]

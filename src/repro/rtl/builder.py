@@ -1,0 +1,225 @@
+"""Fluent construction API over the netlist IR.
+
+``CircuitBuilder`` provides the operator vocabulary of the paper with
+width checking and light constant folding, so benchmark circuits and
+tests read like RTL:
+
+    b = CircuitBuilder("demo")
+    a = b.input("a", 8)
+    limit = b.const(100, 8)
+    over = b.gt(a, limit)
+    clipped = b.mux(over, limit, a)
+    b.output("out", clipped)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.errors import CircuitError
+from repro.rtl.circuit import Circuit, Net
+from repro.rtl.types import OpKind
+
+NetOrInt = Union[Net, int]
+
+
+class CircuitBuilder:
+    """Thin, ergonomic wrapper around :class:`Circuit`."""
+
+    def __init__(self, name: str = "circuit"):
+        self.circuit = Circuit(name)
+
+    # ------------------------------------------------------------------
+    # Sources
+    # ------------------------------------------------------------------
+    def input(self, name: str, width: int = 1) -> Net:
+        """Declare a primary input of the given width."""
+        return self.circuit.add_input(name, width)
+
+    def const(self, value: int, width: int, name: Optional[str] = None) -> Net:
+        """A constant net holding ``value`` in ``width`` bits."""
+        return self.circuit.add_const(value, width, name)
+
+    def register(self, name: str, width: int, init: int = 0) -> Net:
+        """Declare a register (connect its next state with :meth:`next_state`)."""
+        return self.circuit.add_register(name, width, init)
+
+    def next_state(self, reg: Net, value: NetOrInt) -> None:
+        """Connect a register's next-state function."""
+        self.circuit.set_register_next(reg, self._coerce(value, reg.width))
+
+    def _coerce(self, value: NetOrInt, width: int) -> Net:
+        """Accept a literal integer wherever a net is expected."""
+        if isinstance(value, Net):
+            return value
+        return self.circuit.add_const(value, width)
+
+    def _coerce_pair(self, a: NetOrInt, b: NetOrInt) -> "tuple[Net, Net]":
+        if isinstance(a, Net):
+            return a, self._coerce(b, a.width)
+        if isinstance(b, Net):
+            return self._coerce(a, b.width), b
+        raise CircuitError("at least one operand must be a net")
+
+    # ------------------------------------------------------------------
+    # Boolean gates
+    # ------------------------------------------------------------------
+    def not_(self, a: Net, name: Optional[str] = None) -> Net:
+        return self.circuit.add_node(OpKind.NOT, (a,), name=name)
+
+    def and_(self, *operands: Net, name: Optional[str] = None) -> Net:
+        return self.circuit.add_node(OpKind.AND, operands, name=name)
+
+    def or_(self, *operands: Net, name: Optional[str] = None) -> Net:
+        return self.circuit.add_node(OpKind.OR, operands, name=name)
+
+    def nand(self, *operands: Net, name: Optional[str] = None) -> Net:
+        return self.circuit.add_node(OpKind.NAND, operands, name=name)
+
+    def nor(self, *operands: Net, name: Optional[str] = None) -> Net:
+        return self.circuit.add_node(OpKind.NOR, operands, name=name)
+
+    def xor(self, a: Net, b: Net, name: Optional[str] = None) -> Net:
+        return self.circuit.add_node(OpKind.XOR, (a, b), name=name)
+
+    def xnor(self, a: Net, b: Net, name: Optional[str] = None) -> Net:
+        return self.circuit.add_node(OpKind.XNOR, (a, b), name=name)
+
+    def buf(self, a: Net, name: Optional[str] = None) -> Net:
+        return self.circuit.add_node(OpKind.BUF, (a,), name=name)
+
+    # ------------------------------------------------------------------
+    # Word-level operators
+    # ------------------------------------------------------------------
+    def mux(
+        self,
+        sel: Net,
+        then_value: NetOrInt,
+        else_value: NetOrInt,
+        name: Optional[str] = None,
+    ) -> Net:
+        """``sel ? then_value : else_value``."""
+        then_net, else_net = self._coerce_pair(then_value, else_value)
+        return self.circuit.add_node(
+            OpKind.MUX, (sel, then_net, else_net), name=name
+        )
+
+    def add(self, a: NetOrInt, b: NetOrInt, name: Optional[str] = None) -> Net:
+        """Modular addition: ``(a + b) mod 2**width``."""
+        a_net, b_net = self._coerce_pair(a, b)
+        return self.circuit.add_node(OpKind.ADD, (a_net, b_net), name=name)
+
+    def sub(self, a: NetOrInt, b: NetOrInt, name: Optional[str] = None) -> Net:
+        """Modular subtraction: ``(a - b) mod 2**width``."""
+        a_net, b_net = self._coerce_pair(a, b)
+        return self.circuit.add_node(OpKind.SUB, (a_net, b_net), name=name)
+
+    def mul_const(self, a: Net, factor: int, name: Optional[str] = None) -> Net:
+        """Multiplication by a non-negative constant, modulo ``2**width``."""
+        if factor < 0:
+            raise CircuitError("mul_const factor must be non-negative")
+        return self.circuit.add_node(OpKind.MULC, (a,), name=name, factor=factor)
+
+    def shl(self, a: Net, amount: int, name: Optional[str] = None) -> Net:
+        """Left shift by a constant, modulo ``2**width``."""
+        return self.circuit.add_node(
+            OpKind.SHL, (a,), name=name, shift_amount=amount
+        )
+
+    def shr(self, a: Net, amount: int, name: Optional[str] = None) -> Net:
+        """Logical right shift by a constant."""
+        return self.circuit.add_node(
+            OpKind.SHR, (a,), name=name, shift_amount=amount
+        )
+
+    def concat(self, hi: Net, lo: Net, name: Optional[str] = None) -> Net:
+        """Bit-vector concatenation ``{hi, lo}``."""
+        return self.circuit.add_node(OpKind.CONCAT, (hi, lo), name=name)
+
+    def extract(
+        self, a: Net, hi_bit: int, lo_bit: int, name: Optional[str] = None
+    ) -> Net:
+        """Bit slice ``a[hi_bit : lo_bit]`` (both inclusive)."""
+        return self.circuit.add_node(
+            OpKind.EXTRACT, (a,), name=name, extract_lo=lo_bit, extract_hi=hi_bit
+        )
+
+    def zext(self, a: Net, width: int, name: Optional[str] = None) -> Net:
+        """Zero extension of ``a`` to ``width`` bits."""
+        return self.circuit.add_node(OpKind.ZEXT, (a,), width=width, name=name)
+
+    def inc(self, a: Net, by: int = 1, name: Optional[str] = None) -> Net:
+        """Convenience: ``(a + by) mod 2**width``."""
+        return self.add(a, self.const(by % (1 << a.width), a.width), name=name)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def _predicate(
+        self, kind: OpKind, a: NetOrInt, b: NetOrInt, name: Optional[str]
+    ) -> Net:
+        a_net, b_net = self._coerce_pair(a, b)
+        return self.circuit.add_node(kind, (a_net, b_net), name=name)
+
+    def eq(self, a: NetOrInt, b: NetOrInt, name: Optional[str] = None) -> Net:
+        return self._predicate(OpKind.EQ, a, b, name)
+
+    def ne(self, a: NetOrInt, b: NetOrInt, name: Optional[str] = None) -> Net:
+        return self._predicate(OpKind.NE, a, b, name)
+
+    def lt(self, a: NetOrInt, b: NetOrInt, name: Optional[str] = None) -> Net:
+        return self._predicate(OpKind.LT, a, b, name)
+
+    def le(self, a: NetOrInt, b: NetOrInt, name: Optional[str] = None) -> Net:
+        return self._predicate(OpKind.LE, a, b, name)
+
+    def gt(self, a: NetOrInt, b: NetOrInt, name: Optional[str] = None) -> Net:
+        return self._predicate(OpKind.GT, a, b, name)
+
+    def ge(self, a: NetOrInt, b: NetOrInt, name: Optional[str] = None) -> Net:
+        return self._predicate(OpKind.GE, a, b, name)
+
+    # ------------------------------------------------------------------
+    # Structured helpers
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        selector: Net,
+        cases: Sequence["tuple[int, NetOrInt]"],
+        default: NetOrInt,
+        width: Optional[int] = None,
+    ) -> Net:
+        """A case statement: a chain of (selector == value) muxes.
+
+        This is how FSM next-state logic is written; it produces exactly
+        the predicate/mux structure the paper's techniques target.
+        ``width`` is only needed when every branch is an integer literal.
+        """
+        if not isinstance(default, Net):
+            if width is None:
+                width = next(
+                    (b.width for _, b in cases if isinstance(b, Net)), None
+                )
+            if width is None:
+                raise CircuitError(
+                    "select needs a net branch or an explicit width"
+                )
+            default = self.const(default, width)
+        result: Net = default
+        for value, branch in reversed(list(cases)):
+            cond = self.eq(selector, self.const(value, selector.width))
+            branch_net = self._coerce(branch, result.width)
+            result = self.circuit.add_node(
+                OpKind.MUX, (cond, branch_net, result)
+            )
+        return result
+
+    def output(self, name: str, net: Net) -> Net:
+        """Mark ``net`` as a named output and return it."""
+        self.circuit.mark_output(name, net)
+        return net
+
+    def build(self) -> Circuit:
+        """Validate and return the finished circuit."""
+        self.circuit.validate()
+        return self.circuit

@@ -1,0 +1,78 @@
+"""Circuit composition: copying circuits into one another.
+
+The building block for miters (equivalence checking) and product
+machines: copy a source circuit into a target namespace, optionally
+sharing primary inputs by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import CircuitError
+from repro.rtl.circuit import Circuit, Net
+from repro.rtl.types import OpKind
+
+
+def copy_into(
+    target: Circuit,
+    source: Circuit,
+    prefix: str = "",
+    share_inputs: bool = True,
+) -> Dict[str, Net]:
+    """Copy ``source`` into ``target``; returns source-net-name -> copy.
+
+    Primary inputs are shared by name when ``share_inputs`` is set (the
+    miter convention: both sides see the same stimulus); a shared input
+    must agree on width.  Every other net is created under ``prefix``.
+    Output aliases of the source are *not* re-marked on the target — the
+    returned map lets the caller wire them up explicitly.
+    """
+    mapping: Dict[int, Net] = {}
+    for node in source.topological_nodes():
+        net = node.output
+        name = f"{prefix}{net.name}"
+        if node.kind is OpKind.INPUT:
+            if share_inputs:
+                if target.has_net(net.name):
+                    shared = target.net(net.name)
+                    if shared.width != net.width:
+                        raise CircuitError(
+                            f"shared input {net.name!r} width mismatch: "
+                            f"{shared.width} vs {net.width}"
+                        )
+                    mapping[net.index] = shared
+                    continue
+                mapping[net.index] = target.add_input(net.name, net.width)
+            else:
+                mapping[net.index] = target.add_input(name, net.width)
+        elif node.kind is OpKind.CONST:
+            mapping[net.index] = target.add_const(
+                node.const_value or 0, net.width, name
+            )
+        elif node.kind is OpKind.REG:
+            mapping[net.index] = target.add_register(
+                name, net.width, node.init_value or 0
+            )
+        else:
+            operands = [mapping[operand.index] for operand in node.operands]
+            attrs = {}
+            if node.factor is not None:
+                attrs["factor"] = node.factor
+            if node.shift_amount is not None:
+                attrs["shift_amount"] = node.shift_amount
+            if node.extract_lo is not None:
+                attrs["extract_lo"] = node.extract_lo
+            if node.extract_hi is not None:
+                attrs["extract_hi"] = node.extract_hi
+            mapping[net.index] = target.add_node(
+                node.kind, operands, width=net.width, name=name, **attrs
+            )
+    # Second pass: register next-state connections.
+    for node in source.registers:
+        if node.operands:
+            target.set_register_next(
+                mapping[node.output.index],
+                mapping[node.operands[0].index],
+            )
+    return {net.name: mapping[net.index] for net in source.nets}

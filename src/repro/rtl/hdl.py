@@ -1,0 +1,563 @@
+"""A small Verilog-flavoured HDL frontend.
+
+Circuits can be described in a compact RTL dialect instead of the
+builder API::
+
+    module clipper(input [8:0] a, input [8:0] b, output [8:0] y,
+                   output over);
+      wire [8:0] total = a + b;
+      wire over_w = total > 9'd200;
+      assign y = over_w ? 9'd200 : total;
+      assign over = over_w;
+    endmodule
+
+Supported subset:
+
+* one ``module`` per source, with ``input``/``output`` port
+  declarations (``[msb:0]`` ranges; 1-bit without a range);
+* ``wire [range] name = expr;`` and ``assign name = expr;`` for
+  combinational logic (``assign`` may target declared outputs/wires);
+* ``reg [range] name = init;`` with ``always @(posedge clk)
+  name <= expr;`` for state (the clock is implicit — any identifier);
+* expressions: ``?:``, ``|| && | & ^ == != < <= > >= + - << >>``,
+  unary ``! ~ -``, parentheses, sized literals (``8'd255``, ``4'hF``,
+  ``3'b101``), plain decimal literals, identifiers, bit and part
+  selects (``x[3]``, ``x[5:2]``) and concatenation (``{a, b}``).
+
+Width rules are deliberately simple and explicit (this is a frontend
+for a solver, not a synthesis tool): arithmetic and comparison operands
+are zero-extended to the wider side; logical/bitwise Boolean operators
+require 1-bit operands; shifts take constant amounts; a plain decimal
+literal adapts to the width of the other operand.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import NetlistFormatError
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.circuit import Circuit, Net
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<sized>\d+'[bdh][0-9a-fA-F_]+)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9$]*)
+  | (?P<op><<|>>|<=|>=|==|!=|&&|\|\||[-+*(){}\[\]<>,;:=?!~&|^@])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "posedge",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "ident", "number", "sized", "op", "keyword"
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    index = 0
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if match is None:
+            raise NetlistFormatError(
+                f"unexpected character {source[index]!r} at offset {index}"
+            )
+        index = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup or "op"
+        text = match.group()
+        if kind == "ident" and text in _KEYWORDS:
+            kind = "keyword"
+        tokens.append(_Token(kind, text, match.start()))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Values: a net, or an as-yet unsized integer literal
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Unsized:
+    value: int
+
+
+_Value = Union[Net, _Unsized]
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = _tokenize(source)
+        self.position = 0
+        self.builder: Optional[CircuitBuilder] = None
+        #: name -> net for every declared signal.
+        self.signals: Dict[str, Net] = {}
+        #: output names in declaration order.
+        self.output_names: List[str] = []
+        #: deferred continuous assignments (target, expression tokens).
+        self.clock_name: Optional[str] = None
+
+    # -- token helpers ---------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise NetlistFormatError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise NetlistFormatError(
+                f"expected {text!r} but found {token.text!r} at offset "
+                f"{token.position}"
+            )
+        return token
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.text == text:
+            self.position += 1
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------
+    def parse_module(self) -> Circuit:
+        self._expect("module")
+        name = self._next()
+        if name.kind != "ident":
+            raise NetlistFormatError(f"bad module name {name.text!r}")
+        self.builder = CircuitBuilder(name.text)
+        self._expect("(")
+        if not self._accept(")"):
+            while True:
+                self._parse_port()
+                if not self._accept(","):
+                    break
+            self._expect(")")
+        self._expect(";")
+        while not self._accept("endmodule"):
+            self._parse_item()
+        for output_name in self.output_names:
+            if output_name not in self.signals:
+                raise NetlistFormatError(
+                    f"output {output_name!r} was never assigned"
+                )
+            self.builder.output(output_name, self.signals[output_name])
+        return self.builder.build()
+
+    def _parse_range(self) -> int:
+        """``[msb:0]`` -> width; absent -> 1."""
+        if not self._accept("["):
+            return 1
+        msb = self._next()
+        if msb.kind != "number":
+            raise NetlistFormatError(f"bad range msb {msb.text!r}")
+        self._expect(":")
+        lsb = self._next()
+        if lsb.text != "0":
+            raise NetlistFormatError("ranges must end at 0 (e.g. [7:0])")
+        self._expect("]")
+        return int(msb.text) + 1
+
+    def _parse_port(self) -> None:
+        direction = self._next()
+        if direction.text not in ("input", "output"):
+            raise NetlistFormatError(
+                f"expected input/output, found {direction.text!r}"
+            )
+        width = self._parse_range()
+        name = self._next()
+        if name.kind != "ident":
+            raise NetlistFormatError(f"bad port name {name.text!r}")
+        assert self.builder is not None
+        if direction.text == "input":
+            self.signals[name.text] = self.builder.input(name.text, width)
+        else:
+            self.output_names.append(name.text)
+            # Output width is checked when assigned.
+            self._declared_output_widths = getattr(
+                self, "_declared_output_widths", {}
+            )
+            self._declared_output_widths[name.text] = width
+
+    def _parse_item(self) -> None:
+        token = self._peek()
+        if token is None:
+            raise NetlistFormatError("unterminated module")
+        if token.text == "wire":
+            self._parse_wire()
+        elif token.text == "reg":
+            self._parse_reg()
+        elif token.text == "assign":
+            self._parse_assign()
+        elif token.text == "always":
+            self._parse_always()
+        else:
+            raise NetlistFormatError(
+                f"unexpected {token.text!r} at offset {token.position}"
+            )
+
+    def _parse_wire(self) -> None:
+        self._expect("wire")
+        width = self._parse_range()
+        name = self._next().text
+        self._expect("=")
+        value = self._expression()
+        self._expect(";")
+        net = self._coerce(value, width)
+        if net.width != width:
+            net = self._fit(net, width, name)
+        self._bind(name, net)
+
+    def _parse_reg(self) -> None:
+        assert self.builder is not None
+        self._expect("reg")
+        width = self._parse_range()
+        name = self._next().text
+        init = 0
+        if self._accept("="):
+            init_value = self._expression()
+            if not isinstance(init_value, _Unsized):
+                raise NetlistFormatError(
+                    f"register {name!r} initialiser must be a constant"
+                )
+            init = init_value.value
+        self._expect(";")
+        self._bind(name, self.builder.register(name, width, init=init))
+
+    def _parse_assign(self) -> None:
+        self._expect("assign")
+        name = self._next().text
+        self._expect("=")
+        value = self._expression()
+        self._expect(";")
+        declared = getattr(self, "_declared_output_widths", {}).get(name)
+        width = declared if declared is not None else None
+        if width is None:
+            if isinstance(value, _Unsized):
+                raise NetlistFormatError(
+                    f"cannot infer a width for {name!r} from a bare literal"
+                )
+            width = value.width
+        net = self._coerce(value, width)
+        if net.width != width:
+            net = self._fit(net, width, name)
+        self._bind(name, net)
+
+    def _parse_always(self) -> None:
+        assert self.builder is not None
+        self._expect("always")
+        self._expect("@")
+        self._expect("(")
+        self._expect("posedge")
+        clock = self._next().text
+        if self.clock_name is None:
+            self.clock_name = clock
+        elif clock != self.clock_name:
+            raise NetlistFormatError("multiple clock domains are unsupported")
+        self._expect(")")
+        name = self._next().text
+        if name not in self.signals:
+            raise NetlistFormatError(f"assignment to undeclared reg {name!r}")
+        register = self.signals[name]
+        self._expect("<=")
+        value = self._expression()
+        self._expect(";")
+        self.builder.next_state(register, self._coerce(value, register.width))
+
+    def _bind(self, name: str, net: Net) -> None:
+        if name in self.signals:
+            raise NetlistFormatError(f"signal {name!r} assigned twice")
+        self.signals[name] = net
+
+    # -- expressions --------------------------------------------------------
+    # Precedence (low to high): ?: | || | && | "|" | ^ | & | ==/!= |
+    # relational | shifts | +/- | unary | primary.
+    def _expression(self) -> _Value:
+        condition = self._or_expr()
+        if self._accept("?"):
+            then_value = self._expression()
+            self._expect(":")
+            else_value = self._expression()
+            return self._make_mux(condition, then_value, else_value)
+        return condition
+
+    def _or_expr(self) -> _Value:
+        left = self._and_expr()
+        while True:
+            if self._accept("||") or self._accept("|"):
+                right = self._and_expr()
+                left = self._bool_gate("or_", left, right)
+            else:
+                return left
+
+    def _and_expr(self) -> _Value:
+        left = self._xor_expr()
+        while True:
+            if self._accept("&&") or self._accept("&"):
+                right = self._xor_expr()
+                left = self._bool_gate("and_", left, right)
+            else:
+                return left
+
+    def _xor_expr(self) -> _Value:
+        left = self._equality()
+        while self._accept("^"):
+            right = self._equality()
+            left = self._bool_gate("xor", left, right)
+        return left
+
+    def _equality(self) -> _Value:
+        left = self._relational()
+        while True:
+            if self._accept("=="):
+                left = self._compare("eq", left, self._relational())
+            elif self._accept("!="):
+                left = self._compare("ne", left, self._relational())
+            else:
+                return left
+
+    def _relational(self) -> _Value:
+        left = self._shift()
+        while True:
+            token = self._peek()
+            if token is None:
+                return left
+            if token.text == "<":
+                self._next()
+                left = self._compare("lt", left, self._shift())
+            elif token.text == "<=":
+                # '<=' is also the non-blocking assignment; inside an
+                # expression it is the comparison.
+                self._next()
+                left = self._compare("le", left, self._shift())
+            elif token.text == ">":
+                self._next()
+                left = self._compare("gt", left, self._shift())
+            elif token.text == ">=":
+                self._next()
+                left = self._compare("ge", left, self._shift())
+            else:
+                return left
+
+    def _shift(self) -> _Value:
+        left = self._additive()
+        while True:
+            if self._accept("<<"):
+                amount = self._additive()
+                left = self._make_shift(left, amount, "shl")
+            elif self._accept(">>"):
+                amount = self._additive()
+                left = self._make_shift(left, amount, "shr")
+            else:
+                return left
+
+    def _additive(self) -> _Value:
+        left = self._unary()
+        while True:
+            if self._accept("+"):
+                left = self._arith("add", left, self._unary())
+            elif self._accept("-"):
+                left = self._arith("sub", left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> _Value:
+        if self._accept("!") or self._accept("~"):
+            operand = self._unary()
+            net = self._coerce(operand, 1)
+            assert self.builder is not None
+            if net.width != 1:
+                raise NetlistFormatError("'!'/'~' need a 1-bit operand")
+            return self.builder.not_(net)
+        if self._accept("-"):
+            operand = self._unary()
+            if isinstance(operand, _Unsized):
+                return _Unsized(-operand.value)
+            assert self.builder is not None
+            zero = self.builder.const(0, operand.width)
+            return self.builder.sub(zero, operand)
+        return self._primary()
+
+    def _primary(self) -> _Value:
+        token = self._next()
+        if token.text == "(":
+            value = self._expression()
+            self._expect(")")
+            return value
+        if token.text == "{":
+            parts = [self._expression()]
+            while self._accept(","):
+                parts.append(self._expression())
+            self._expect("}")
+            nets = []
+            for part in parts:
+                if isinstance(part, _Unsized):
+                    raise NetlistFormatError(
+                        "concatenation parts need explicit widths"
+                    )
+                nets.append(part)
+            assert self.builder is not None
+            result = nets[0]
+            for net in nets[1:]:
+                result = self.builder.concat(result, net)
+            return result
+        if token.kind == "sized":
+            return self._sized_literal(token.text)
+        if token.kind == "number":
+            return _Unsized(int(token.text))
+        if token.kind == "ident":
+            if token.text not in self.signals:
+                raise NetlistFormatError(
+                    f"use of undeclared signal {token.text!r} at offset "
+                    f"{token.position}"
+                )
+            net = self.signals[token.text]
+            return self._maybe_select(net)
+        raise NetlistFormatError(
+            f"unexpected token {token.text!r} at offset {token.position}"
+        )
+
+    def _maybe_select(self, net: Net) -> Net:
+        if not self._accept("["):
+            return net
+        assert self.builder is not None
+        first = self._next()
+        if first.kind != "number":
+            raise NetlistFormatError("bit selects need constant indices")
+        high = int(first.text)
+        low = high
+        if self._accept(":"):
+            second = self._next()
+            if second.kind != "number":
+                raise NetlistFormatError("part selects need constant indices")
+            low = int(second.text)
+        self._expect("]")
+        return self.builder.extract(net, high, low)
+
+    def _sized_literal(self, text: str) -> Net:
+        width_text, _, rest = text.partition("'")
+        base_char, digits = rest[0], rest[1:].replace("_", "")
+        base = {"b": 2, "d": 10, "h": 16}[base_char]
+        value = int(digits, base)
+        width = int(width_text)
+        assert self.builder is not None
+        if not 0 <= value < (1 << width):
+            raise NetlistFormatError(
+                f"literal {text!r} does not fit its declared width"
+            )
+        return self.builder.const(value, width)
+
+    # -- operator construction ----------------------------------------------
+    def _coerce(self, value: _Value, width: int) -> Net:
+        assert self.builder is not None
+        if isinstance(value, _Unsized):
+            if not 0 <= value.value < (1 << width):
+                raise NetlistFormatError(
+                    f"literal {value.value} does not fit in {width} bits"
+                )
+            return self.builder.const(value.value, width)
+        return value
+
+    def _fit(self, net: Net, width: int, context: str) -> Net:
+        assert self.builder is not None
+        if net.width == width:
+            return net
+        if net.width < width:
+            return self.builder.zext(net, width)
+        raise NetlistFormatError(
+            f"{context!r}: expression width {net.width} exceeds declared "
+            f"width {width}"
+        )
+
+    def _balance(self, left: _Value, right: _Value) -> Tuple[Net, Net]:
+        assert self.builder is not None
+        if isinstance(left, _Unsized) and isinstance(right, _Unsized):
+            raise NetlistFormatError(
+                "cannot infer widths: both operands are bare literals"
+            )
+        if isinstance(left, _Unsized):
+            assert isinstance(right, Net)
+            left = self._coerce(left, right.width)
+        if isinstance(right, _Unsized):
+            right = self._coerce(right, left.width)
+        if left.width < right.width:
+            left = self.builder.zext(left, right.width)
+        elif right.width < left.width:
+            right = self.builder.zext(right, left.width)
+        return left, right
+
+    def _arith(self, op: str, left: _Value, right: _Value) -> Net:
+        assert self.builder is not None
+        left_net, right_net = self._balance(left, right)
+        return getattr(self.builder, op)(left_net, right_net)
+
+    def _compare(self, op: str, left: _Value, right: _Value) -> Net:
+        assert self.builder is not None
+        left_net, right_net = self._balance(left, right)
+        return getattr(self.builder, op)(left_net, right_net)
+
+    def _bool_gate(self, op: str, left: _Value, right: _Value) -> Net:
+        assert self.builder is not None
+        left_net = self._coerce(left, 1)
+        right_net = self._coerce(right, 1)
+        if left_net.width != 1 or right_net.width != 1:
+            raise NetlistFormatError(
+                "logical/bitwise Boolean operators need 1-bit operands"
+            )
+        return getattr(self.builder, op)(left_net, right_net)
+
+    def _make_mux(
+        self, condition: _Value, then_value: _Value, else_value: _Value
+    ) -> Net:
+        assert self.builder is not None
+        condition_net = self._coerce(condition, 1)
+        if condition_net.width != 1:
+            raise NetlistFormatError("'?:' condition must be 1 bit")
+        then_net, else_net = self._balance(then_value, else_value)
+        return self.builder.mux(condition_net, then_net, else_net)
+
+    def _make_shift(self, value: _Value, amount: _Value, op: str) -> Net:
+        assert self.builder is not None
+        if not isinstance(amount, _Unsized):
+            raise NetlistFormatError("shift amounts must be constants")
+        if isinstance(value, _Unsized):
+            raise NetlistFormatError("shift operand needs an explicit width")
+        return getattr(self.builder, op)(value, amount.value)
+
+
+def parse_module(source: str) -> Circuit:
+    """Parse one HDL module into a :class:`Circuit`."""
+    parser = _Parser(source)
+    circuit = parser.parse_module()
+    return circuit

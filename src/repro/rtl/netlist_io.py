@@ -1,0 +1,175 @@
+"""Plain-text netlist serialisation.
+
+A small line-oriented format so circuits can be saved, diffed and loaded
+without pickling.  One declaration per line::
+
+    circuit b04_fragment
+    input  w0 3
+    const  k5 3 5
+    reg    r0 3 init=2
+    node   p1 lt 1 w0 k5
+    node   m1 mux 3 p1 w0 k5
+    node   e1 extract 2 w0 lo=0 hi=1
+    next   r0 m1
+    output out m1
+
+Widths are explicit everywhere; attribute arguments use ``key=value``.
+The format round-trips: ``load(save(circuit))`` reproduces an isomorphic
+circuit (same names, kinds, attributes, connectivity).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, TextIO, Union
+
+from repro.errors import NetlistFormatError
+from repro.rtl.circuit import Circuit, Net
+from repro.rtl.types import OpKind
+
+_ATTR_FIELDS = {
+    "factor": "factor",
+    "shift": "shift_amount",
+    "lo": "extract_lo",
+    "hi": "extract_hi",
+}
+
+
+def save(circuit: Circuit, stream: Union[TextIO, None] = None) -> str:
+    """Serialise ``circuit``; returns the text (and writes to ``stream``)."""
+    out = io.StringIO()
+    out.write(f"circuit {circuit.name}\n")
+    for node in circuit.topological_nodes():
+        net = node.output
+        if node.kind is OpKind.INPUT:
+            out.write(f"input {net.name} {net.width}\n")
+        elif node.kind is OpKind.CONST:
+            out.write(f"const {net.name} {net.width} {node.const_value}\n")
+        elif node.kind is OpKind.REG:
+            out.write(f"reg {net.name} {net.width} init={node.init_value}\n")
+        else:
+            operands = " ".join(op.name for op in node.operands)
+            attrs = []
+            if node.factor is not None:
+                attrs.append(f"factor={node.factor}")
+            if node.shift_amount is not None:
+                attrs.append(f"shift={node.shift_amount}")
+            if node.extract_lo is not None:
+                attrs.append(f"lo={node.extract_lo}")
+            if node.extract_hi is not None:
+                attrs.append(f"hi={node.extract_hi}")
+            suffix = (" " + " ".join(attrs)) if attrs else ""
+            out.write(
+                f"node {net.name} {node.kind.value} {net.width} "
+                f"{operands}{suffix}\n"
+            )
+    for node in circuit.registers:
+        if node.operands:
+            out.write(f"next {node.output.name} {node.operands[0].name}\n")
+    for name, net in circuit.outputs.items():
+        out.write(f"output {name} {net.name}\n")
+    text = out.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def load(source: Union[str, TextIO]) -> Circuit:
+    """Parse a circuit from text or a text stream."""
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+    else:
+        text = source
+    circuit = Circuit()
+    seen_circuit_line = False
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+        try:
+            if keyword == "circuit":
+                _expect(len(tokens) == 2, line_number, "circuit takes one name")
+                circuit.name = tokens[1]
+                seen_circuit_line = True
+            elif keyword == "input":
+                _expect(len(tokens) == 3, line_number, "input NAME WIDTH")
+                circuit.add_input(tokens[1], int(tokens[2]))
+            elif keyword == "const":
+                _expect(len(tokens) == 4, line_number, "const NAME WIDTH VALUE")
+                circuit.add_const(int(tokens[3]), int(tokens[2]), tokens[1])
+            elif keyword == "reg":
+                _expect(
+                    len(tokens) == 4 and tokens[3].startswith("init="),
+                    line_number,
+                    "reg NAME WIDTH init=VALUE",
+                )
+                circuit.add_register(
+                    tokens[1], int(tokens[2]), int(tokens[3][5:])
+                )
+            elif keyword == "node":
+                _parse_node(circuit, tokens, line_number)
+            elif keyword == "next":
+                _expect(len(tokens) == 3, line_number, "next REG NET")
+                circuit.set_register_next(
+                    circuit.net(tokens[1]), circuit.net(tokens[2])
+                )
+            elif keyword == "output":
+                _expect(len(tokens) == 3, line_number, "output NAME NET")
+                circuit.mark_output(tokens[1], circuit.net(tokens[2]))
+            else:
+                raise NetlistFormatError(
+                    f"line {line_number}: unknown keyword {keyword!r}"
+                )
+        except NetlistFormatError:
+            raise
+        except Exception as exc:
+            raise NetlistFormatError(f"line {line_number}: {exc}") from exc
+
+    if not seen_circuit_line:
+        raise NetlistFormatError("missing 'circuit' header line")
+    circuit.validate()
+    return circuit
+
+
+def _expect(condition: bool, line_number: int, message: str) -> None:
+    if not condition:
+        raise NetlistFormatError(f"line {line_number}: expected {message}")
+
+
+def _parse_node(circuit: Circuit, tokens: List[str], line_number: int) -> None:
+    _expect(len(tokens) >= 4, line_number, "node NAME KIND WIDTH [OPERANDS...]")
+    name, kind_text, width_text = tokens[1], tokens[2], tokens[3]
+    try:
+        kind = OpKind(kind_text)
+    except ValueError:
+        raise NetlistFormatError(
+            f"line {line_number}: unknown operator {kind_text!r}"
+        ) from None
+    operands: List[Net] = []
+    attrs: Dict[str, int] = {}
+    for token in tokens[4:]:
+        if "=" in token:
+            key, _, value = token.partition("=")
+            if key not in _ATTR_FIELDS:
+                raise NetlistFormatError(
+                    f"line {line_number}: unknown attribute {key!r}"
+                )
+            attrs[_ATTR_FIELDS[key]] = int(value)
+        else:
+            operands.append(circuit.net(token))
+    circuit.add_node(kind, operands, width=int(width_text), name=name, **attrs)
+
+
+def save_to_path(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        save(circuit, handle)
+
+
+def load_from_path(path: str) -> Circuit:
+    """Read a circuit from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load(handle)

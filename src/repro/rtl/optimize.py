@@ -1,0 +1,264 @@
+"""Netlist optimisation: constant folding, CSE, dead-node removal.
+
+A light rewriting pass producing a fresh, behaviourally equivalent
+circuit — both a useful library feature and the natural workload for
+the equivalence checker (the paper's Section 6 points at exactly this
+duplicated-datapath scenario for future predicate-learning work).
+
+Rules applied, in one topological pass:
+
+* **constant folding** — operators with all-constant operands evaluate;
+* **algebraic identities** — ``x+0``, ``x-0``, ``x*1``, ``x<<0``,
+  ``mux(c, a, a)``, ``mux(1, a, b)``, AND/OR with constant inputs,
+  double negation, comparator with identical operands;
+* **structural hashing (CSE)** — syntactically identical nodes merge
+  (commutative operands are canonicalised first);
+* **dead-node removal** — only the cone of the outputs (and register
+  next-state functions) is rebuilt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.rtl.circuit import Circuit, Net, Node
+from repro.rtl.simulate import evaluate_node
+from repro.rtl.types import (
+    BOOLEAN_KINDS,
+    COMMUTATIVE_KINDS,
+    PREDICATE_KINDS,
+    OpKind,
+)
+
+
+class _Optimizer:
+    def __init__(self, source: Circuit):
+        source.validate()
+        self.source = source
+        self.target = Circuit(f"{source.name}_opt")
+        #: source net index -> rebuilt net.
+        self.mapping: Dict[int, Net] = {}
+        #: structural-hash key -> existing rebuilt net.
+        self.hashes: Dict[Tuple, Net] = {}
+        #: value -> constant net cache (per width).
+        self.constants: Dict[Tuple[int, int], Net] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> Circuit:
+        # Rebuild only what outputs and register next-states reach
+        # (dead nodes are never requested).  Primary inputs are anchored
+        # unconditionally: the port interface is part of the contract
+        # even when an input is functionally dead.
+        for net in self.source.inputs:
+            self._rebuild(net)
+        for node in self.source.registers:
+            self._rebuild(node.output)
+        for net in self.source.outputs.values():
+            self._rebuild(net)
+        for node in self.source.registers:
+            self.target.set_register_next(
+                self.mapping[node.output.index],
+                self._rebuild(node.operands[0]),
+            )
+        for alias, net in self.source.outputs.items():
+            self.target.mark_output(alias, self.mapping[net.index])
+        self.target.validate()
+        return self.target
+
+    # ------------------------------------------------------------------
+    def _const(self, value: int, width: int) -> Net:
+        key = (value, width)
+        if key not in self.constants:
+            self.constants[key] = self.target.add_const(value, width)
+        return self.constants[key]
+
+    def _const_value(self, net: Net) -> Optional[int]:
+        driver = net.driver
+        if driver is not None and driver.kind is OpKind.CONST:
+            return driver.const_value
+        return None
+
+    def _rebuild(self, net: Net) -> Net:
+        if net.index in self.mapping:
+            return self.mapping[net.index]
+        node = net.driver
+        assert node is not None
+        rebuilt = self._rebuild_node(node)
+        self.mapping[net.index] = rebuilt
+        return rebuilt
+
+    def _rebuild_node(self, node: Node) -> Net:
+        kind = node.kind
+        net = node.output
+        if kind is OpKind.INPUT:
+            return self.target.add_input(net.name, net.width)
+        if kind is OpKind.CONST:
+            return self._const(node.const_value or 0, net.width)
+        if kind is OpKind.REG:
+            return self.target.add_register(
+                net.name, net.width, node.init_value or 0
+            )
+        operands = [self._rebuild(operand) for operand in node.operands]
+
+        folded = self._try_fold(node, operands)
+        if folded is not None:
+            return folded
+        simplified = self._try_identities(node, operands)
+        if simplified is not None:
+            return simplified
+        return self._hashed_node(node, operands)
+
+    # ------------------------------------------------------------------
+    def _try_fold(self, node: Node, operands: List[Net]) -> Optional[Net]:
+        values = [self._const_value(operand) for operand in operands]
+        if any(value is None for value in values):
+            return None
+        result = evaluate_node(node, values)  # type: ignore[arg-type]
+        return self._const(result, node.output.width)
+
+    def _try_identities(
+        self, node: Node, operands: List[Net]
+    ) -> Optional[Net]:
+        kind = node.kind
+        width = node.output.width
+        values = [self._const_value(operand) for operand in operands]
+
+        if kind is OpKind.MUX:
+            sel_value, then_net, else_net = values[0], operands[1], operands[2]
+            if sel_value is not None:
+                return then_net if sel_value else else_net
+            if then_net is else_net:
+                return then_net
+        if kind in (OpKind.ADD, OpKind.SUB):
+            if values[1] == 0:
+                return operands[0]
+            if kind is OpKind.ADD and values[0] == 0:
+                return operands[1]
+        if kind is OpKind.MULC:
+            if node.factor == 1:
+                return operands[0]
+            if node.factor == 0:
+                return self._const(0, width)
+        if kind in (OpKind.SHL, OpKind.SHR) and node.shift_amount == 0:
+            return operands[0]
+        if kind is OpKind.EXTRACT:
+            if (
+                node.extract_lo == 0
+                and node.extract_hi == node.operands[0].width - 1
+            ):
+                return operands[0]
+        if kind in (OpKind.AND, OpKind.OR):
+            controlling = 0 if kind is OpKind.AND else 1
+            if controlling in values:
+                return self._const(controlling, 1)
+            live = [
+                operand
+                for operand, value in zip(operands, values)
+                if value is None
+            ]
+            # Duplicate operands collapse.
+            unique: List[Net] = []
+            for operand in live:
+                if operand not in unique:
+                    unique.append(operand)
+            if not unique:
+                return self._const(1 - controlling, 1)
+            if len(unique) == 1:
+                return unique[0]
+            if len(unique) < len(operands):
+                return self._hashed_kind(kind, unique, width, node)
+        if kind is OpKind.NOT:
+            inner = operands[0].driver
+            if inner is not None and inner.kind is OpKind.NOT:
+                return inner.operands[0]
+        if kind is OpKind.BUF:
+            return operands[0]
+        if kind in PREDICATE_KINDS and operands[0] is operands[1]:
+            constant_result = {
+                OpKind.EQ: 1,
+                OpKind.LE: 1,
+                OpKind.GE: 1,
+                OpKind.NE: 0,
+                OpKind.LT: 0,
+                OpKind.GT: 0,
+            }[kind]
+            return self._const(constant_result, 1)
+        if kind in (OpKind.XOR, OpKind.XNOR) and operands[0] is operands[1]:
+            return self._const(0 if kind is OpKind.XOR else 1, 1)
+        return None
+
+    # ------------------------------------------------------------------
+    def _hash_key(self, node: Node, operands: List[Net]) -> Tuple:
+        indices = [operand.index for operand in operands]
+        if node.kind in COMMUTATIVE_KINDS:
+            indices = sorted(indices)
+        return (
+            node.kind,
+            tuple(indices),
+            node.factor,
+            node.shift_amount,
+            node.extract_lo,
+            node.extract_hi,
+            node.output.width,
+        )
+
+    def _hashed_node(self, node: Node, operands: List[Net]) -> Net:
+        key = self._hash_key(node, operands)
+        if key in self.hashes:
+            return self.hashes[key]
+        attrs = {}
+        if node.factor is not None:
+            attrs["factor"] = node.factor
+        if node.shift_amount is not None:
+            attrs["shift_amount"] = node.shift_amount
+        if node.extract_lo is not None:
+            attrs["extract_lo"] = node.extract_lo
+        if node.extract_hi is not None:
+            attrs["extract_hi"] = node.extract_hi
+        rebuilt = self.target.add_node(
+            node.kind,
+            operands,
+            width=node.output.width,
+            name=(
+                node.output.name
+                if not self.target.has_net(node.output.name)
+                else None
+            ),
+            **attrs,
+        )
+        self.hashes[key] = rebuilt
+        return rebuilt
+
+    def _hashed_kind(
+        self, kind: OpKind, operands: List[Net], width: int, origin: Node
+    ) -> Net:
+        key = (
+            kind,
+            tuple(sorted(operand.index for operand in operands))
+            if kind in COMMUTATIVE_KINDS
+            else tuple(operand.index for operand in operands),
+            None,
+            None,
+            None,
+            None,
+            width,
+        )
+        if key in self.hashes:
+            return self.hashes[key]
+        rebuilt = self.target.add_node(kind, operands, width=width)
+        self.hashes[key] = rebuilt
+        return rebuilt
+
+
+def optimize(circuit: Circuit) -> Circuit:
+    """Produce an optimised, behaviourally equivalent copy of ``circuit``.
+
+    Two rewriting passes: identity bypasses in the first pass can leave
+    the bypassed node orphaned (it was materialised while rebuilding its
+    user's operands); the second pass rebuilds only the live cone, which
+    drops the orphans and may expose further folding.
+    """
+    once = _Optimizer(circuit).run()
+    twice = _Optimizer(once).run()
+    twice.name = f"{circuit.name}_opt"
+    return twice

@@ -1,0 +1,99 @@
+"""Predicate-logic extraction (Section 3, step 1 of the paper).
+
+The paper classifies "all Boolean inputs to arithmetic operators, such as
+control signals to multiplexers" as predicates, and extracts the predicate
+logic that controls the datapath with a cone-of-influence analysis.  The
+candidates for recursive learning are the Boolean gates of that control
+cone, probed in level order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from repro.rtl.circuit import Circuit, Net
+from repro.rtl.levelize import levelize
+from repro.rtl.types import BOOLEAN_KINDS, PREDICATE_KINDS, OpKind
+
+
+@dataclass(frozen=True)
+class PredicateReport:
+    """Classification of the control/datapath boundary of a circuit."""
+
+    #: Comparator outputs: predicates *sourced* from the datapath.
+    predicate_outputs: List[Net]
+    #: Boolean nets steering datapath operators (mux selects).
+    control_points: List[Net]
+    #: Boolean gate outputs inside the predicate-logic cone, level-ordered.
+    #: These are the probe candidates for recursive learning.
+    learning_candidates: List[Net]
+
+
+def extract_predicates(circuit: Circuit) -> PredicateReport:
+    """Identify the predicate logic that controls the datapath.
+
+    The predicate cone is computed in both directions: forward from the
+    comparator outputs (information flowing out of the datapath) and
+    backward from the datapath control points (information flowing back
+    in).  Boolean gates in the union are the learning candidates; they are
+    returned lowest level first, exactly the probing order of Section 3.
+    """
+    predicate_outputs: List[Net] = []
+    control_points: List[Net] = []
+    for node in circuit.nodes:
+        if node.kind in PREDICATE_KINDS:
+            predicate_outputs.append(node.output)
+        elif node.kind is OpKind.MUX:
+            control_points.append(node.operands[0])
+
+    cone: Set[int] = set()
+
+    # Backward from control points: the Boolean logic computing them.
+    stack = list(control_points)
+    while stack:
+        net = stack.pop()
+        if net.index in cone or not net.is_bool:
+            continue
+        cone.add(net.index)
+        driver = net.driver
+        if driver is not None and driver.kind in BOOLEAN_KINDS:
+            stack.extend(driver.operands)
+
+    # Forward from predicate outputs: Boolean logic consuming them.
+    stack = list(predicate_outputs)
+    seen_forward: Set[int] = set()
+    while stack:
+        net = stack.pop()
+        if net.index in seen_forward:
+            continue
+        seen_forward.add(net.index)
+        for user in net.fanouts:
+            if user.kind in BOOLEAN_KINDS:
+                cone.add(user.output.index)
+                stack.append(user.output)
+
+    # Predicate outputs themselves are part of the predicate logic.
+    cone.update(net.index for net in predicate_outputs)
+
+    levels = levelize(circuit)
+    candidates = [
+        net
+        for net in circuit.nets
+        if net.index in cone
+        and net.driver is not None
+        and net.driver.kind in (BOOLEAN_KINDS | PREDICATE_KINDS)
+    ]
+    candidates.sort(key=lambda net: (levels.get(net.index, 0), net.index))
+
+    return PredicateReport(
+        predicate_outputs=predicate_outputs,
+        control_points=control_points,
+        learning_candidates=candidates,
+    )
+
+
+def count_predicate_gates(circuit: Circuit) -> int:
+    """Size of the predicate logic (the paper's per-circuit learning cap
+    in Section 5.2 is ``min(#predicate logic gates, 2000)``)."""
+    return len(extract_predicates(circuit).learning_candidates)

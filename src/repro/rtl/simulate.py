@@ -1,0 +1,155 @@
+"""Concrete two-valued simulation of circuits.
+
+The simulator is the ground-truth oracle for the whole library: the
+constraint propagators, the bit-blaster and all four solver configurations
+are cross-checked against it in the test suite.  It evaluates a
+combinational circuit for given primary-input values, and steps a
+sequential circuit cycle by cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.errors import CircuitError
+from repro.rtl.circuit import Circuit, Net, Node
+from repro.rtl.types import OpKind
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def evaluate_node(node: Node, operand_values: "list[int]") -> int:
+    """Value of one node given concrete operand values."""
+    kind = node.kind
+    width = node.output.width
+    if kind is OpKind.BUF:
+        return operand_values[0]
+    if kind is OpKind.NOT:
+        return 1 - operand_values[0]
+    if kind is OpKind.AND:
+        return int(all(operand_values))
+    if kind is OpKind.OR:
+        return int(any(operand_values))
+    if kind is OpKind.NAND:
+        return 1 - int(all(operand_values))
+    if kind is OpKind.NOR:
+        return 1 - int(any(operand_values))
+    if kind is OpKind.XOR:
+        return operand_values[0] ^ operand_values[1]
+    if kind is OpKind.XNOR:
+        return 1 - (operand_values[0] ^ operand_values[1])
+    if kind is OpKind.MUX:
+        return operand_values[1] if operand_values[0] else operand_values[2]
+    if kind is OpKind.ADD:
+        return (operand_values[0] + operand_values[1]) & _mask(width)
+    if kind is OpKind.SUB:
+        return (operand_values[0] - operand_values[1]) & _mask(width)
+    if kind is OpKind.MULC:
+        assert node.factor is not None
+        return (operand_values[0] * node.factor) & _mask(width)
+    if kind is OpKind.SHL:
+        assert node.shift_amount is not None
+        return (operand_values[0] << node.shift_amount) & _mask(width)
+    if kind is OpKind.SHR:
+        assert node.shift_amount is not None
+        return operand_values[0] >> node.shift_amount
+    if kind is OpKind.CONCAT:
+        lo_width = node.operands[1].width
+        return (operand_values[0] << lo_width) | operand_values[1]
+    if kind is OpKind.EXTRACT:
+        assert node.extract_lo is not None and node.extract_hi is not None
+        span = node.extract_hi - node.extract_lo + 1
+        return (operand_values[0] >> node.extract_lo) & _mask(span)
+    if kind is OpKind.ZEXT:
+        return operand_values[0]
+    if kind is OpKind.EQ:
+        return int(operand_values[0] == operand_values[1])
+    if kind is OpKind.NE:
+        return int(operand_values[0] != operand_values[1])
+    if kind is OpKind.LT:
+        return int(operand_values[0] < operand_values[1])
+    if kind is OpKind.LE:
+        return int(operand_values[0] <= operand_values[1])
+    if kind is OpKind.GT:
+        return int(operand_values[0] > operand_values[1])
+    if kind is OpKind.GE:
+        return int(operand_values[0] >= operand_values[1])
+    raise CircuitError(f"cannot evaluate node kind {kind.value}")
+
+
+def simulate_combinational(
+    circuit: Circuit,
+    input_values: Mapping[str, int],
+    register_values: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """Evaluate every net of the circuit once.
+
+    ``input_values`` maps primary-input names to values; for sequential
+    circuits ``register_values`` supplies the current state (defaulting to
+    each register's init value).  Returns a map of *every* net name to its
+    value, so tests can probe internal signals.
+    """
+    values: Dict[int, int] = {}
+    for net in circuit.inputs:
+        if net.name not in input_values:
+            raise CircuitError(f"missing value for input {net.name!r}")
+        value = input_values[net.name]
+        if not 0 <= value <= net.max_value:
+            raise CircuitError(
+                f"value {value} does not fit input {net.name!r} "
+                f"({net.width} bits)"
+            )
+        values[net.index] = value
+    for node in circuit.registers:
+        name = node.output.name
+        if register_values is not None and name in register_values:
+            values[node.output.index] = register_values[name]
+        else:
+            assert node.init_value is not None
+            values[node.output.index] = node.init_value
+
+    for node in circuit.topological_nodes():
+        if node.kind in (OpKind.INPUT, OpKind.REG):
+            continue
+        if node.kind is OpKind.CONST:
+            assert node.const_value is not None
+            values[node.output.index] = node.const_value
+            continue
+        operand_values = [values[operand.index] for operand in node.operands]
+        values[node.output.index] = evaluate_node(node, operand_values)
+
+    result = {net.name: values[net.index] for net in circuit.nets}
+    for output_name, net in circuit.outputs.items():
+        result[output_name] = values[net.index]
+    return result
+
+
+class SequentialSimulator:
+    """Cycle-accurate simulation of a sequential circuit."""
+
+    def __init__(self, circuit: Circuit):
+        circuit.validate()
+        self.circuit = circuit
+        self.state: Dict[str, int] = {
+            node.output.name: node.init_value or 0 for node in circuit.registers
+        }
+        self.cycle = 0
+
+    def step(self, input_values: Mapping[str, int]) -> Dict[str, int]:
+        """Advance one clock cycle; returns all net values *before* the edge."""
+        values = simulate_combinational(self.circuit, input_values, self.state)
+        next_state: Dict[str, int] = {}
+        for node in self.circuit.registers:
+            next_net = node.operands[0]
+            next_state[node.output.name] = values[next_net.name]
+        self.state = next_state
+        self.cycle += 1
+        return values
+
+    def run(
+        self, input_traces: Iterable[Mapping[str, int]]
+    ) -> List[Dict[str, int]]:
+        """Simulate a sequence of cycles; returns per-cycle net values."""
+        return [self.step(values) for values in input_traces]

@@ -1,0 +1,148 @@
+"""Operator kinds and classification helpers for the RTL netlist IR.
+
+The operator set follows Section 2.1 of the paper: Boolean gates, linear
+arithmetic (`+`, `-`, multiplication by constant), the comparison
+predicates ``{<, >, ==, <=, >=, !=}``, and the "non-linear" structural
+operators (concatenation, extraction, shifts by constants, extensions)
+that the paper models through auxiliary variables.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpKind(enum.Enum):
+    """Every node kind a :class:`~repro.rtl.circuit.Circuit` can contain."""
+
+    # Sources.
+    INPUT = "input"
+    CONST = "const"
+    REG = "reg"
+
+    # Boolean gates (all operands and the output have width 1).
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    XNOR = "xnor"
+    NAND = "nand"
+    NOR = "nor"
+
+    # Word-level operators.
+    MUX = "mux"          # operands: sel (1 bit), then_value, else_value
+    ADD = "add"          # modulo 2**width
+    SUB = "sub"          # modulo 2**width
+    MULC = "mulc"        # multiplication by a constant, modulo 2**width
+    SHL = "shl"          # left shift by constant, modulo 2**width
+    SHR = "shr"          # logical right shift by constant
+    CONCAT = "concat"    # operands: hi, lo
+    EXTRACT = "extract"  # bit slice [lo_bit .. hi_bit]
+    ZEXT = "zext"        # zero extension to a wider word
+
+    # Comparison predicates (word operands, 1-bit output).
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+
+#: Boolean gate kinds; operands and outputs are all 1-bit.
+BOOLEAN_KINDS = frozenset(
+    {
+        OpKind.BUF,
+        OpKind.NOT,
+        OpKind.AND,
+        OpKind.OR,
+        OpKind.XOR,
+        OpKind.XNOR,
+        OpKind.NAND,
+        OpKind.NOR,
+    }
+)
+
+#: Comparison predicates: the word/Boolean boundary of Section 2.1
+#: ("all operations in RTL that return a Boolean value and interact with
+#: data-path are treated as predicates").
+PREDICATE_KINDS = frozenset(
+    {OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE}
+)
+
+#: Word-level (datapath) operator kinds.
+WORD_KINDS = frozenset(
+    {
+        OpKind.MUX,
+        OpKind.ADD,
+        OpKind.SUB,
+        OpKind.MULC,
+        OpKind.SHL,
+        OpKind.SHR,
+        OpKind.CONCAT,
+        OpKind.EXTRACT,
+        OpKind.ZEXT,
+    }
+)
+
+#: Kinds that are *justifiable* in the sense of Definition 4.1: the output
+#: cannot always be determined from the inputs alone because a Boolean
+#: input selects among datapath alternatives (rule 2), or the gate is an
+#: atomic Boolean operator with controlling values (rule 1).
+JUSTIFIABLE_WORD_KINDS = frozenset({OpKind.MUX})
+
+#: Kinds whose output is determined solely by constraint propagation
+#: (Definition 4.1's "not justifiable" list).
+NON_JUSTIFIABLE_WORD_KINDS = WORD_KINDS - JUSTIFIABLE_WORD_KINDS
+
+#: Commutative two-operand kinds (used by structural hashing and netlist
+#: canonicalisation).
+COMMUTATIVE_KINDS = frozenset(
+    {
+        OpKind.AND,
+        OpKind.OR,
+        OpKind.XOR,
+        OpKind.XNOR,
+        OpKind.NAND,
+        OpKind.NOR,
+        OpKind.ADD,
+        OpKind.EQ,
+        OpKind.NE,
+    }
+)
+
+
+def is_boolean_gate(kind: OpKind) -> bool:
+    """True for pure Boolean gates (1-bit in, 1-bit out)."""
+    return kind in BOOLEAN_KINDS
+
+
+def is_predicate(kind: OpKind) -> bool:
+    """True for comparison predicates bridging datapath to control."""
+    return kind in PREDICATE_KINDS
+
+
+def is_word_op(kind: OpKind) -> bool:
+    """True for datapath operators producing word results."""
+    return kind in WORD_KINDS
+
+
+def arity(kind: OpKind) -> int:
+    """Number of net operands a node of this kind takes.
+
+    ``-1`` means variadic (AND/OR/... accept two or more operands).
+    """
+    if kind in (OpKind.INPUT, OpKind.CONST):
+        return 0
+    if kind in (OpKind.BUF, OpKind.NOT, OpKind.MULC, OpKind.SHL, OpKind.SHR,
+                OpKind.EXTRACT, OpKind.ZEXT, OpKind.REG):
+        return 1
+    if kind is OpKind.MUX:
+        return 3
+    if kind in (OpKind.XOR, OpKind.XNOR, OpKind.SUB, OpKind.CONCAT) or kind in PREDICATE_KINDS:
+        return 2
+    if kind is OpKind.ADD:
+        return 2
+    # Variadic Boolean gates.
+    return -1

@@ -1,0 +1,141 @@
+"""Tests for bit-blasting: CNF translation equivalence with simulation."""
+
+import random
+
+import pytest
+
+from repro.baselines import bitblast, solve_by_bitblasting
+from repro.baselines.dpll_sat import solve_cnf
+from repro.baselines.bitblast import assert_assumptions
+from repro.intervals import Interval
+from repro.rtl import CircuitBuilder, simulate_combinational
+
+
+def _mixed_circuit():
+    b = CircuitBuilder("mixed")
+    a = b.input("a", 3)
+    c = b.input("c", 3)
+    sel = b.input("sel", 1)
+    outs = {
+        "add": b.add(a, c, name="o_add"),
+        "sub": b.sub(a, c, name="o_sub"),
+        "mulc": b.mul_const(a, 5, name="o_mulc"),
+        "shl": b.shl(a, 1, name="o_shl"),
+        "shr": b.shr(a, 2, name="o_shr"),
+        "concat": b.concat(a, c, name="o_concat"),
+        "extract": b.extract(a, 2, 1, name="o_ex"),
+        "zext": b.zext(a, 5, name="o_zext"),
+        "mux": b.mux(sel, a, c, name="o_mux"),
+        "eq": b.eq(a, c, name="o_eq"),
+        "ne": b.ne(a, c, name="o_ne"),
+        "lt": b.lt(a, c, name="o_lt"),
+        "le": b.le(a, c, name="o_le"),
+        "gt": b.gt(a, c, name="o_gt"),
+        "ge": b.ge(a, c, name="o_ge"),
+        "xor": b.xor(sel, b.eq(a, c), name="o_xor"),
+        "nand": b.nand(sel, b.lt(a, c), name="o_nand"),
+        "nor": b.nor(sel, b.lt(a, c), name="o_nor"),
+    }
+    for name, net in outs.items():
+        b.output(name, net)
+    return b.build()
+
+
+def test_blast_matches_simulation_exhaustively():
+    """Pin inputs via assumptions; SAT model must equal simulation."""
+    circuit = _mixed_circuit()
+    for av in range(8):
+        for cv in range(8):
+            for sv in (0, 1):
+                inputs = {"a": av, "c": cv, "sel": sv}
+                satisfiable, model, _ = solve_by_bitblasting(circuit, inputs)
+                assert satisfiable is True
+                expected = simulate_combinational(circuit, inputs)
+                for name in circuit.outputs:
+                    assert model[name] == expected[name], (name, inputs)
+
+
+def test_unsat_by_bitblasting():
+    b = CircuitBuilder()
+    a = b.input("a", 3)
+    p = b.lt(a, 0, name="p")
+    b.output("p", p)
+    satisfiable, model, _ = solve_by_bitblasting(b.build(), {"p": 1})
+    assert satisfiable is False
+
+
+def test_interval_assumption():
+    b = CircuitBuilder()
+    a = b.input("a", 4)
+    s = b.add(a, 3, name="s")
+    b.output("s", s)
+    satisfiable, model, _ = solve_by_bitblasting(
+        b.build(), {"s": Interval(0, 2)}
+    )
+    assert satisfiable is True
+    assert model["s"] in Interval(0, 2)
+    assert (model["a"] + 3) % 16 == model["s"]
+
+
+def test_interval_assumption_unsat():
+    b = CircuitBuilder()
+    a = b.input("a", 2)
+    z = b.zext(a, 4, name="z")
+    b.output("z", z)
+    satisfiable, _, _ = solve_by_bitblasting(b.build(), {"z": Interval(8, 12)})
+    assert satisfiable is False
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_bitblast_agrees_with_hdpll(seed):
+    from repro.core import solve_circuit
+
+    rng = random.Random(seed + 400)
+    b = CircuitBuilder(f"bb{seed}")
+    words = [b.input("w0", 3), b.input("w1", 3)]
+    bools = [b.input("b0", 1)]
+    for _ in range(rng.randint(4, 10)):
+        roll = rng.random()
+        if roll < 0.35:
+            words.append(
+                getattr(b, rng.choice(["add", "sub"]))(
+                    rng.choice(words), rng.choice(words)
+                )
+            )
+        elif roll < 0.65:
+            kind = rng.choice(["eq", "ne", "lt", "le", "gt", "ge"])
+            bools.append(getattr(b, kind)(rng.choice(words), rng.choice(words)))
+        elif roll < 0.8 and len(bools) >= 2:
+            bools.append(b.or_(rng.choice(bools), rng.choice(bools)))
+        else:
+            words.append(
+                b.mux(rng.choice(bools), rng.choice(words), rng.choice(words))
+            )
+    b.output("flag", bools[-1])
+    circuit = b.build()
+    assumptions = {"flag": 1}
+    blast_sat, _, _ = solve_by_bitblasting(circuit, assumptions)
+    hdpll = solve_circuit(circuit, assumptions)
+    assert blast_sat == hdpll.is_sat
+
+
+def test_mulc_zero_factor():
+    b = CircuitBuilder()
+    a = b.input("a", 3)
+    z = b.mul_const(a, 0, name="z")
+    b.output("z", z)
+    satisfiable, model, _ = solve_by_bitblasting(b.build(), {"z": 0})
+    assert satisfiable is True
+    satisfiable, _, _ = solve_by_bitblasting(b.build(), {"z": 1})
+    assert satisfiable is False
+
+
+def test_shift_beyond_width():
+    b = CircuitBuilder()
+    a = b.input("a", 3)
+    s = b.shl(a, 5, name="s")
+    b.output("s", s)
+    satisfiable, model, _ = solve_by_bitblasting(b.build(), {"s": 0})
+    assert satisfiable is True
+    satisfiable, _, _ = solve_by_bitblasting(b.build(), {"s": 4})
+    assert satisfiable is False

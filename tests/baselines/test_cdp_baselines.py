@@ -1,0 +1,169 @@
+"""Tests for the lazy-SMT (UCLID-like) and eager-CDP (ICS-like) baselines.
+
+The contract is agreement with HDPLL on SAT/UNSAT across a spread of
+circuits; performance differences are the benchmarks' business.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import solve_eager_cdp, solve_lazy_smt
+from repro.core import Status, solve_circuit
+from repro.figures import figure2_circuit, figure4_circuit
+from repro.intervals import Interval
+from repro.rtl import CircuitBuilder
+
+
+def random_circuit(seed):
+    rng = random.Random(seed)
+    b = CircuitBuilder(f"cdp{seed}")
+    words = [b.input("w0", 3), b.input("w1", 3)]
+    bools = [b.input("b0", 1)]
+    for _ in range(rng.randint(3, 8)):
+        roll = rng.random()
+        if roll < 0.3:
+            words.append(
+                getattr(b, rng.choice(["add", "sub"]))(
+                    rng.choice(words), rng.choice(words)
+                )
+            )
+        elif roll < 0.6:
+            kind = rng.choice(["eq", "ne", "lt", "le", "gt", "ge"])
+            bools.append(getattr(b, kind)(rng.choice(words), rng.choice(words)))
+        elif roll < 0.8 and len(bools) >= 2:
+            kind = rng.choice(["and_", "or_"])
+            bools.append(getattr(b, kind)(rng.choice(bools), rng.choice(bools)))
+        else:
+            words.append(
+                b.mux(rng.choice(bools), rng.choice(words), rng.choice(words))
+            )
+    b.output("flag", bools[-1])
+    b.output("word", words[-1])
+    return b.build()
+
+
+class TestLazySmt:
+    def test_sat_simple(self):
+        b = CircuitBuilder()
+        a = b.input("a", 3)
+        p = b.lt(a, 5, name="p")
+        b.output("p", p)
+        result = solve_lazy_smt(b.build(), {"p": 1})
+        assert result.is_sat
+        assert result.model["a"] < 5
+
+    def test_unsat_simple(self):
+        b = CircuitBuilder()
+        a = b.input("a", 3)
+        p = b.lt(a, 0, name="p")
+        b.output("p", p)
+        assert solve_lazy_smt(b.build(), {"p": 1}).is_unsat
+
+    def test_refinement_loop_reaches_unsat(self):
+        # Contradictory predicates: the loop must terminate UNSAT, via
+        # theory lemmas or a level-0 theory refutation.
+        b = CircuitBuilder()
+        a = b.input("a", 3)
+        p = b.lt(a, 2, name="p")
+        q = b.gt(a, 5, name="q")
+        g = b.and_(p, q, name="g")
+        b.output("g", g)
+        from repro.baselines import LazySmtSolver
+
+        solver = LazySmtSolver(b.build())
+        result = solver.solve({"g": 1})
+        assert result.is_unsat
+
+    def test_lemma_refinement_on_datapath_conflict(self):
+        # A free select must be refined away: the abstraction cannot see
+        # that both data branches violate the output requirement.
+        b = CircuitBuilder()
+        sel = b.input("sel", 1)
+        a = b.input("a", 3)
+        m = b.mux(sel, b.add(a, 1), b.add(a, 2), name="m")
+        p = b.eq(m, a, name="p")
+        b.output("p", p)
+        from repro.baselines import LazySmtSolver
+
+        solver = LazySmtSolver(b.build())
+        result = solver.solve({"p": 1})
+        assert result.status in (Status.SAT, Status.UNSAT)
+
+    def test_figure4(self):
+        result = solve_lazy_smt(
+            figure4_circuit(), {"w2": Interval(6, 7), "b7": 1}
+        )
+        assert result.is_sat
+        assert result.model["w4"] == 5
+
+    def test_word_assumption(self):
+        result = solve_lazy_smt(figure2_circuit(), {"w5": 5})
+        assert result.status in (Status.SAT, Status.UNSAT)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_hdpll(self, seed):
+        circuit = random_circuit(seed)
+        assumptions = {"flag": 1, "word": seed % 8}
+        reference = solve_circuit(circuit, assumptions)
+        lazy = solve_lazy_smt(circuit, assumptions)
+        assert lazy.status == reference.status
+
+    def test_zero_timeout_never_hangs(self):
+        # With a zero budget the solver must return promptly; a level-0
+        # refutation may still legitimately conclude UNSAT.
+        circuit = random_circuit(99)
+        result = solve_lazy_smt(circuit, {"flag": 1}, timeout=0.0)
+        assert result.status in (Status.UNKNOWN, Status.UNSAT)
+
+
+class TestEagerCdp:
+    def test_sat_simple(self):
+        b = CircuitBuilder()
+        a = b.input("a", 3)
+        p = b.ge(a, 6, name="p")
+        b.output("p", p)
+        result = solve_eager_cdp(b.build(), {"p": 1})
+        assert result.is_sat
+        assert result.model["a"] >= 6
+
+    def test_unsat_simple(self):
+        b = CircuitBuilder()
+        a = b.input("a", 3)
+        p = b.gt(a, 7, name="p")
+        b.output("p", p)
+        assert solve_eager_cdp(b.build(), {"p": 1}).is_unsat
+
+    def test_figure4(self):
+        result = solve_eager_cdp(
+            figure4_circuit(), {"w2": Interval(6, 7), "b7": 1}
+        )
+        assert result.is_sat
+        assert result.model["w4"] == 5
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_hdpll(self, seed):
+        circuit = random_circuit(seed + 50)
+        assumptions = {"flag": 1, "word": seed % 8}
+        reference = solve_circuit(circuit, assumptions)
+        eager = solve_eager_cdp(circuit, assumptions)
+        assert eager.status == reference.status
+
+    def test_decision_budget(self):
+        circuit = random_circuit(7)
+        result = solve_eager_cdp(circuit, {"flag": 1}, max_decisions=0)
+        assert result.status in (Status.UNKNOWN, Status.UNSAT, Status.SAT)
+
+    def test_leaf_checks_counted(self):
+        b = CircuitBuilder()
+        a = b.input("a", 3)
+        sel = b.input("sel", 1)
+        m = b.mux(sel, a, 3, name="m")
+        p = b.eq(m, 3, name="p")
+        b.output("p", p)
+        from repro.baselines import EagerCdpSolver
+
+        solver = EagerCdpSolver(b.build())
+        result = solver.solve({"p": 1})
+        assert result.is_sat
+        assert result.stats.fme_checks >= 1

@@ -1,0 +1,150 @@
+"""Tests for the CNF container and the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines import Cnf, from_dimacs, solve_cnf
+
+
+def brute_force_sat(cnf):
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        assignment = {v + 1: bits[v] for v in range(cnf.num_vars)}
+        if cnf.evaluate(assignment):
+            return assignment
+    return None
+
+
+class TestCnf:
+    def test_new_vars(self):
+        cnf = Cnf()
+        assert cnf.new_vars(3) == [1, 2, 3]
+        assert cnf.num_vars == 3
+
+    def test_tautology_dropped(self):
+        cnf = Cnf()
+        x = cnf.new_var()
+        cnf.add_clause([x, -x])
+        assert cnf.clauses == []
+
+    def test_duplicate_literals_merged(self):
+        cnf = Cnf()
+        x = cnf.new_var()
+        cnf.add_clause([x, x])
+        assert cnf.clauses == [[x]]
+
+    def test_out_of_range_literal(self):
+        cnf = Cnf()
+        with pytest.raises(Exception):
+            cnf.add_clause([5])
+
+    def test_gate_encodings_exhaustive(self):
+        cnf = Cnf()
+        a, b, out = cnf.new_vars(3)
+        cnf.add_and(out, [a, b])
+        for va in (False, True):
+            for vb in (False, True):
+                assignment = {a: va, b: vb, out: va and vb}
+                assert cnf.evaluate(assignment)
+                assignment[out] = not (va and vb)
+                assert not cnf.evaluate(assignment)
+
+    def test_xor_encoding_exhaustive(self):
+        cnf = Cnf()
+        a, b, out = cnf.new_vars(3)
+        cnf.add_xor(out, a, b)
+        for va in (False, True):
+            for vb in (False, True):
+                assert cnf.evaluate({a: va, b: vb, out: va != vb})
+                assert not cnf.evaluate({a: va, b: vb, out: va == vb})
+
+    def test_mux_encoding_exhaustive(self):
+        cnf = Cnf()
+        s, t, e, out = cnf.new_vars(4)
+        cnf.add_mux(out, s, t, e)
+        for vs in (False, True):
+            for vt in (False, True):
+                for ve in (False, True):
+                    expected = vt if vs else ve
+                    assert cnf.evaluate({s: vs, t: vt, e: ve, out: expected})
+
+    def test_dimacs_roundtrip(self):
+        cnf = Cnf()
+        x, y, z = cnf.new_vars(3)
+        cnf.add_clause([x, -y])
+        cnf.add_clause([y, z])
+        restored = from_dimacs(cnf.to_dimacs())
+        assert restored.num_vars == 3
+        assert restored.clauses == cnf.clauses
+
+    def test_dimacs_bad_header(self):
+        with pytest.raises(Exception):
+            from_dimacs("p qbf 3 2\n1 0\n")
+
+
+class TestCdcl:
+    def test_trivial_sat(self):
+        cnf = Cnf()
+        x = cnf.new_var()
+        cnf.add_clause([x])
+        result = solve_cnf(cnf)
+        assert result.satisfiable is True
+        assert result.model[x] is True
+
+    def test_trivial_unsat(self):
+        cnf = Cnf()
+        x = cnf.new_var()
+        cnf.add_clause([x])
+        cnf.add_clause([-x])
+        assert solve_cnf(cnf).satisfiable is False
+
+    def test_pigeonhole_3_2(self):
+        # 3 pigeons, 2 holes: classic small UNSAT.
+        cnf = Cnf()
+        holes = {
+            (p, h): cnf.new_var() for p in range(3) for h in range(2)
+        }
+        for p in range(3):
+            cnf.add_clause([holes[(p, 0)], holes[(p, 1)]])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    cnf.add_clause([-holes[(p1, h)], -holes[(p2, h)]])
+        assert solve_cnf(cnf).satisfiable is False
+
+    def test_assumptions(self):
+        cnf = Cnf()
+        x, y = cnf.new_vars(2)
+        cnf.add_clause([x, y])
+        assert solve_cnf(cnf, assumptions=[-x]).satisfiable is True
+        assert solve_cnf(cnf, assumptions=[-x, -y]).satisfiable is False
+
+    def test_conflict_budget(self):
+        cnf = Cnf()
+        variables = cnf.new_vars(12)
+        # Random 3-SAT near the phase transition.
+        rng = random.Random(3)
+        for _ in range(52):
+            clause = rng.sample(variables, 3)
+            cnf.add_clause([v if rng.random() < 0.5 else -v for v in clause])
+        result = solve_cnf(cnf, max_conflicts=0)
+        assert result.satisfiable in (None, True, False)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_3sat_against_brute_force(self, seed):
+        rng = random.Random(seed)
+        cnf = Cnf()
+        variables = cnf.new_vars(rng.randint(3, 9))
+        clause_count = rng.randint(1, 4 * len(variables))
+        for _ in range(clause_count):
+            size = rng.randint(1, 3)
+            chosen = rng.sample(variables, min(size, len(variables)))
+            cnf.add_clause(
+                [v if rng.random() < 0.5 else -v for v in chosen]
+            )
+        expected = brute_force_sat(cnf)
+        result = solve_cnf(cnf)
+        assert result.satisfiable == (expected is not None)
+        if result.satisfiable:
+            assert cnf.evaluate(result.model)

@@ -1,0 +1,73 @@
+"""Tests for BMC instance construction and end-to-end solving."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.bmc import (
+    SafetyProperty,
+    input_trace_from_model,
+    make_bmc_instance,
+)
+from repro.core import solve_circuit
+from repro.rtl import CircuitBuilder, SequentialSimulator
+
+
+def _overflow_circuit():
+    """A counter that can exceed 5 only if enabled every cycle."""
+    b = CircuitBuilder("overflow")
+    enable = b.input("enable", 1)
+    count = b.register("count", 4, init=0)
+    b.next_state(count, b.mux(enable, b.inc(count), count))
+    ok = b.le(count, 5, name="ok")
+    b.output("ok", ok)
+    b.output("count_out", count)
+    return b.build()
+
+
+PROP = SafetyProperty("ovf", "ok", "count stays <= 5")
+
+
+def test_instance_construction():
+    instance = make_bmc_instance(_overflow_circuit(), PROP, 4)
+    assert instance.name == "overflow_ovf(4)"
+    assert instance.assumptions == {"ok@3": 0}
+    assert instance.circuit.is_combinational
+
+
+def test_property_must_be_output():
+    circuit = _overflow_circuit()
+    with pytest.raises(CircuitError):
+        make_bmc_instance(circuit, SafetyProperty("x", "nope", ""), 3)
+
+
+def test_property_must_be_boolean():
+    circuit = _overflow_circuit()
+    with pytest.raises(CircuitError):
+        make_bmc_instance(circuit, SafetyProperty("x", "count_out", ""), 3)
+
+
+@pytest.mark.parametrize(
+    "bound, expect_sat",
+    [
+        (1, False),   # count = 0 at frame 0
+        (5, False),   # max count at frame 4 is 4
+        (6, False),   # count can be 5 at frame 5: still ok
+        (7, True),    # count can reach 6 at frame 6
+        (10, True),
+    ],
+)
+def test_bounded_violation_threshold(bound, expect_sat):
+    instance = make_bmc_instance(_overflow_circuit(), PROP, bound)
+    result = solve_circuit(instance.circuit, instance.assumptions)
+    assert result.is_sat == expect_sat, bound
+
+
+def test_counterexample_replays_on_sequential_simulator():
+    circuit = _overflow_circuit()
+    instance = make_bmc_instance(circuit, PROP, 8)
+    result = solve_circuit(instance.circuit, instance.assumptions)
+    assert result.is_sat
+    trace = input_trace_from_model(circuit, result.model, 8)
+    sim = SequentialSimulator(circuit)
+    values = [sim.step(frame) for frame in trace]
+    assert values[-1]["ok"] == 0  # the violation really happens

@@ -1,0 +1,93 @@
+"""Tests for time-frame expansion."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.bmc import frame_name, input_trace_from_model, unroll
+from repro.rtl import (
+    CircuitBuilder,
+    SequentialSimulator,
+    simulate_combinational,
+)
+
+
+def _counter_circuit(width=4, init=0):
+    b = CircuitBuilder("counter")
+    enable = b.input("enable", 1)
+    count = b.register("count", width, init=init)
+    b.next_state(count, b.mux(enable, b.inc(count), count))
+    b.output("value", count)
+    return b.build()
+
+
+def test_unroll_is_combinational():
+    unrolled = unroll(_counter_circuit(), 5)
+    assert unrolled.is_combinational
+    assert len(unrolled.inputs) == 5  # one 'enable' per frame
+
+
+def test_bound_must_be_positive():
+    with pytest.raises(CircuitError):
+        unroll(_counter_circuit(), 0)
+
+
+def test_frame_zero_uses_init():
+    circuit = _counter_circuit(init=7)
+    unrolled = unroll(circuit, 1)
+    values = simulate_combinational(unrolled, {"enable@0": 1})
+    assert values["value@0"] == 7
+
+
+@pytest.mark.parametrize("bound", [1, 2, 5, 8])
+def test_unrolled_matches_sequential_simulation(bound):
+    circuit = _counter_circuit()
+    unrolled = unroll(circuit, bound)
+    inputs = {f"enable@{t}": t % 2 for t in range(bound)}
+    values = simulate_combinational(unrolled, inputs)
+
+    sim = SequentialSimulator(circuit)
+    for t in range(bound):
+        frame_values = sim.step({"enable": t % 2})
+        assert values[f"value@{t}"] == frame_values["value"]
+
+
+def test_unroll_richer_circuit_matches_simulation():
+    b = CircuitBuilder("rich")
+    d = b.input("d", 4)
+    go = b.input("go", 1)
+    acc = b.register("acc", 4, init=1)
+    limit = b.lt(acc, 9, name="limit")
+    bumped = b.add(acc, d)
+    b.next_state(acc, b.mux(b.and_(go, limit), bumped, acc))
+    flag = b.ge(acc, 5, name="flag")
+    b.output("acc_out", acc)
+    b.output("flag_out", flag)
+    circuit = b.build()
+
+    bound = 6
+    unrolled = unroll(circuit, bound)
+    stimulus = [(3, 1), (2, 0), (7, 1), (1, 1), (0, 1), (5, 1)]
+    inputs = {}
+    for t, (dv, gv) in enumerate(stimulus):
+        inputs[f"d@{t}"] = dv
+        inputs[f"go@{t}"] = gv
+    values = simulate_combinational(unrolled, inputs)
+
+    sim = SequentialSimulator(circuit)
+    for t, (dv, gv) in enumerate(stimulus):
+        frame = sim.step({"d": dv, "go": gv})
+        assert values[f"acc_out@{t}"] == frame["acc_out"], t
+        assert values[f"flag_out@{t}"] == frame["flag_out"], t
+
+
+def test_input_trace_from_model():
+    circuit = _counter_circuit()
+    unrolled = unroll(circuit, 3)
+    inputs = {"enable@0": 1, "enable@1": 0, "enable@2": 1}
+    model = simulate_combinational(unrolled, inputs)
+    trace = input_trace_from_model(circuit, model, 3)
+    assert trace == [{"enable": 1}, {"enable": 0}, {"enable": 1}]
+
+
+def test_frame_name():
+    assert frame_name("ok", 7) == "ok@7"

@@ -1,0 +1,274 @@
+"""Tests for hybrid clauses and the watched-literal clause database."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.intervals import Interval
+from repro.constraints import (
+    FALSE,
+    TRUE,
+    UNASSIGNED,
+    BoolLit,
+    Clause,
+    ClauseDatabase,
+    Conflict,
+    DomainStore,
+    Variable,
+    WordLit,
+)
+
+
+def setup_store():
+    variables = [
+        Variable(index=0, name="b0", width=1),
+        Variable(index=1, name="b1", width=1),
+        Variable(index=2, name="w0", width=4),
+        Variable(index=3, name="w1", width=4),
+    ]
+    return variables, DomainStore(variables)
+
+
+class TestLiteralStatus:
+    def test_bool_literal(self):
+        variables, store = setup_store()
+        lit = BoolLit(variables[0], positive=True)
+        assert lit.status(store) == UNASSIGNED
+        store.assign_bool(variables[0], 1, "t")
+        assert lit.status(store) == TRUE
+        assert lit.negated().status(store) == FALSE
+
+    def test_word_literal_positive(self):
+        variables, store = setup_store()
+        lit = WordLit(variables[2], Interval(4, 7), positive=True)
+        assert lit.status(store) == UNASSIGNED
+        store.narrow(variables[2], Interval(5, 6), "t")
+        assert lit.status(store) == TRUE
+
+    def test_word_literal_positive_false(self):
+        variables, store = setup_store()
+        lit = WordLit(variables[2], Interval(4, 7), positive=True)
+        store.narrow(variables[2], Interval(0, 3), "t")
+        assert lit.status(store) == FALSE
+
+    def test_word_literal_negative(self):
+        variables, store = setup_store()
+        lit = WordLit(variables[2], Interval(4, 7), positive=False)
+        assert lit.status(store) == UNASSIGNED
+        store.narrow(variables[2], Interval(0, 3), "t")
+        assert lit.status(store) == TRUE
+
+    def test_word_literal_negative_false(self):
+        variables, store = setup_store()
+        lit = WordLit(variables[2], Interval(4, 7), positive=False)
+        store.narrow(variables[2], Interval(5, 6), "t")
+        assert lit.status(store) == FALSE
+
+
+class TestClause:
+    def test_empty_clause_rejected(self):
+        with pytest.raises(SolverError):
+            Clause(literals=())
+
+    def test_duplicate_literals_removed(self):
+        variables, _ = setup_store()
+        clause = Clause(
+            literals=(
+                BoolLit(variables[0]),
+                BoolLit(variables[0]),
+                BoolLit(variables[1]),
+            )
+        )
+        assert len(clause.literals) == 2
+
+    def test_status(self):
+        variables, store = setup_store()
+        clause = Clause(
+            literals=(BoolLit(variables[0]), BoolLit(variables[1], False))
+        )
+        assert clause.status(store) == UNASSIGNED
+        store.assign_bool(variables[1], 0, "t")
+        assert clause.status(store) == TRUE
+
+
+class TestClausePropagation:
+    def test_unit_bool_propagation(self):
+        variables, store = setup_store()
+        db = ClauseDatabase(store)
+        clause = Clause(
+            literals=(BoolLit(variables[0]), BoolLit(variables[1]))
+        )
+        db.add_clause(clause)
+        store.assign_bool(variables[0], 0, "t")
+        conflict = db.on_var_event(variables[0])
+        assert conflict is None
+        assert store.bool_value(variables[1]) == 1
+
+    def test_unit_word_propagation_narrows(self):
+        variables, store = setup_store()
+        db = ClauseDatabase(store)
+        clause = Clause(
+            literals=(
+                BoolLit(variables[0]),
+                WordLit(variables[2], Interval(4, 7)),
+            )
+        )
+        db.add_clause(clause)
+        store.assign_bool(variables[0], 0, "t")
+        db.on_var_event(variables[0])
+        assert store.domain(variables[2]) == Interval(4, 7)
+
+    def test_negative_word_literal_trims(self):
+        variables, store = setup_store()
+        db = ClauseDatabase(store)
+        clause = Clause(
+            literals=(
+                BoolLit(variables[0]),
+                WordLit(variables[2], Interval(8, 15), positive=False),
+            )
+        )
+        db.add_clause(clause)
+        store.assign_bool(variables[0], 0, "t")
+        db.on_var_event(variables[0])
+        assert store.domain(variables[2]) == Interval(0, 7)
+
+    def test_conflict_when_all_false(self):
+        variables, store = setup_store()
+        db = ClauseDatabase(store)
+        clause = Clause(
+            literals=(BoolLit(variables[0]), BoolLit(variables[1]))
+        )
+        db.add_clause(clause)
+        store.assign_bool(variables[0], 0, "t")
+        db.on_var_event(variables[0])
+        # b1 was propagated to 1; force the conflict through a fresh clause.
+        conflict = db.add_clause(Clause(literals=(BoolLit(variables[1], False),)))
+        assert isinstance(conflict, Conflict)
+
+    def test_add_unit_clause_propagates_immediately(self):
+        variables, store = setup_store()
+        db = ClauseDatabase(store)
+        db.add_clause(Clause(literals=(BoolLit(variables[0], False),)))
+        assert store.bool_value(variables[0]) == 0
+
+    def test_satisfied_clause_ignored(self):
+        variables, store = setup_store()
+        db = ClauseDatabase(store)
+        store.assign_bool(variables[0], 1, "t")
+        clause = Clause(
+            literals=(BoolLit(variables[0]), BoolLit(variables[1]))
+        )
+        db.add_clause(clause)
+        assert store.bool_value(variables[1]) is None
+
+    def test_watch_rewatching_chain(self):
+        # Three-literal clause: falsify literals one at a time and check
+        # the final unit propagation still fires.
+        variables, store = setup_store()
+        db = ClauseDatabase(store)
+        clause = Clause(
+            literals=(
+                BoolLit(variables[0]),
+                BoolLit(variables[1]),
+                WordLit(variables[2], Interval(0, 3)),
+            )
+        )
+        db.add_clause(clause)
+        store.assign_bool(variables[0], 0, "t")
+        assert db.on_var_event(variables[0]) is None
+        store.assign_bool(variables[1], 0, "t")
+        assert db.on_var_event(variables[1]) is None
+        assert store.domain(variables[2]) == Interval(0, 3)
+
+    def test_hybrid_conflict_via_word_domains(self):
+        variables, store = setup_store()
+        db = ClauseDatabase(store)
+        clause = Clause(
+            literals=(
+                WordLit(variables[2], Interval(0, 3)),
+                WordLit(variables[3], Interval(8, 15)),
+            )
+        )
+        db.add_clause(clause)
+        store.narrow(variables[2], Interval(5, 9), "t")
+        assert db.on_var_event(variables[2]) is None
+        # w1 must now be narrowed into <8, 15>.
+        assert store.domain(variables[3]) == Interval(8, 15)
+
+    def test_recheck_all(self):
+        variables, store = setup_store()
+        db = ClauseDatabase(store)
+        clause = Clause(
+            literals=(BoolLit(variables[0]), BoolLit(variables[1]))
+        )
+        db.add_clause(clause)
+        store.assign_bool(variables[0], 0, "t")
+        assert db.recheck_all() is None
+        assert store.bool_value(variables[1]) == 1
+        assert len(db) == 1
+
+
+class TestClauseReduction:
+    def _db_with_learned(self, count):
+        variables, store = setup_store()
+        db = ClauseDatabase(store)
+        import itertools
+
+        extra = [
+            Variable(index=4 + i, name=f"x{i}", width=1) for i in range(count)
+        ]
+        # Rebuild store with enough variables.
+        all_vars = variables + extra
+        for i, v in enumerate(all_vars):
+            v.index = i
+        store = DomainStore(all_vars)
+        db = ClauseDatabase(store)
+        for i in range(count):
+            clause = Clause(
+                literals=(BoolLit(all_vars[0]), BoolLit(all_vars[4 + i])),
+                learned=True,
+                origin="conflict",
+            )
+            clause.activity = float(i)
+            db.add_clause(clause)
+        return store, db
+
+    def test_reduce_drops_low_activity_half(self):
+        store, db = self._db_with_learned(20)
+        removed = db.reduce_learned(keep_fraction=0.5)
+        assert removed == 10
+        assert len(db) == 10
+        # Survivors are the most active ones.
+        activities = sorted(c.activity for c in db.clauses)
+        assert activities[0] >= 10.0
+
+    def test_reduce_keeps_protected_origins(self):
+        variables, store = setup_store()
+        db = ClauseDatabase(store)
+        for origin, learned in (
+            ("problem", False),
+            ("predicate-learning", True),
+        ):
+            db.add_clause(
+                Clause(
+                    literals=(BoolLit(variables[0]), BoolLit(variables[1])),
+                    learned=learned,
+                    origin=origin,
+                )
+            )
+        assert db.reduce_learned() == 0
+        assert len(db) == 2
+
+    def test_small_databases_untouched(self):
+        store, db = self._db_with_learned(4)
+        assert db.reduce_learned() == 0
+
+    def test_propagation_still_works_after_reduction(self):
+        store, db = self._db_with_learned(20)
+        db.reduce_learned()
+        # The surviving clauses still unit-propagate.
+        survivor = db.clauses[0]
+        first_var = survivor.literals[0].var
+        second_var = survivor.literals[1].var
+        store.assign_bool(first_var, 0, "t")
+        assert db.on_var_event(first_var) is None
+        assert store.bool_value(second_var) == 1

@@ -1,0 +1,241 @@
+"""Integration tests: circuit compilation + full propagation engine.
+
+The central oracle: with all primary inputs pinned to concrete values,
+propagation must drive every net variable to exactly the value the
+concrete simulator computes (hybrid consistency is complete on points).
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnsupportedOperationError
+from repro.intervals import Interval
+from repro.constraints import (
+    Conflict,
+    DomainStore,
+    PropagationEngine,
+    compile_circuit,
+)
+from repro.rtl import CircuitBuilder, simulate_combinational
+
+
+def _engine_for(circuit):
+    system = compile_circuit(circuit)
+    store = DomainStore(system.variables)
+    engine = PropagationEngine(store, system.propagators)
+    return system, store, engine
+
+
+def _pin_inputs_and_check(circuit, input_values):
+    """Pin inputs, propagate, compare every net against the simulator."""
+    system, store, engine = _engine_for(circuit)
+    for net in circuit.inputs:
+        store.assume(system.var(net), Interval.point(input_values[net.name]))
+    engine.enqueue_all()
+    conflict = engine.propagate()
+    assert conflict is None, f"unexpected conflict for {input_values}"
+    expected = simulate_combinational(circuit, input_values)
+    for net in circuit.nets:
+        var = system.var(net)
+        assert store.is_assigned(var), f"{net.name} not pinned"
+        assert store.value(var) == expected[net.name], net.name
+
+
+def _mixed_circuit():
+    b = CircuitBuilder("mixed")
+    a = b.input("a", 3)
+    c = b.input("c", 3)
+    sel = b.input("sel", 1)
+    s = b.add(a, c, name="s")
+    d = b.sub(a, c, name="d")
+    m3 = b.mul_const(a, 3, name="m3")
+    sh = b.shl(c, 1, name="sh")
+    sr = b.shr(s, 1, name="sr")
+    cat = b.concat(a, c, name="cat")
+    ex = b.extract(cat, 4, 1, name="ex")
+    z = b.zext(d, 5, name="z")
+    p = b.lt(s, m3, name="p")
+    q = b.ge(d, c, name="q")
+    g = b.and_(p, sel, name="g")
+    h = b.or_(q, g, name="h")
+    m = b.mux(h, s, d, name="m")
+    b.output("out", m)
+    return b.build()
+
+
+def test_forward_completeness_exhaustive():
+    circuit = _mixed_circuit()
+    for av, cv, sv in itertools.product(range(8), range(8), (0, 1)):
+        _pin_inputs_and_check(circuit, {"a": av, "c": cv, "sel": sv})
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_forward_completeness_random_circuits(data):
+    """Random small circuits: propagation on points equals simulation."""
+    rng = random.Random(data.draw(st.integers(0, 10_000)))
+    b = CircuitBuilder("random")
+    width = rng.choice([2, 3, 4])
+    word_nets = [b.input(f"in{i}", width) for i in range(3)]
+    bool_nets = [b.input("bsel", 1)]
+    for step in range(rng.randint(3, 10)):
+        choice = rng.random()
+        if choice < 0.35:
+            x = rng.choice(word_nets)
+            y = rng.choice(word_nets)
+            kind = rng.choice(["add", "sub"])
+            word_nets.append(getattr(b, kind)(x, y))
+        elif choice < 0.5:
+            x = rng.choice(word_nets)
+            word_nets.append(b.mul_const(x, rng.randint(0, 4)))
+        elif choice < 0.7:
+            x = rng.choice(word_nets)
+            y = rng.choice(word_nets)
+            kind = rng.choice(["eq", "ne", "lt", "le", "gt", "ge"])
+            bool_nets.append(getattr(b, kind)(x, y))
+        elif choice < 0.85 and len(bool_nets) >= 2:
+            x = rng.choice(bool_nets)
+            y = rng.choice(bool_nets)
+            kind = rng.choice(["and_", "or_", "xor"])
+            bool_nets.append(getattr(b, kind)(x, y))
+        else:
+            sel = rng.choice(bool_nets)
+            x = rng.choice(word_nets)
+            y = rng.choice(word_nets)
+            word_nets.append(b.mux(sel, x, y))
+    b.output("out", word_nets[-1])
+    circuit = b.build()
+    for _ in range(5):
+        inputs = {
+            net.name: rng.randint(0, net.max_value) for net in circuit.inputs
+        }
+        _pin_inputs_and_check(circuit, inputs)
+
+
+def test_backward_narrowing_sound():
+    """Constraining the output never removes a real input solution."""
+    b = CircuitBuilder()
+    a = b.input("a", 3)
+    c = b.input("c", 3)
+    s = b.add(a, c, name="s")
+    b.output("out", s)
+    circuit = b.build()
+    system, store, engine = _engine_for(circuit)
+    store.assume(system.var_by_name("s"), Interval(6, 6))
+    engine.enqueue_all()
+    assert engine.propagate() is None
+    solutions = [
+        (av, cv)
+        for av in range(8)
+        for cv in range(8)
+        if (av + cv) % 8 == 6
+    ]
+    for av, cv in solutions:
+        assert av in store.domain(system.var_by_name("a"))
+        assert cv in store.domain(system.var_by_name("c"))
+
+
+def test_mux_select_implication_through_engine():
+    """With the ablation rule on, output disjoint from one branch
+    implies the select during deduction."""
+    b = CircuitBuilder()
+    sel = b.input("sel", 1)
+    a = b.input("a", 3)
+    k2 = b.const(2, 3)
+    k6 = b.const(6, 3)
+    m = b.mux(sel, k2, k6, name="m")
+    b.output("out", m)
+    circuit = b.build()
+    system = compile_circuit(circuit, mux_select_implication=True)
+    store = DomainStore(system.variables)
+    engine = PropagationEngine(store, system.propagators)
+    store.assume(system.var_by_name("m"), Interval(6, 6))
+    engine.enqueue_all()
+    assert engine.propagate() is None
+    assert store.bool_value(system.var_by_name("sel")) == 0
+
+
+def test_conflict_detected():
+    b = CircuitBuilder()
+    a = b.input("a", 3)
+    p = b.lt(a, b.const(3, 3), name="p")
+    q = b.ge(a, b.const(5, 3), name="q")
+    g = b.and_(p, q, name="g")
+    b.output("out", g)
+    circuit = b.build()
+    system, store, engine = _engine_for(circuit)
+    store.assume(system.var_by_name("g"), Interval.point(1))
+    engine.enqueue_all()
+    conflict = engine.propagate()
+    assert isinstance(conflict, Conflict)
+
+
+def test_sequential_circuit_rejected():
+    b = CircuitBuilder()
+    r = b.register("r", 3)
+    b.next_state(r, b.inc(r))
+    circuit = b.build()
+    with pytest.raises(UnsupportedOperationError):
+        compile_circuit(circuit)
+
+
+def test_extract_aux_decomposition():
+    b = CircuitBuilder()
+    a = b.input("a", 6)
+    mid = b.extract(a, 4, 2, name="mid")
+    b.output("out", mid)
+    circuit = b.build()
+    for value in range(64):
+        system, store, engine = _engine_for(circuit)
+        store.assume(system.var_by_name("a"), Interval.point(value))
+        engine.enqueue_all()
+        assert engine.propagate() is None
+        assert store.value(system.var_by_name("mid")) == (value >> 2) & 7
+
+
+def test_extract_backward():
+    b = CircuitBuilder()
+    a = b.input("a", 4)
+    low = b.extract(a, 1, 0, name="low")
+    b.output("out", low)
+    circuit = b.build()
+    system, store, engine = _engine_for(circuit)
+    store.assume(system.var_by_name("low"), Interval(3, 3))
+    engine.enqueue_all()
+    assert engine.propagate() is None
+    # Sound: every a with a & 3 == 3 must remain.
+    domain = store.domain(system.var_by_name("a"))
+    for value in (3, 7, 11, 15):
+        assert value in domain
+
+
+def test_backtrack_and_repropagate():
+    b = CircuitBuilder()
+    a = b.input("a", 3)
+    sel = b.input("sel", 1)
+    m = b.mux(sel, b.const(1, 3), a, name="m")
+    b.output("out", m)
+    circuit = b.build()
+    system, store, engine = _engine_for(circuit)
+    engine.enqueue_all()
+    assert engine.propagate() is None
+
+    store.decide_bool(system.var_by_name("sel"), 1)
+    engine.notify_backtrack()
+    engine.enqueue_watchers_of(system.var_by_name("sel"))
+    assert engine.propagate() is None
+    assert store.value(system.var_by_name("m")) == 1
+
+    store.backtrack_to(0)
+    engine.notify_backtrack()
+    assert store.value(system.var_by_name("m")) is None
+
+    store.decide_bool(system.var_by_name("sel"), 0)
+    engine.enqueue_watchers_of(system.var_by_name("sel"))
+    assert engine.propagate() is None
+    # m follows a now; a is still free so m stays wide.
+    assert store.domain(system.var_by_name("m")) == Interval(0, 7)

@@ -1,0 +1,367 @@
+"""Tests for the constraint propagators, checked against brute force."""
+
+import itertools
+
+import pytest
+
+from repro.intervals import Interval
+from repro.constraints import (
+    BoolGateProp,
+    ComparatorProp,
+    Conflict,
+    DomainStore,
+    LinearEqProp,
+    MuxProp,
+    Variable,
+)
+from repro.rtl.types import OpKind
+
+
+def make_vars(*widths):
+    return [
+        Variable(index=i, name=f"v{i}", width=w) for i, w in enumerate(widths)
+    ]
+
+
+class TestLinearEqProp:
+    def test_forward_add(self):
+        variables = make_vars(4, 4, 5)
+        store = DomainStore(variables)
+        # v0 + v1 - v2 == 0
+        prop = LinearEqProp([1, 1, -1], variables, 0)
+        store.narrow(variables[0], Interval(2, 3), "t")
+        store.narrow(variables[1], Interval(5, 5), "t")
+        assert prop.propagate(store) is None
+        assert store.domain(variables[2]) == Interval(7, 8)
+
+    def test_backward_add(self):
+        variables = make_vars(4, 4, 5)
+        store = DomainStore(variables)
+        prop = LinearEqProp([1, 1, -1], variables, 0)
+        store.narrow(variables[2], Interval(7, 7), "t")
+        store.narrow(variables[0], Interval(3, 3), "t")
+        assert prop.propagate(store) is None
+        assert store.domain(variables[1]) == Interval(4, 4)
+
+    def test_conflict(self):
+        variables = make_vars(2, 2, 2)
+        store = DomainStore(variables)
+        prop = LinearEqProp([1, 1, -1], variables, 0)
+        store.narrow(variables[0], Interval(3, 3), "t")
+        store.narrow(variables[1], Interval(3, 3), "t")
+        store.narrow(variables[2], Interval(0, 1), "t")
+        assert isinstance(prop.propagate(store), Conflict)
+
+    def test_coefficient_rounding(self):
+        # 3*v0 == v1, v1 in <5, 7>: only v0 = 2 (v1 = 6) survives.
+        variables = make_vars(4, 4)
+        store = DomainStore(variables)
+        prop = LinearEqProp([3, -1], variables, 0)
+        store.narrow(variables[1], Interval(5, 7), "t")
+        assert prop.propagate(store) is None
+        assert store.domain(variables[0]) == Interval(2, 2)
+        assert store.domain(variables[1]) == Interval(6, 6)
+
+    def test_zero_coefficient_rejected(self):
+        variables = make_vars(2, 2)
+        with pytest.raises(Exception):
+            LinearEqProp([1, 0], variables, 0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_soundness_random(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        variables = make_vars(3, 3, 3)
+        store = DomainStore(variables)
+        coeffs = [rng.choice([-3, -2, -1, 1, 2, 3]) for _ in range(3)]
+        constant = rng.randint(-5, 15)
+        for var in variables:
+            lo = rng.randint(0, 7)
+            hi = rng.randint(lo, 7)
+            store.narrow(var, Interval(lo, hi), "t")
+        before = [store.domain(v) for v in variables]
+        solutions = [
+            point
+            for point in itertools.product(*(list(d) for d in before))
+            if sum(c * x for c, x in zip(coeffs, point)) == constant
+        ]
+        prop = LinearEqProp(coeffs, variables, constant)
+        conflict = prop.propagate(store)
+        if conflict is not None:
+            assert not solutions
+            return
+        after = [store.domain(v) for v in variables]
+        for point in solutions:
+            for value, domain in zip(point, after):
+                assert value in domain
+
+
+class TestMuxProp:
+    def _setup(self):
+        variables = make_vars(4, 1, 4, 4)  # out, sel, then, else
+        store = DomainStore(variables)
+        prop = MuxProp(variables[0], variables[1], variables[2], variables[3])
+        return variables, store, prop
+
+    def test_selected_then(self):
+        variables, store, prop = self._setup()
+        store.assign_bool(variables[1], 1, "t")
+        store.narrow(variables[2], Interval(5, 9), "t")
+        assert prop.propagate(store) is None
+        assert store.domain(variables[0]) == Interval(5, 9)
+
+    def test_selected_else(self):
+        variables, store, prop = self._setup()
+        store.assign_bool(variables[1], 0, "t")
+        store.narrow(variables[3], Interval(2, 2), "t")
+        assert prop.propagate(store) is None
+        assert store.domain(variables[0]) == Interval(2, 2)
+
+    def test_output_narrows_back_to_selected_input(self):
+        variables, store, prop = self._setup()
+        store.assign_bool(variables[1], 1, "t")
+        store.narrow(variables[0], Interval(3, 4), "t")
+        assert prop.propagate(store) is None
+        assert store.domain(variables[2]) == Interval(3, 4)
+        # The unselected input is untouched.
+        assert store.domain(variables[3]) == Interval(0, 15)
+
+    def test_unselected_forward_hull(self):
+        variables, store, prop = self._setup()
+        store.narrow(variables[2], Interval(2, 3), "t")
+        store.narrow(variables[3], Interval(8, 9), "t")
+        assert prop.propagate(store) is None
+        assert store.domain(variables[0]) == Interval(2, 9)
+
+    def test_select_implied_when_branch_impossible(self):
+        # Fig. 4(b) shape: out incompatible with 'then' forces sel = 0 —
+        # only with the strengthened (ablation) backward rule enabled.
+        variables = make_vars(4, 1, 4, 4)
+        store = DomainStore(variables)
+        prop = MuxProp(*variables, imply_select=True)
+        store.narrow(variables[0], Interval(5, 5), "t")
+        store.narrow(variables[2], Interval(6, 7), "t")
+        assert prop.propagate(store) is None
+        assert store.bool_value(variables[1]) == 0
+        assert store.domain(variables[3]) == Interval(5, 5)
+
+    def test_select_not_implied_by_default(self):
+        # Paper-faithful Ddeduce: the select stays free; the structural
+        # Decide is responsible for picking it (Figure 4).
+        variables, store, prop = self._setup()
+        store.narrow(variables[0], Interval(5, 5), "t")
+        store.narrow(variables[2], Interval(6, 7), "t")
+        assert prop.propagate(store) is None
+        assert store.bool_value(variables[1]) is None
+
+    def test_conflict_when_no_branch_possible(self):
+        variables, store, prop = self._setup()
+        store.narrow(variables[0], Interval(5, 5), "t")
+        store.narrow(variables[2], Interval(6, 7), "t")
+        store.narrow(variables[3], Interval(0, 2), "t")
+        assert isinstance(prop.propagate(store), Conflict)
+
+    def test_conflict_selected_mismatch(self):
+        variables, store, prop = self._setup()
+        store.assign_bool(variables[1], 1, "t")
+        store.narrow(variables[0], Interval(0, 2), "t")
+        store.narrow(variables[2], Interval(5, 7), "t")
+        assert isinstance(prop.propagate(store), Conflict)
+
+    def test_exhaustive_soundness(self):
+        # All (out, sel, then, else) solutions survive propagation for a
+        # selection of starting boxes.
+        cases = [
+            (Interval(0, 7), Interval(0, 1), Interval(2, 5), Interval(4, 7)),
+            (Interval(3, 3), Interval(0, 1), Interval(0, 2), Interval(3, 7)),
+            (Interval(0, 7), Interval(1, 1), Interval(0, 7), Interval(0, 0)),
+        ]
+        for boxes in cases:
+            variables = make_vars(3, 1, 3, 3)
+            store = DomainStore(variables)
+            for var, box in zip(variables, boxes):
+                store.narrow(var, box, "t")
+            prop = MuxProp(*variables)
+            solutions = [
+                (o, s, t, e)
+                for o in boxes[0]
+                for s in boxes[1]
+                for t in boxes[2]
+                for e in boxes[3]
+                if o == (t if s else e)
+            ]
+            conflict = prop.propagate(store)
+            if conflict is not None:
+                assert not solutions
+                continue
+            for o, s, t, e in solutions:
+                assert o in store.domain(variables[0])
+                assert s in store.domain(variables[1])
+                assert t in store.domain(variables[2])
+                assert e in store.domain(variables[3])
+
+
+class TestComparatorProp:
+    @pytest.mark.parametrize(
+        "kind", [OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE]
+    )
+    def test_exhaustive_3bit(self, kind):
+        semantics = {
+            OpKind.EQ: lambda a, b: a == b,
+            OpKind.NE: lambda a, b: a != b,
+            OpKind.LT: lambda a, b: a < b,
+            OpKind.LE: lambda a, b: a <= b,
+            OpKind.GT: lambda a, b: a > b,
+            OpKind.GE: lambda a, b: a >= b,
+        }[kind]
+        for pred_fix in (None, 0, 1):
+            for x_box in (Interval(0, 7), Interval(2, 5), Interval(3, 3)):
+                for y_box in (Interval(0, 7), Interval(4, 6), Interval(3, 3)):
+                    variables = make_vars(1, 3, 3)
+                    store = DomainStore(variables)
+                    store.narrow(variables[1], x_box, "t")
+                    store.narrow(variables[2], y_box, "t")
+                    if pred_fix is not None:
+                        store.assign_bool(variables[0], pred_fix, "t")
+                    prop = ComparatorProp(
+                        variables[0], kind, variables[1], variables[2]
+                    )
+                    solutions = [
+                        (p, a, b)
+                        for a in x_box
+                        for b in y_box
+                        for p in ((pred_fix,) if pred_fix is not None else (0, 1))
+                        if int(semantics(a, b)) == p
+                    ]
+                    conflict = prop.propagate(store)
+                    if conflict is not None:
+                        assert not solutions
+                        continue
+                    for p, a, b in solutions:
+                        assert p in store.domain(variables[0])
+                        assert a in store.domain(variables[1])
+                        assert b in store.domain(variables[2])
+
+    def test_forward_decides_predicate(self):
+        variables = make_vars(1, 3, 3)
+        store = DomainStore(variables)
+        store.narrow(variables[1], Interval(0, 2), "t")
+        store.narrow(variables[2], Interval(5, 7), "t")
+        prop = ComparatorProp(variables[0], OpKind.LT, variables[1], variables[2])
+        assert prop.propagate(store) is None
+        assert store.bool_value(variables[0]) == 1
+
+    def test_backward_narrows_paper_eq3(self):
+        variables = make_vars(1, 4, 4)
+        store = DomainStore(variables)
+        store.assign_bool(variables[0], 1, "t")
+        prop = ComparatorProp(variables[0], OpKind.LT, variables[1], variables[2])
+        assert prop.propagate(store) is None
+        assert store.domain(variables[1]) == Interval(0, 14)
+        assert store.domain(variables[2]) == Interval(1, 15)
+
+    def test_gt_normalised(self):
+        variables = make_vars(1, 3, 3)
+        store = DomainStore(variables)
+        store.assign_bool(variables[0], 1, "t")
+        prop = ComparatorProp(variables[0], OpKind.GT, variables[1], variables[2])
+        assert prop.propagate(store) is None
+        assert store.domain(variables[1]) == Interval(1, 7)
+        assert store.domain(variables[2]) == Interval(0, 6)
+
+    def test_eq_false_with_point_trims(self):
+        variables = make_vars(1, 3, 3)
+        store = DomainStore(variables)
+        store.assign_bool(variables[0], 0, "t")
+        store.narrow(variables[1], Interval(7, 7), "t")
+        prop = ComparatorProp(variables[0], OpKind.EQ, variables[1], variables[2])
+        assert prop.propagate(store) is None
+        assert store.domain(variables[2]) == Interval(0, 6)
+
+    def test_conflict(self):
+        variables = make_vars(1, 3, 3)
+        store = DomainStore(variables)
+        store.assign_bool(variables[0], 1, "t")
+        store.narrow(variables[1], Interval(5, 7), "t")
+        store.narrow(variables[2], Interval(0, 3), "t")
+        prop = ComparatorProp(variables[0], OpKind.LT, variables[1], variables[2])
+        assert isinstance(prop.propagate(store), Conflict)
+
+
+class TestBoolGateProp:
+    @pytest.mark.parametrize(
+        "kind",
+        [OpKind.AND, OpKind.OR, OpKind.NAND, OpKind.NOR, OpKind.XOR, OpKind.XNOR],
+    )
+    def test_exhaustive_binary(self, kind):
+        semantics = {
+            OpKind.AND: lambda a, b: a & b,
+            OpKind.OR: lambda a, b: a | b,
+            OpKind.NAND: lambda a, b: 1 - (a & b),
+            OpKind.NOR: lambda a, b: 1 - (a | b),
+            OpKind.XOR: lambda a, b: a ^ b,
+            OpKind.XNOR: lambda a, b: 1 - (a ^ b),
+        }[kind]
+        # Try every partial assignment of (out, a, b).
+        for out_v in (None, 0, 1):
+            for a_v in (None, 0, 1):
+                for b_v in (None, 0, 1):
+                    variables = make_vars(1, 1, 1)
+                    store = DomainStore(variables)
+                    for var, value in zip(variables, (out_v, a_v, b_v)):
+                        if value is not None:
+                            store.assign_bool(var, value, "t")
+                    prop = BoolGateProp(kind, variables[0], variables[1:])
+                    solutions = [
+                        (o, a, b)
+                        for o in ((out_v,) if out_v is not None else (0, 1))
+                        for a in ((a_v,) if a_v is not None else (0, 1))
+                        for b in ((b_v,) if b_v is not None else (0, 1))
+                        if semantics(a, b) == o
+                    ]
+                    conflict = prop.propagate(store)
+                    if conflict is not None:
+                        assert not solutions
+                        continue
+                    for o, a, b in solutions:
+                        assert o in store.domain(variables[0])
+                        assert a in store.domain(variables[1])
+                        assert b in store.domain(variables[2])
+                    # Completeness: a forced variable must be assigned.
+                    for position, var in enumerate(variables):
+                        values = {sol[position] for sol in solutions}
+                        if len(values) == 1:
+                            assert store.bool_value(var) == values.pop()
+
+    def test_not_both_directions(self):
+        variables = make_vars(1, 1)
+        store = DomainStore(variables)
+        prop = BoolGateProp(OpKind.NOT, variables[0], variables[1:])
+        store.assign_bool(variables[1], 1, "t")
+        prop.propagate(store)
+        assert store.bool_value(variables[0]) == 0
+
+        variables = make_vars(1, 1)
+        store = DomainStore(variables)
+        prop = BoolGateProp(OpKind.NOT, variables[0], variables[1:])
+        store.assign_bool(variables[0], 1, "t")
+        prop.propagate(store)
+        assert store.bool_value(variables[1]) == 0
+
+    def test_three_input_and_backward(self):
+        variables = make_vars(1, 1, 1, 1)
+        store = DomainStore(variables)
+        prop = BoolGateProp(OpKind.AND, variables[0], variables[1:])
+        store.assign_bool(variables[0], 1, "t")
+        prop.propagate(store)
+        assert all(store.bool_value(v) == 1 for v in variables[1:])
+
+    def test_and_last_open_input_forced(self):
+        variables = make_vars(1, 1, 1)
+        store = DomainStore(variables)
+        prop = BoolGateProp(OpKind.AND, variables[0], variables[1:])
+        store.assign_bool(variables[0], 0, "t")
+        store.assign_bool(variables[1], 1, "t")
+        prop.propagate(store)
+        assert store.bool_value(variables[2]) == 0

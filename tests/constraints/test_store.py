@@ -1,0 +1,183 @@
+"""Tests for the domain store, trail and backtracking."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.intervals import Interval
+from repro.constraints import (
+    ASSUMPTION,
+    DECISION,
+    Conflict,
+    DomainStore,
+    Event,
+    Variable,
+)
+
+
+def make_vars(*widths):
+    return [
+        Variable(index=i, name=f"v{i}", width=w) for i, w in enumerate(widths)
+    ]
+
+
+class TestBasics:
+    def test_initial_domains(self):
+        variables = make_vars(1, 4)
+        store = DomainStore(variables)
+        assert store.domain(variables[0]) == Interval(0, 1)
+        assert store.domain(variables[1]) == Interval(0, 15)
+        assert not store.is_assigned(variables[0])
+        assert store.value(variables[0]) is None
+
+    def test_dense_index_check(self):
+        bad = [Variable(index=5, name="x", width=1)]
+        with pytest.raises(SolverError):
+            DomainStore(bad)
+
+    def test_narrow_records_event(self):
+        variables = make_vars(4)
+        store = DomainStore(variables)
+        outcome = store.narrow(variables[0], Interval(2, 9), "tag")
+        assert isinstance(outcome, Event)
+        assert store.domain(variables[0]) == Interval(2, 9)
+        assert store.latest_event[0] == 0
+
+    def test_narrow_no_change_returns_none(self):
+        variables = make_vars(4)
+        store = DomainStore(variables)
+        assert store.narrow(variables[0], Interval(0, 15), "tag") is None
+        assert store.trail == []
+
+    def test_narrow_conflict(self):
+        variables = make_vars(4)
+        store = DomainStore(variables)
+        store.narrow(variables[0], Interval(0, 3), "tag")
+        outcome = store.narrow(variables[0], Interval(10, 12), "tag")
+        assert isinstance(outcome, Conflict)
+        # Domain is unchanged after a conflicting narrow.
+        assert store.domain(variables[0]) == Interval(0, 3)
+
+    def test_assign_bool(self):
+        variables = make_vars(1)
+        store = DomainStore(variables)
+        store.assign_bool(variables[0], 1, "tag")
+        assert store.bool_value(variables[0]) == 1
+
+    def test_assign_bool_range_check(self):
+        variables = make_vars(1)
+        store = DomainStore(variables)
+        with pytest.raises(SolverError):
+            store.assign_bool(variables[0], 2, "tag")
+
+
+class TestLevelsAndBacktracking:
+    def test_decide_opens_level(self):
+        variables = make_vars(1, 1)
+        store = DomainStore(variables)
+        event = store.decide_bool(variables[0], 1)
+        assert store.decision_level == 1
+        assert event.is_decision
+        assert event.level == 1
+
+    def test_decide_on_assigned_var_raises(self):
+        variables = make_vars(1)
+        store = DomainStore(variables)
+        store.assign_bool(variables[0], 0, "tag")
+        with pytest.raises(SolverError):
+            store.decide_bool(variables[0], 0)
+
+    def test_backtrack_restores_domains(self):
+        variables = make_vars(1, 4)
+        store = DomainStore(variables)
+        store.narrow(variables[1], Interval(0, 9), ASSUMPTION)
+        store.decide_bool(variables[0], 1)
+        store.narrow(variables[1], Interval(3, 5), "prop")
+        store.backtrack_to(0)
+        assert store.decision_level == 0
+        assert store.domain(variables[1]) == Interval(0, 9)
+        assert store.domain(variables[0]) == Interval(0, 1)
+        # Level-0 assumption survives.
+        assert len(store.trail) == 1
+
+    def test_backtrack_restores_latest_event_chain(self):
+        variables = make_vars(4)
+        store = DomainStore(variables)
+        store.narrow(variables[0], Interval(0, 12), "a")
+        store.push_level()
+        store.narrow(variables[0], Interval(2, 9), "b")
+        store.narrow(variables[0], Interval(4, 6), "c")
+        store.backtrack_to(0)
+        assert store.latest_event[0] == 0
+        assert store.domain(variables[0]) == Interval(0, 12)
+
+    def test_backtrack_to_same_level_is_noop(self):
+        variables = make_vars(1)
+        store = DomainStore(variables)
+        store.decide_bool(variables[0], 1)
+        store.backtrack_to(1)
+        assert store.bool_value(variables[0]) == 1
+
+    def test_backtrack_invalid_level(self):
+        store = DomainStore(make_vars(1))
+        with pytest.raises(SolverError):
+            store.backtrack_to(3)
+        with pytest.raises(SolverError):
+            store.backtrack_to(-1)
+
+    def test_partial_backtrack(self):
+        variables = make_vars(1, 1, 1)
+        store = DomainStore(variables)
+        store.decide_bool(variables[0], 1)
+        store.decide_bool(variables[1], 0)
+        store.decide_bool(variables[2], 1)
+        store.backtrack_to(1)
+        assert store.bool_value(variables[0]) == 1
+        assert store.bool_value(variables[1]) is None
+        assert store.bool_value(variables[2]) is None
+
+    def test_assume_only_at_level_zero(self):
+        variables = make_vars(4)
+        store = DomainStore(variables)
+        store.push_level()
+        with pytest.raises(SolverError):
+            store.assume(variables[0], Interval(0, 3))
+
+
+class TestImplicationGraph:
+    def test_antecedents_capture_latest_events(self):
+        variables = make_vars(1, 1, 4)
+        store = DomainStore(variables)
+        store.assign_bool(variables[0], 1, DECISION)
+        store.assign_bool(variables[1], 0, DECISION)
+        outcome = store.narrow(
+            variables[2], Interval(3, 7), "prop", involved=variables
+        )
+        assert isinstance(outcome, Event)
+        antecedent_vars = {store.event(a).var.name for a in outcome.antecedents}
+        assert antecedent_vars == {"v0", "v1"}
+
+    def test_own_previous_event_is_antecedent(self):
+        variables = make_vars(4)
+        store = DomainStore(variables)
+        store.narrow(variables[0], Interval(0, 9), "first")
+        outcome = store.narrow(
+            variables[0], Interval(2, 5), "second", involved=variables
+        )
+        assert isinstance(outcome, Event)
+        assert outcome.antecedents == (0,)
+
+    def test_decision_has_no_antecedents(self):
+        variables = make_vars(1)
+        store = DomainStore(variables)
+        event = store.decide_bool(variables[0], 1)
+        assert event.antecedents == ()
+
+    def test_events_at_level(self):
+        variables = make_vars(1, 1)
+        store = DomainStore(variables)
+        store.assign_bool(variables[0], 1, ASSUMPTION)
+        store.decide_bool(variables[1], 0)
+        level0 = list(store.events_at_level(0))
+        level1 = list(store.events_at_level(1))
+        assert [e.var.name for e in level0] == ["v0"]
+        assert [e.var.name for e in level1] == ["v1"]

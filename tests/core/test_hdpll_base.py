@@ -1,0 +1,303 @@
+"""Tests for the base HDPLL solver, cross-checked against brute force."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SolverConfig, Status, solve_circuit
+from repro.intervals import Interval
+from repro.rtl import CircuitBuilder, simulate_combinational
+
+
+def brute_force_sat(circuit, assumptions):
+    """Exhaustive check: does any input assignment satisfy assumptions?"""
+    input_nets = circuit.inputs
+    for point in itertools.product(
+        *(range(net.max_value + 1) for net in input_nets)
+    ):
+        values = dict(zip((n.name for n in input_nets), point))
+        result = simulate_combinational(circuit, values)
+        ok = True
+        for name, required in assumptions.items():
+            actual = result[name]
+            if isinstance(required, Interval):
+                if actual not in required:
+                    ok = False
+                    break
+            elif actual != required:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def check_against_brute_force(circuit, assumptions, config=None):
+    expected = brute_force_sat(circuit, assumptions)
+    result = solve_circuit(circuit, assumptions, config)
+    assert result.status in (Status.SAT, Status.UNSAT)
+    assert result.is_sat == expected, (
+        f"solver said {result.status} but brute force said "
+        f"{'SAT' if expected else 'UNSAT'}"
+    )
+    if result.is_sat:
+        # The model is already verified against assumptions internally;
+        # double-check one output value here for belt and braces.
+        assert result.model is not None
+    return result
+
+
+class TestSimpleQueries:
+    def test_trivial_sat(self):
+        b = CircuitBuilder()
+        a = b.input("a", 3)
+        p = b.lt(a, 5, name="p")
+        b.output("o", p)
+        result = solve_circuit(b.build(), {"p": 1})
+        assert result.is_sat
+        assert result.model["a"] < 5
+
+    def test_trivial_unsat(self):
+        b = CircuitBuilder()
+        a = b.input("a", 3)
+        p = b.lt(a, 0, name="p")  # nothing is < 0
+        b.output("o", p)
+        result = solve_circuit(b.build(), {"p": 1})
+        assert result.is_unsat
+
+    def test_conjunction_of_ranges(self):
+        b = CircuitBuilder()
+        a = b.input("a", 4)
+        p = b.ge(a, 5, name="p")
+        q = b.le(a, 9, name="q")
+        g = b.and_(p, q, name="g")
+        b.output("o", g)
+        result = solve_circuit(b.build(), {"g": 1})
+        assert result.is_sat
+        assert 5 <= result.model["a"] <= 9
+
+    def test_contradictory_ranges(self):
+        b = CircuitBuilder()
+        a = b.input("a", 4)
+        p = b.lt(a, 3, name="p")
+        q = b.gt(a, 10, name="q")
+        g = b.and_(p, q, name="g")
+        b.output("o", g)
+        assert solve_circuit(b.build(), {"g": 1}).is_unsat
+
+    def test_arithmetic_wrap(self):
+        # a + 1 == 0 has the wrap-around solution a == 15.
+        b = CircuitBuilder()
+        a = b.input("a", 4)
+        s = b.inc(a, name="s")
+        p = b.eq(s, 0, name="p")
+        b.output("o", p)
+        result = solve_circuit(b.build(), {"p": 1})
+        assert result.is_sat
+        assert result.model["a"] == 15
+
+    def test_interval_assumption(self):
+        b = CircuitBuilder()
+        a = b.input("a", 4)
+        s = b.add(a, 3, name="s")
+        b.output("o", s)
+        result = solve_circuit(b.build(), {"s": Interval(0, 2)})
+        assert result.is_sat
+        assert result.model["s"] in Interval(0, 2)
+
+    def test_mux_chain(self):
+        b = CircuitBuilder()
+        sel1 = b.input("sel1", 1)
+        sel2 = b.input("sel2", 1)
+        a = b.input("a", 3)
+        m1 = b.mux(sel1, a, 2, name="m1")
+        m2 = b.mux(sel2, m1, 5, name="m2")
+        p = b.eq(m2, 7, name="p")
+        b.output("o", p)
+        result = solve_circuit(b.build(), {"p": 1})
+        assert result.is_sat
+        assert result.model["m2"] == 7
+
+    def test_disequality_semantics(self):
+        b = CircuitBuilder()
+        a = b.input("a", 2)
+        c = b.input("c", 2)
+        s = b.add(a, c, name="s")
+        p = b.ne(a, c, name="p")
+        q = b.eq(s, 2, name="q")
+        g = b.and_(p, q, name="g")
+        b.output("o", g)
+        result = solve_circuit(b.build(), {"g": 1})
+        assert result.is_sat
+        assert result.model["a"] != result.model["c"]
+        assert (result.model["a"] + result.model["c"]) % 4 == 2
+
+    def test_xor_parity(self):
+        b = CircuitBuilder()
+        x = b.input("x", 1)
+        y = b.input("y", 1)
+        z = b.input("z", 1)
+        parity = b.xor(b.xor(x, y), z, name="parity")
+        b.output("o", parity)
+        result = solve_circuit(b.build(), {"parity": 1, "x": 1, "y": 1})
+        assert result.is_sat
+        assert result.model["z"] == 1
+
+
+class TestAgainstBruteForce:
+    def test_min_max_structure(self):
+        # The b04-style min/max fragment the paper's Fig. 2 comes from.
+        b = CircuitBuilder()
+        data = b.input("data", 3)
+        reference = b.input("reference", 3)
+        is_greater = b.gt(data, reference, name="is_greater")
+        maximum = b.mux(is_greater, data, reference, name="maximum")
+        minimum = b.mux(is_greater, reference, data, name="minimum")
+        spread_ok = b.eq(b.sub(maximum, minimum), 3, name="spread_ok")
+        b.output("o", spread_ok)
+        check_against_brute_force(b.build(), {"spread_ok": 1})
+
+    def test_unsat_via_interval_reasoning(self):
+        b = CircuitBuilder()
+        a = b.input("a", 3)
+        c = b.input("c", 3)
+        s = b.zext(a, 5)
+        t = b.zext(c, 5)
+        total = b.add(s, t, name="total")  # no wrap in 5 bits
+        p = b.gt(total, 14, name="p")      # max is 7 + 7 = 14
+        b.output("o", p)
+        check_against_brute_force(b.build(), {"p": 1})
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_circuits(self, seed):
+        rng = random.Random(seed)
+        b = CircuitBuilder(f"random{seed}")
+        width = rng.choice([2, 3])
+        words = [b.input(f"w{i}", width) for i in range(2)]
+        words.append(b.const(rng.randint(0, 2**width - 1), width))
+        bools = [b.input("b0", 1)]
+        for _ in range(rng.randint(4, 12)):
+            roll = rng.random()
+            if roll < 0.3:
+                words.append(
+                    getattr(b, rng.choice(["add", "sub"]))(
+                        rng.choice(words), rng.choice(words)
+                    )
+                )
+            elif roll < 0.45:
+                words.append(b.mul_const(rng.choice(words), rng.randint(0, 3)))
+            elif roll < 0.7:
+                kind = rng.choice(["eq", "ne", "lt", "le", "gt", "ge"])
+                bools.append(
+                    getattr(b, kind)(rng.choice(words), rng.choice(words))
+                )
+            elif roll < 0.85 and len(bools) >= 2:
+                kind = rng.choice(["and_", "or_", "xor", "not_"])
+                if kind == "not_":
+                    bools.append(b.not_(rng.choice(bools)))
+                elif kind == "xor":
+                    bools.append(b.xor(rng.choice(bools), rng.choice(bools)))
+                else:
+                    bools.append(
+                        getattr(b, kind)(rng.choice(bools), rng.choice(bools))
+                    )
+            else:
+                words.append(
+                    b.mux(rng.choice(bools), rng.choice(words), rng.choice(words))
+                )
+        target_bool = bools[-1]
+        target_word = words[-1]
+        b.output("flag", target_bool)
+        b.output("word", target_word)
+        circuit = b.build()
+        check_against_brute_force(
+            circuit,
+            {
+                "flag": rng.randint(0, 1),
+                "word": rng.randint(0, 2**width - 1),
+            },
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_random_circuits_hypothesis(self, data):
+        rng = random.Random(data.draw(st.integers(0, 100_000)))
+        b = CircuitBuilder("hyp")
+        words = [b.input("w0", 3), b.input("w1", 3)]
+        bools = []
+        for _ in range(rng.randint(3, 8)):
+            roll = rng.random()
+            if roll < 0.4:
+                words.append(b.add(rng.choice(words), rng.choice(words)))
+            elif roll < 0.75:
+                kind = rng.choice(["eq", "lt", "ge", "ne"])
+                bools.append(
+                    getattr(b, kind)(rng.choice(words), rng.choice(words))
+                )
+            elif bools:
+                words.append(
+                    b.mux(rng.choice(bools), rng.choice(words), rng.choice(words))
+                )
+        if not bools:
+            bools.append(b.lt(words[0], words[1]))
+        b.output("flag", bools[-1])
+        circuit = b.build()
+        check_against_brute_force(circuit, {"flag": 1})
+
+
+class TestConfigurations:
+    def _both_polarity_circuit(self):
+        b = CircuitBuilder()
+        a = b.input("a", 3)
+        c = b.input("c", 3)
+        p = b.lt(a, c, name="p")
+        q = b.eq(b.add(a, c), 6, name="q")
+        g = b.and_(p, q, name="g")
+        b.output("o", g)
+        return b.build()
+
+    def test_default_phase_zero(self):
+        config = SolverConfig(default_phase=0)
+        result = solve_circuit(self._both_polarity_circuit(), {"g": 1}, config)
+        assert result.is_sat
+
+    def test_no_restarts(self):
+        config = SolverConfig(restart_interval=0)
+        result = solve_circuit(self._both_polarity_circuit(), {"g": 1}, config)
+        assert result.is_sat
+
+    def test_conflict_budget_unknown(self):
+        # An 8-queens-hard-ish circuit is overkill; force budget 0.
+        config = SolverConfig(max_conflicts=0)
+        b = CircuitBuilder()
+        a = b.input("a", 3)
+        p = b.eq(a, 3, name="p")
+        q = b.eq(a, 4, name="q")
+        g = b.and_(p, q, name="g")
+        b.output("o", g)
+        result = solve_circuit(b.build(), {"g": 1}, config)
+        # Either it proves UNSAT during setup propagation or runs out.
+        assert result.status in (Status.UNSAT, Status.UNKNOWN)
+
+    def test_stats_populated(self):
+        result = solve_circuit(self._both_polarity_circuit(), {"g": 1})
+        assert result.stats.decisions >= 0
+        assert result.stats.fme_checks >= 1
+        assert result.stats.solve_time >= 0
+
+
+def test_solver_is_single_shot():
+    from repro.core import HdpllSolver
+    from repro.errors import SolverError
+
+    b = CircuitBuilder()
+    a = b.input("a", 3)
+    p = b.lt(a, 5, name="p")
+    b.output("p", p)
+    solver = HdpllSolver(b.build())
+    assert solver.solve({"p": 1}).is_sat
+    with pytest.raises(SolverError):
+        solver.solve({"p": 1})

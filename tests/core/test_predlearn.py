@@ -1,0 +1,180 @@
+"""Tests for predicate learning (Section 3), including Figure 2."""
+
+import pytest
+
+from repro.constraints import (
+    BoolLit,
+    DomainStore,
+    PropagationEngine,
+    WordLit,
+    compile_circuit,
+)
+from repro.core import SolverConfig, solve_circuit
+from repro.core.decide import ActivityOrder
+from repro.core.predlearn import run_predicate_learning
+from repro.figures import figure2_circuit
+from repro.intervals import Interval
+from repro.rtl import CircuitBuilder
+
+
+def setup(circuit, **kwargs):
+    system = compile_circuit(circuit)
+    store = DomainStore(system.variables)
+    engine = PropagationEngine(store, system.propagators)
+    engine.enqueue_all()
+    assert engine.propagate() is None
+    order = ActivityOrder(system, store)
+    report = run_predicate_learning(system, store, engine, order, **kwargs)
+    return system, store, engine, order, report
+
+
+def clause_signature(system, clause):
+    """Readable form: frozenset of (name, kind, polarity[, interval])."""
+    parts = []
+    for literal in clause.literals:
+        net_name = literal.var.name
+        if isinstance(literal, BoolLit):
+            parts.append((net_name, literal.positive))
+        else:
+            parts.append((net_name, literal.positive, literal.interval))
+    return frozenset(parts)
+
+
+class TestFigure2:
+    def test_paper_relations_learned(self):
+        system, store, engine, order, report = setup(figure2_circuit())
+        signatures = {
+            clause_signature(system, clause) for clause in report.clauses
+        }
+        # The four relations of Figure 2(b):
+        # 1) b5=0 -> b6=0   ==  (b5 | ~b6)
+        assert frozenset({("b5", True), ("b6", False)}) in signatures
+        # 2) b6=0 -> b5=0   ==  (b6 | ~b5)
+        assert frozenset({("b6", True), ("b5", False)}) in signatures
+        # 3) b8=1 -> b9=1   ==  (~b8 | b9)
+        assert frozenset({("b8", False), ("b9", True)}) in signatures
+        # 4) b9=1 -> b8=1   ==  (~b9 | b8)
+        assert frozenset({("b9", False), ("b8", True)}) in signatures
+
+    def test_learning_order_is_level_order(self):
+        # The b5/b6 relations (level 2) must be learned before the b8/b9
+        # relations (level 3), because the latter depend on the former.
+        system, store, engine, order, report = setup(figure2_circuit())
+        names = [
+            tuple(sorted(lit.var.name for lit in clause.literals))
+            for clause in report.clauses
+        ]
+        b5b6 = names.index(("b5", "b6"))
+        b8b9 = names.index(("b8", "b9"))
+        assert b5b6 < b8b9
+
+    def test_relations_count_positive(self):
+        _, _, _, _, report = setup(figure2_circuit())
+        assert report.relations_learned >= 4
+        assert report.probes > 0
+        assert report.candidates > 0
+
+    def test_state_restored_after_learning(self):
+        system, store, engine, order, report = setup(figure2_circuit())
+        assert store.decision_level == 0
+        # No variable was permanently assigned by learning.
+        for net in ("b5", "b6", "b8", "b9", "b0"):
+            assert store.value(system.var_by_name(net)) is None
+
+
+class TestMechanics:
+    def test_threshold_zero_learns_nothing(self):
+        _, _, _, _, report = setup(figure2_circuit(), threshold=0)
+        assert report.relations_learned == 0
+        assert report.clauses == []
+
+    def test_threshold_caps_relations(self):
+        _, _, _, _, report = setup(figure2_circuit(), threshold=2)
+        assert report.relations_learned == 2
+
+    def test_impossible_probe_learns_unit_fact(self):
+        # g = AND(x, y) with y = NOT(x): g = 1 is impossible; probing
+        # learns the unit fact g = 0.
+        b = CircuitBuilder()
+        x = b.input("x", 1)
+        y = b.not_(x, name="y")
+        g = b.and_(x, y, name="g")
+        m = b.mux(g, b.const(1, 3), b.const(2, 3), name="m")
+        b.output("m", m)
+        system, store, engine, order, report = setup(b.build())
+        assert store.value(system.var_by_name("g")) == 0
+
+    def test_word_interval_relation_learned(self):
+        # g = OR(p, q), p = (w < 2), q = (w < 4): g=1 -> w in <0,3> is a
+        # hybrid relation with a word literal.
+        b = CircuitBuilder()
+        w = b.input("w", 3)
+        p = b.lt(w, 2, name="p")
+        q = b.lt(w, 4, name="q")
+        g = b.or_(p, q, name="g")
+        m = b.mux(g, w, b.const(0, 3), name="m")
+        b.output("m", m)
+        system, store, engine, order, report = setup(b.build())
+        signatures = {
+            clause_signature(system, clause) for clause in report.clauses
+        }
+        assert (
+            frozenset({("g", False), ("w", True, Interval(0, 3))})
+            in signatures
+        )
+
+    def test_decision_weights_exported(self):
+        system, store, engine, order, report = setup(figure2_circuit())
+        weighted = {
+            system.variables[index].name
+            for index in order.static_weight
+        }
+        assert {"b5", "b6", "b8", "b9"} <= weighted
+
+    def test_duplicate_relations_not_double_counted(self):
+        _, _, _, _, report = setup(figure2_circuit())
+        keys = set()
+        for clause in report.clauses:
+            key = tuple(
+                sorted(
+                    (lit.var.index, lit.positive) for lit in clause.literals
+                )
+            )
+            assert key not in keys
+            keys.add(key)
+
+
+class TestEndToEndWithLearning:
+    def test_learning_preserves_answers(self):
+        # SAT/UNSAT must be identical with and without predicate learning.
+        circuit = figure2_circuit()
+        for assumption in ({"w5": 5}, {"w6": Interval(1, 2)}):
+            base = solve_circuit(circuit, assumption, SolverConfig())
+            learned = solve_circuit(
+                circuit,
+                assumption,
+                SolverConfig(predicate_learning=True),
+            )
+            assert base.status == learned.status
+
+    def test_learning_on_unsat_instance(self):
+        b = CircuitBuilder()
+        w = b.input("w", 3)
+        p = b.lt(w, 2, name="p")
+        q = b.gt(w, 5, name="q")
+        g = b.and_(p, q, name="g")
+        m = b.mux(g, w, b.const(0, 3), name="m")
+        b.output("g", g)
+        b.output("m", m)
+        result = solve_circuit(
+            b.build(), {"g": 1}, SolverConfig(predicate_learning=True)
+        )
+        assert result.is_unsat
+
+    def test_stats_recorded(self):
+        circuit = figure2_circuit()
+        result = solve_circuit(
+            circuit, {"w5": 5}, SolverConfig(predicate_learning=True)
+        )
+        assert result.stats.learned_relations >= 4
+        assert result.stats.learn_time >= 0

@@ -1,0 +1,161 @@
+"""Tests for recursive learning, including the paper's Figure 1."""
+
+from repro.constraints import DomainStore, PropagationEngine, compile_circuit
+from repro.core.recursive import RecursiveLearner, justification_options
+from repro.intervals import Interval
+from repro.rtl import CircuitBuilder
+
+
+def make_learner(circuit):
+    system = compile_circuit(circuit)
+    store = DomainStore(system.variables)
+    engine = PropagationEngine(store, system.propagators)
+    engine.enqueue_all()
+    assert engine.propagate() is None
+    return system, store, engine, RecursiveLearner(system, store, engine)
+
+
+def test_figure1_recursive_learning():
+    """Figure 1: e = OR(c, d), c = AND(a, b), d = AND(a, b) — probing
+    e = 1 to level 1 learns e=1 -> a=1 and e=1 -> b=1."""
+    b = CircuitBuilder("figure1")
+    a = b.input("a", 1)
+    bb = b.input("b", 1)
+    c = b.and_(a, bb, name="c")
+    d = b.and_(a, bb, name="d")
+    e = b.or_(c, d, name="e")
+    b.output("e", e)
+    circuit = b.build()
+    system, store, engine, learner = make_learner(circuit)
+
+    implications = learner.probe(system.var_by_name("e"), 1, depth=1)
+    assert implications is not None
+    a_var = system.var_by_name("a")
+    b_var = system.var_by_name("b")
+    assert implications.get(a_var.index) == Interval.point(1)
+    assert implications.get(b_var.index) == Interval.point(1)
+
+
+def test_probe_impossible_value():
+    # g = AND(x, NOT(x)) can never be 1.
+    b = CircuitBuilder()
+    x = b.input("x", 1)
+    g = b.and_(x, b.not_(x), name="g")
+    b.output("g", g)
+    system, store, engine, learner = make_learner(b.build())
+    assert learner.probe(system.var_by_name("g"), 1, depth=1) is None
+
+
+def test_probe_assigned_variable():
+    b = CircuitBuilder()
+    x = b.input("x", 1)
+    g = b.buf(x, name="g")
+    b.output("g", g)
+    system, store, engine, learner = make_learner(b.build())
+    store.assume(system.var_by_name("x"), Interval.point(1))
+    engine.propagate()
+    assert learner.probe(system.var_by_name("g"), 0) is None
+    assert learner.probe(system.var_by_name("g"), 1) == {}
+
+
+def test_probe_restores_state():
+    b = CircuitBuilder()
+    x = b.input("x", 1)
+    y = b.input("y", 1)
+    g = b.or_(x, y, name="g")
+    b.output("g", g)
+    system, store, engine, learner = make_learner(b.build())
+    before = store.snapshot()
+    learner.probe(system.var_by_name("g"), 1, depth=1)
+    assert store.snapshot() == before
+    assert store.decision_level == 0
+
+
+def test_interval_implications_through_datapath():
+    """Hybrid recursive learning: the probe narrows a word variable.
+
+    g = OR(p, q) with p ⊨ (w < 2) and q ⊨ (w < 4): every justification
+    of g = 1 implies w ∈ <0, 3>.
+    """
+    b = CircuitBuilder()
+    w = b.input("w", 3)
+    p = b.lt(w, 2, name="p")
+    q = b.lt(w, 4, name="q")
+    g = b.or_(p, q, name="g")
+    b.output("g", g)
+    system, store, engine, learner = make_learner(b.build())
+    implications = learner.probe(system.var_by_name("g"), 1, depth=1)
+    assert implications is not None
+    w_var = system.var_by_name("w")
+    assert implications.get(w_var.index) == Interval(0, 3)
+
+
+def test_xor_justification_options():
+    b = CircuitBuilder()
+    x = b.input("x", 1)
+    y = b.input("y", 1)
+    g = b.xor(x, y, name="g")
+    b.output("g", g)
+    system = compile_circuit(b.build())
+    node = system.circuit.net("g").driver
+    options = justification_options(system, node, 1)
+    assert len(options) == 2
+    covered = {tuple(sorted((v.name, val) for v, val in opt)) for opt in options}
+    assert covered == {
+        (("x", 0), ("y", 1)),
+        (("x", 1), ("y", 0)),
+    }
+
+
+def test_and_or_options():
+    b = CircuitBuilder()
+    x = b.input("x", 1)
+    y = b.input("y", 1)
+    z = b.input("z", 1)
+    g = b.and_(x, y, z, name="g")
+    h = b.or_(x, y, name="h")
+    b.output("g", g)
+    b.output("h", h)
+    system = compile_circuit(b.build())
+    g_node = system.circuit.net("g").driver
+    h_node = system.circuit.net("h").driver
+    assert len(justification_options(system, g_node, 0)) == 3
+    assert justification_options(system, g_node, 1) is None
+    assert len(justification_options(system, h_node, 1)) == 2
+    assert justification_options(system, h_node, 0) is None
+
+
+def test_comparator_has_no_enumerable_options():
+    b = CircuitBuilder()
+    w = b.input("w", 3)
+    p = b.lt(w, 3, name="p")
+    b.output("p", p)
+    system = compile_circuit(b.build())
+    node = system.circuit.net("p").driver
+    assert justification_options(system, node, 1) is None
+
+
+def test_depth2_probe_reaches_further():
+    """A chain needing two levels: probing at depth 2 finds what depth 1
+    misses."""
+    b = CircuitBuilder("deep")
+    a = b.input("a", 1)
+    c = b.input("c", 1)
+    d = b.input("d", 1)
+    # inner1 = AND(a, c), inner2 = AND(a, d); mid = OR(inner1, inner2)
+    # outer = OR(mid, mid2) where mid2 = AND(mid, c).
+    inner1 = b.and_(a, c, name="inner1")
+    inner2 = b.and_(a, d, name="inner2")
+    mid = b.or_(inner1, inner2, name="mid")
+    mid2 = b.and_(mid, c, name="mid2")
+    outer = b.or_(mid, mid2, name="outer")
+    b.output("outer", outer)
+    system, store, engine, learner = make_learner(b.build())
+    a_var = system.var_by_name("a")
+
+    # outer = 1: branch mid=1 gives (via depth-2 recursion into mid's
+    # own options) a=1; branch mid2=1 propagates mid=1 ... a=1 only with
+    # recursion as well.
+    deep = learner.probe(system.var_by_name("outer"), 1, depth=2)
+    assert deep is not None
+    assert deep.get(a_var.index) == Interval.point(1)

@@ -1,0 +1,86 @@
+"""Tests for linear constraint normalisation and substitution."""
+
+from repro.fme import LinearConstraint, bounds_to_constraints
+
+
+class TestConstruction:
+    def test_zero_coeffs_dropped(self):
+        c = LinearConstraint.le({1: 0, 2: 3}, 5)
+        assert c.variables() == (2,)
+
+    def test_coeff_of(self):
+        c = LinearConstraint.le({1: 2, 3: -4}, 5)
+        assert c.coeff_of(1) == 2
+        assert c.coeff_of(3) == -4
+        assert c.coeff_of(9) == 0
+
+    def test_trivial(self):
+        assert LinearConstraint.le({}, 0).trivially_true
+        assert LinearConstraint.le({}, -1).trivially_false
+        assert LinearConstraint.eq({}, 0).trivially_true
+        assert LinearConstraint.eq({}, 1).trivially_false
+        assert not LinearConstraint.le({1: 1}, 0).is_trivial
+
+    def test_evaluate(self):
+        le = LinearConstraint.le({1: 2, 2: -1}, 3)
+        assert le.evaluate({1: 1, 2: 0})
+        assert le.evaluate({1: 2, 2: 1})
+        assert not le.evaluate({1: 3, 2: 0})
+        eq = LinearConstraint.eq({1: 1}, 4)
+        assert eq.evaluate({1: 4})
+        assert not eq.evaluate({1: 5})
+
+
+class TestNormalisation:
+    def test_le_floors_constant(self):
+        c = LinearConstraint.le({1: 2, 2: 4}, 7).normalized()
+        assert c.coeffs == ((1, 1), (2, 2))
+        assert c.constant == 3  # floor(7/2)
+
+    def test_eq_divisibility(self):
+        ok = LinearConstraint.eq({1: 2, 2: 4}, 6).normalized()
+        assert ok.constant == 3
+        bad = LinearConstraint.eq({1: 2, 2: 4}, 7).normalized()
+        assert bad is None
+
+    def test_gcd_one_unchanged(self):
+        c = LinearConstraint.le({1: 2, 2: 3}, 7)
+        assert c.normalized() is c
+
+    def test_negative_coefficients(self):
+        c = LinearConstraint.le({1: -2, 2: -4}, -7).normalized()
+        assert c.constant == -4  # floor(-7/2)
+
+
+class TestSubstitution:
+    def test_value_substitution(self):
+        c = LinearConstraint.le({1: 2, 2: 3}, 10)
+        s = c.substitute(1, 2)
+        assert s.variables() == (2,)
+        assert s.constant == 6
+
+    def test_value_substitution_absent_var(self):
+        c = LinearConstraint.le({2: 3}, 10)
+        assert c.substitute(1, 99) is c
+
+    def test_expr_substitution(self):
+        # x1 := x3 - 2 in (2*x1 + x2 <= 10) => 2*x3 + x2 <= 14
+        c = LinearConstraint.le({1: 2, 2: 1}, 10)
+        s = c.substitute_expr(1, {3: 1}, -2)
+        assert dict(s.coeffs) == {2: 1, 3: 2}
+        assert s.constant == 14
+
+    def test_expr_substitution_merges_coefficients(self):
+        # x1 := x2 + 1 in (x1 - x2 <= 0) => 0 <= -1 (trivially false).
+        c = LinearConstraint.le({1: 1, 2: -1}, 0)
+        s = c.substitute_expr(1, {2: 1}, 1)
+        assert s.is_trivial
+        assert s.trivially_false
+
+
+def test_bounds_to_constraints():
+    constraints = list(bounds_to_constraints({1: (2, 5)}))
+    assert len(constraints) == 2
+    assert all(c.evaluate({1: v}) for c in constraints for v in (2, 3, 5))
+    assert not all(c.evaluate({1: 6}) for c in constraints)
+    assert not all(c.evaluate({1: 1}) for c in constraints)

@@ -1,0 +1,146 @@
+"""Unit tests for the Interval value type and forward arithmetic."""
+
+import pytest
+
+from repro.intervals import BOOL_DOMAIN, Interval, hull, interval_for_width
+
+
+class TestConstruction:
+    def test_point(self):
+        p = Interval.point(5)
+        assert p.lo == 5
+        assert p.hi == 5
+        assert p.is_point
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+
+    def test_bool_domain(self):
+        assert BOOL_DOMAIN == Interval(0, 1)
+
+    def test_width_domain(self):
+        assert interval_for_width(3) == Interval(0, 7)
+        assert interval_for_width(1) == Interval(0, 1)
+        assert interval_for_width(10) == Interval(0, 1023)
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            interval_for_width(0)
+
+    def test_hull(self):
+        assert hull([3, -1, 7]) == Interval(-1, 7)
+
+    def test_hull_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hull([])
+
+    def test_immutability(self):
+        p = Interval(1, 2)
+        with pytest.raises(Exception):
+            p.lo = 0  # type: ignore[misc]
+
+
+class TestSetQueries:
+    def test_contains(self):
+        iv = Interval(2, 5)
+        assert 2 in iv
+        assert 5 in iv
+        assert 3 in iv
+        assert 1 not in iv
+        assert 6 not in iv
+
+    def test_size(self):
+        assert Interval(2, 5).size == 4
+        assert Interval.point(0).size == 1
+
+    def test_iter(self):
+        assert list(Interval(2, 4)) == [2, 3, 4]
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(3, 7))
+        assert Interval(0, 10).contains_interval(Interval(0, 10))
+        assert not Interval(3, 7).contains_interval(Interval(0, 10))
+        assert not Interval(0, 5).contains_interval(Interval(4, 6))
+
+    def test_intersects(self):
+        assert Interval(0, 5).intersects(Interval(5, 9))
+        assert not Interval(0, 4).intersects(Interval(5, 9))
+
+
+class TestSetOps:
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 4).intersect(Interval(5, 9)) is None
+        assert Interval(0, 5).intersect(Interval(5, 9)) == Interval.point(5)
+
+    def test_union_hull(self):
+        assert Interval(0, 2).union_hull(Interval(5, 7)) == Interval(0, 7)
+
+    def test_difference_prefix(self):
+        assert Interval(0, 9).difference(Interval(-3, 4)) == Interval(5, 9)
+
+    def test_difference_suffix(self):
+        assert Interval(0, 9).difference(Interval(6, 12)) == Interval(0, 5)
+
+    def test_difference_covering(self):
+        assert Interval(3, 4).difference(Interval(0, 9)) is None
+
+    def test_difference_disjoint(self):
+        assert Interval(0, 3).difference(Interval(5, 9)) == Interval(0, 3)
+
+    def test_difference_hole_ignored(self):
+        # Removing an interior chunk would punch a hole; kept whole (sound).
+        assert Interval(0, 9).difference(Interval(4, 5)) == Interval(0, 9)
+
+
+class TestForwardArith:
+    def test_add(self):
+        assert Interval(1, 3).add(Interval(10, 20)) == Interval(11, 23)
+
+    def test_sub(self):
+        assert Interval(1, 3).sub(Interval(10, 20)) == Interval(-19, -7)
+
+    def test_neg(self):
+        assert Interval(1, 3).neg() == Interval(-3, -1)
+
+    def test_mul_mixed_signs(self):
+        assert Interval(-2, 3).mul(Interval(-5, 4)) == Interval(-15, 12)
+
+    def test_mul_const_positive(self):
+        assert Interval(1, 3).mul_const(4) == Interval(4, 12)
+
+    def test_mul_const_negative(self):
+        assert Interval(1, 3).mul_const(-2) == Interval(-6, -2)
+
+    def test_mul_const_zero(self):
+        assert Interval(1, 3).mul_const(0) == Interval.point(0)
+
+    def test_floordiv_const(self):
+        assert Interval(0, 7).floordiv_const(2) == Interval(0, 3)
+        assert Interval(1, 7).floordiv_const(2) == Interval(0, 3)
+        assert Interval(-3, 7).floordiv_const(2) == Interval(-2, 3)
+
+    def test_floordiv_negative_const(self):
+        assert Interval(0, 7).floordiv_const(-2) == Interval(-4, 0)
+
+    def test_floordiv_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            Interval(0, 7).floordiv_const(0)
+
+    def test_shift_left(self):
+        assert Interval(1, 3).shift_left(2) == Interval(4, 12)
+
+    def test_shift_right(self):
+        assert Interval(4, 12).shift_right(2) == Interval(1, 3)
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0, 1).shift_left(-1)
+        with pytest.raises(ValueError):
+            Interval(0, 1).shift_right(-1)
+
+    def test_paper_example_x_minus_z_negative(self):
+        # From Section 2.2: x - z < 0 with x, z in <0, 15> narrows to
+        # x in <0, 14>, z in <1, 15>.  Forward check of the sub image:
+        assert Interval(0, 15).sub(Interval(0, 15)) == Interval(-15, 15)

@@ -1,0 +1,199 @@
+"""Unit tests for the backward narrowing rules."""
+
+import pytest
+
+from repro.intervals import (
+    Interval,
+    narrow_add,
+    narrow_concat,
+    narrow_eq,
+    narrow_le,
+    narrow_lt,
+    narrow_mul_const,
+    narrow_ne,
+    narrow_neg,
+    narrow_shift_left,
+    narrow_shift_right,
+    narrow_sub,
+)
+
+
+def iv(lo, hi):
+    return Interval(lo, hi)
+
+
+class TestNarrowAdd:
+    def test_forward_only(self):
+        z, x, y = narrow_add(iv(0, 100), iv(1, 3), iv(10, 20))
+        assert z == iv(11, 23)
+        assert x == iv(1, 3)
+        assert y == iv(10, 20)
+
+    def test_backward(self):
+        # z pinned to 5, x in <0,3>, y in <0,3>: x >= 2, y >= 2.
+        z, x, y = narrow_add(iv(5, 5), iv(0, 3), iv(0, 3))
+        assert z == iv(5, 5)
+        assert x == iv(2, 3)
+        assert y == iv(2, 3)
+
+    def test_conflict(self):
+        assert narrow_add(iv(100, 200), iv(0, 3), iv(0, 3)) is None
+
+    def test_point_solve(self):
+        z, x, y = narrow_add(iv(7, 7), iv(3, 3), iv(0, 15))
+        assert y == iv(4, 4)
+
+
+class TestNarrowSub:
+    def test_backward(self):
+        z, x, y = narrow_sub(iv(0, 0), iv(0, 15), iv(5, 5))
+        assert x == iv(5, 5)
+
+    def test_conflict(self):
+        assert narrow_sub(iv(10, 20), iv(0, 3), iv(0, 3)) is None
+
+    def test_paper_eq3_shape(self):
+        # x - z in <-15, -1> encodes x - z < 0 over <0,15> words.
+        d, x, z = narrow_sub(iv(-15, -1), iv(0, 15), iv(0, 15))
+        assert x == iv(0, 14)
+        assert z == iv(1, 15)
+
+
+class TestNarrowNeg:
+    def test_roundtrip(self):
+        z, x = narrow_neg(iv(-100, 100), iv(2, 5))
+        assert z == iv(-5, -2)
+        assert x == iv(2, 5)
+
+    def test_conflict(self):
+        assert narrow_neg(iv(1, 5), iv(2, 5)) is None
+
+
+class TestNarrowMulConst:
+    def test_positive_k(self):
+        z, x = narrow_mul_const(iv(0, 10), iv(0, 100), 3)
+        assert z == iv(0, 10)
+        assert x == iv(0, 3)
+
+    def test_exact_divisibility_not_required(self):
+        # z in <5, 7>, k = 3: x can only be 2 (6 is the only multiple of 3).
+        z, x = narrow_mul_const(iv(5, 7), iv(0, 100), 3)
+        assert x == iv(2, 2)
+
+    def test_negative_k(self):
+        z, x = narrow_mul_const(iv(-10, -4), iv(-100, 100), -2)
+        assert x == iv(2, 5)
+
+    def test_zero_k(self):
+        z, x = narrow_mul_const(iv(-3, 8), iv(1, 9), 0)
+        assert z == iv(0, 0)
+        assert x == iv(1, 9)
+
+    def test_zero_k_conflict(self):
+        assert narrow_mul_const(iv(2, 8), iv(1, 9), 0) is None
+
+    def test_no_multiple_in_range(self):
+        assert narrow_mul_const(iv(7, 8), iv(0, 1), 3) is None
+
+
+class TestNarrowShifts:
+    def test_shift_left(self):
+        z, x = narrow_shift_left(iv(8, 12), iv(0, 100), 2)
+        assert x == iv(2, 3)
+
+    def test_shift_right_backward_widens(self):
+        # z = x >> 2 pinned to 1 means x in <4, 7>.
+        z, x = narrow_shift_right(iv(1, 1), iv(0, 100), 2)
+        assert x == iv(4, 7)
+
+    def test_shift_right_conflict(self):
+        assert narrow_shift_right(iv(9, 10), iv(0, 7), 2) is None
+
+
+class TestNarrowConcat:
+    def test_forward(self):
+        # z = {hi:3bits, lo:2bits}; hi=<1>, lo=<2> => z = 1*4+2 = 6.
+        z, hi, lo = narrow_concat(iv(0, 31), iv(1, 1), iv(2, 2), 2)
+        assert z == iv(6, 6)
+
+    def test_backward(self):
+        # z pinned to 13 = 3*4 + 1 => hi = 3, lo = 1.
+        z, hi, lo = narrow_concat(iv(13, 13), iv(0, 7), iv(0, 3), 2)
+        assert hi == iv(3, 3)
+        assert lo == iv(1, 1)
+
+    def test_conflict(self):
+        assert narrow_concat(iv(100, 120), iv(0, 3), iv(0, 3), 2) is None
+
+
+class TestRelations:
+    def test_le(self):
+        x, y = narrow_le(iv(0, 15), iv(0, 10))
+        assert x == iv(0, 10)
+        assert y == iv(0, 10)
+
+    def test_le_conflict(self):
+        assert narrow_le(iv(11, 15), iv(0, 10)) is None
+
+    def test_lt_paper_example(self):
+        # Section 2.2: x < z with x, z in <0, 15>.
+        x, z = narrow_lt(iv(0, 15), iv(0, 15))
+        assert x == iv(0, 14)
+        assert z == iv(1, 15)
+
+    def test_lt_conflict_on_equal_points(self):
+        assert narrow_lt(iv(5, 5), iv(5, 5)) is None
+
+    def test_eq(self):
+        x, y = narrow_eq(iv(0, 10), iv(5, 20))
+        assert x == iv(5, 10)
+        assert y == iv(5, 10)
+
+    def test_eq_conflict(self):
+        assert narrow_eq(iv(0, 4), iv(5, 20)) is None
+
+    def test_ne_trims_endpoint(self):
+        x, y = narrow_ne(iv(0, 10), iv(10, 10))
+        assert x == iv(0, 9)
+
+    def test_ne_conflict_same_point(self):
+        assert narrow_ne(iv(3, 3), iv(3, 3)) is None
+
+    def test_ne_interior_hole_ignored(self):
+        x, y = narrow_ne(iv(0, 10), iv(5, 5))
+        assert x == iv(0, 10)
+
+    def test_ne_both_points_distinct(self):
+        x, y = narrow_ne(iv(2, 2), iv(3, 3))
+        assert x == iv(2, 2)
+        assert y == iv(3, 3)
+
+
+def _solutions_add(z, x, y):
+    return [
+        (zz, xx, yy)
+        for xx in x
+        for yy in y
+        for zz in z
+        if zz == xx + yy
+    ]
+
+
+@pytest.mark.parametrize(
+    "z, x, y",
+    [
+        (iv(0, 6), iv(0, 5), iv(0, 5)),
+        (iv(3, 3), iv(0, 7), iv(2, 6)),
+        (iv(-4, 2), iv(-3, 3), iv(-3, 3)),
+    ],
+)
+def test_narrow_add_exhaustive_soundness(z, x, y):
+    """No (z, x, y) solution of z = x + y is lost by narrowing."""
+    result = narrow_add(z, x, y)
+    sols = _solutions_add(z, x, y)
+    if result is None:
+        assert not sols
+        return
+    nz, nx, ny = result
+    for zz, xx, yy in sols:
+        assert zz in nz and xx in nx and yy in ny

@@ -1,0 +1,210 @@
+"""Property-based tests for interval arithmetic and narrowing.
+
+Every forward operation must be *sound* (image is contained in the result)
+and, for the operators where the hull is exact, *tight* (result bounds are
+attained).  Every narrowing rule must be sound (never drops a point that
+participates in a solution of its constraint) and monotonic (output
+intervals are subsets of the inputs).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import (
+    Interval,
+    narrow_add,
+    narrow_concat,
+    narrow_eq,
+    narrow_le,
+    narrow_lt,
+    narrow_mul_const,
+    narrow_ne,
+    narrow_shift_right,
+    narrow_sub,
+)
+
+
+@st.composite
+def intervals(draw, lo=-50, hi=50):
+    a = draw(st.integers(min_value=lo, max_value=hi))
+    b = draw(st.integers(min_value=lo, max_value=hi))
+    return Interval(min(a, b), max(a, b))
+
+
+@st.composite
+def small_intervals(draw, lo=0, hi=15):
+    a = draw(st.integers(min_value=lo, max_value=hi))
+    b = draw(st.integers(min_value=lo, max_value=hi))
+    return Interval(min(a, b), max(a, b))
+
+
+class TestForwardSoundnessAndTightness:
+    @given(intervals(), intervals())
+    def test_add_exact(self, x, y):
+        z = x.add(y)
+        values = {a + b for a in (x.lo, x.hi) for b in (y.lo, y.hi)}
+        assert z.lo == min(values)
+        assert z.hi == max(values)
+        assert x.lo + y.lo in z
+        assert x.hi + y.hi in z
+
+    @given(small_intervals(), small_intervals())
+    def test_sub_sound_and_tight(self, x, y):
+        z = x.sub(y)
+        all_values = [a - b for a in x for b in y]
+        assert min(all_values) == z.lo
+        assert max(all_values) == z.hi
+
+    @given(small_intervals(lo=-10, hi=10), small_intervals(lo=-10, hi=10))
+    def test_mul_sound_and_tight_hull(self, x, y):
+        z = x.mul(y)
+        all_values = [a * b for a in x for b in y]
+        assert min(all_values) >= z.lo
+        assert max(all_values) <= z.hi
+        # Endpoint products attain the hull bounds.
+        corner = [a * b for a in (x.lo, x.hi) for b in (y.lo, y.hi)]
+        assert z.lo == min(corner)
+        assert z.hi == max(corner)
+
+    @given(intervals(), st.integers(min_value=-6, max_value=6))
+    def test_mul_const_exact(self, x, k):
+        z = x.mul_const(k)
+        assert x.lo * k in z
+        assert x.hi * k in z
+        assert z.size <= abs(k) * (x.size - 1) + 1
+
+    @given(small_intervals(lo=-20, hi=20), st.integers(min_value=1, max_value=5))
+    def test_floordiv_sound_and_tight(self, x, k):
+        z = x.floordiv_const(k)
+        all_values = [a // k for a in x]
+        assert min(all_values) == z.lo
+        assert max(all_values) == z.hi
+
+    @given(intervals(), intervals())
+    def test_union_hull_contains_both(self, x, y):
+        u = x.union_hull(y)
+        assert u.contains_interval(x)
+        assert u.contains_interval(y)
+
+    @given(intervals(), intervals())
+    def test_intersect_agrees_with_membership(self, x, y):
+        meet = x.intersect(y)
+        common = [v for v in range(-60, 61) if v in x and v in y]
+        if meet is None:
+            assert not common
+        else:
+            assert common == list(meet)
+
+    @given(intervals(), intervals())
+    def test_difference_sound(self, x, y):
+        diff = x.difference(y)
+        exact = {v for v in x if v not in y}
+        if diff is None:
+            assert not exact
+        else:
+            # Sound over-approximation: the true difference is contained.
+            assert exact <= set(diff)
+            # And never includes points outside x.
+            assert x.contains_interval(diff)
+
+
+def _check_narrowing(result, inputs, solutions):
+    """Shared oracle: soundness + monotonicity of a narrowing result."""
+    if result is None:
+        assert not solutions
+        return
+    for narrowed, original in zip(result, inputs):
+        assert original.contains_interval(narrowed)
+    for sol in solutions:
+        for value, narrowed in zip(sol, result):
+            assert value in narrowed
+
+
+class TestNarrowingProperties:
+    @given(small_intervals(), small_intervals(), small_intervals())
+    @settings(max_examples=60)
+    def test_add(self, z, x, y):
+        sols = [
+            (c, a, b) for a in x for b in y for c in z if c == a + b
+        ]
+        _check_narrowing(narrow_add(z, x, y), (z, x, y), sols)
+
+    @given(
+        small_intervals(lo=-15, hi=15),
+        small_intervals(),
+        small_intervals(),
+    )
+    @settings(max_examples=60)
+    def test_sub(self, z, x, y):
+        sols = [
+            (c, a, b) for a in x for b in y for c in z if c == a - b
+        ]
+        _check_narrowing(narrow_sub(z, x, y), (z, x, y), sols)
+
+    @given(
+        small_intervals(lo=-30, hi=30),
+        small_intervals(lo=-10, hi=10),
+        st.integers(min_value=-4, max_value=4),
+    )
+    @settings(max_examples=60)
+    def test_mul_const(self, z, x, k):
+        sols = [(c, a) for a in x for c in z if c == k * a]
+        _check_narrowing(narrow_mul_const(z, x, k), (z, x), sols)
+
+    @given(small_intervals(), small_intervals(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=60)
+    def test_shift_right(self, z, x, k):
+        sols = [(c, a) for a in x for c in z if c == a >> k]
+        _check_narrowing(narrow_shift_right(z, x, k), (z, x), sols)
+
+    @given(
+        small_intervals(lo=0, hi=63),
+        small_intervals(lo=0, hi=7),
+        small_intervals(lo=0, hi=3),
+    )
+    @settings(max_examples=60)
+    def test_concat(self, z, hi_part, lo_part):
+        sols = [
+            (c, h, l)
+            for h in hi_part
+            for l in lo_part
+            for c in z
+            if c == h * 4 + l
+        ]
+        _check_narrowing(
+            narrow_concat(z, hi_part, lo_part, 2), (z, hi_part, lo_part), sols
+        )
+
+    @given(small_intervals(), small_intervals())
+    @settings(max_examples=60)
+    def test_le(self, x, y):
+        sols = [(a, b) for a in x for b in y if a <= b]
+        _check_narrowing(narrow_le(x, y), (x, y), sols)
+
+    @given(small_intervals(), small_intervals())
+    @settings(max_examples=60)
+    def test_lt(self, x, y):
+        sols = [(a, b) for a in x for b in y if a < b]
+        _check_narrowing(narrow_lt(x, y), (x, y), sols)
+
+    @given(small_intervals(), small_intervals())
+    @settings(max_examples=60)
+    def test_eq(self, x, y):
+        sols = [(a, b) for a in x for b in y if a == b]
+        _check_narrowing(narrow_eq(x, y), (x, y), sols)
+
+    @given(small_intervals(), small_intervals())
+    @settings(max_examples=60)
+    def test_ne(self, x, y):
+        sols = [(a, b) for a in x for b in y if a != b]
+        _check_narrowing(narrow_ne(x, y), (x, y), sols)
+
+    @given(small_intervals(), small_intervals(), small_intervals())
+    @settings(max_examples=40)
+    def test_add_idempotent_at_fixpoint(self, z, x, y):
+        """Applying the rule twice gives the same result as once."""
+        first = narrow_add(z, x, y)
+        if first is None:
+            return
+        second = narrow_add(*first)
+        assert second == first

@@ -1,0 +1,158 @@
+"""Behavioural tests of the ITC'99-style circuit models."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.itc99 import available_cases, circuit, instance
+from repro.rtl import SequentialSimulator
+
+
+class TestRegistry:
+    def test_available_cases(self):
+        cases = available_cases()
+        assert "b01_1" in cases
+        assert "b13_5" in cases
+        assert "b13_40" in cases
+
+    def test_unknown_circuit(self):
+        with pytest.raises(CircuitError):
+            instance("b99_1", 10)
+
+    def test_unknown_property(self):
+        with pytest.raises(CircuitError):
+            instance("b01_9", 10)
+
+    def test_bad_name(self):
+        with pytest.raises(CircuitError):
+            instance("b01", 10)
+
+    def test_circuit_cached(self):
+        assert circuit("b01") is circuit("b01")
+
+    def test_instance_names(self):
+        assert instance("b13_5", 20).name == "b13_5(20)"
+
+
+class TestB01Behaviour:
+    def test_counter_wraps_mod8(self):
+        sim = SequentialSimulator(circuit("b01"))
+        for t in range(20):
+            values = sim.step({"a": 0, "flow": 1})
+            assert values["cnt_out"] == t % 8
+
+    def test_violation_trace(self):
+        # Drive matching flows; at a frame with cnt == 1 and t >= 8 the
+        # accumulator is far past 9, so ok_p1 must drop.
+        sim = SequentialSimulator(circuit("b01"))
+        for t in range(10):
+            values = sim.step({"a": 1, "flow": 1})
+        assert values["cnt_out"] == 1
+        assert values["ok_p1"] == 0
+
+    def test_no_violation_when_flows_differ(self):
+        sim = SequentialSimulator(circuit("b01"))
+        for t in range(32):
+            values = sim.step({"a": t % 2, "flow": (t + 1) % 2})
+            assert values["ok_p1"] == 1
+
+
+class TestB02Behaviour:
+    def test_state_never_reaches_seven(self):
+        sim = SequentialSimulator(circuit("b02"))
+        import random
+
+        rng = random.Random(0)
+        for _ in range(200):
+            values = sim.step({"char": rng.randint(0, 1)})
+            assert values["state_out"] != 7
+            assert values["ok_p1"] == 1
+
+    def test_advance_and_wrap(self):
+        sim = SequentialSimulator(circuit("b02"))
+        states = [sim.step({"char": 1})["state_out"] for _ in range(9)]
+        assert states == [0, 1, 2, 3, 4, 5, 6, 0, 1]
+
+
+class TestB04Behaviour:
+    def test_min_max_tracking(self):
+        sim = SequentialSimulator(circuit("b04"))
+        sim.step({"data": 100, "enable": 1})
+        values = sim.step({"data": 20, "enable": 1})
+        assert values["rmax_out"] == 100
+        assert values["rmin_out"] == 100
+        values = sim.step({"data": 0, "enable": 0})
+        assert values["rmax_out"] == 100
+        assert values["rmin_out"] == 20
+
+    def test_violation_with_wide_spread(self):
+        sim = SequentialSimulator(circuit("b04"))
+        sim.step({"data": 255, "enable": 1})
+        sim.step({"data": 0, "enable": 1})
+        values = sim.step({"data": 5, "enable": 0})
+        assert values["ok_p1"] == 0
+
+    def test_no_violation_with_narrow_stream(self):
+        sim = SequentialSimulator(circuit("b04"))
+        for value in (100, 120, 90, 110) * 5:
+            values = sim.step({"data": value, "enable": 1})
+            assert values["ok_p1"] == 1
+
+
+class TestB13Behaviour:
+    def test_transmit_sequence(self):
+        sim = SequentialSimulator(circuit("b13"))
+        values = sim.step({"start": 1, "din": 0b10110001})  # idle -> load
+        assert values["state_out"] == 0
+        values = sim.step({"start": 0, "din": 0b10110001})  # load -> tx
+        assert values["state_out"] == 1
+        # Transmit: 8 counted shifts, then done and back to idle.
+        for _ in range(20):
+            values = sim.step({"start": 0, "din": 0})
+            assert values["cnt_out"] <= 8
+            assert values["ok_p1"] == 1
+            assert values["ok_p2"] == 1
+            assert values["ok_p3"] == 1
+            assert values["ok_p5"] == 1
+            assert values["ok_p8"] == 1
+
+    def test_shift_register_loads_and_shifts(self):
+        sim = SequentialSimulator(circuit("b13"))
+        sim.step({"start": 1, "din": 0})
+        sim.step({"start": 0, "din": 128})  # load happens this cycle
+        values = sim.step({"start": 0, "din": 0})
+        assert values["shreg_out"] == 128
+        values = sim.step({"start": 0, "din": 0})
+        assert values["shreg_out"] == 64  # shifted right once in tx
+
+    def test_idle_counter_reaches_twelve(self):
+        sim = SequentialSimulator(circuit("b13"))
+        values = None
+        for _ in range(13):
+            values = sim.step({"start": 0, "din": 0})
+        assert values["ok_p40"] == 0  # idle_cnt == 12 at frame 12
+
+    def test_invariants_hold_under_random_stimulus(self):
+        import random
+
+        rng = random.Random(7)
+        sim = SequentialSimulator(circuit("b13"))
+        for _ in range(300):
+            values = sim.step(
+                {"start": rng.randint(0, 1), "din": rng.randint(0, 255)}
+            )
+            for prop in ("ok_p1", "ok_p2", "ok_p3", "ok_p5", "ok_p8"):
+                assert values[prop] == 1, prop
+
+
+class TestStats:
+    def test_operator_census_grows_linearly_with_bound(self):
+        small = instance("b13_1", 5).circuit.stats()
+        large = instance("b13_1", 10).circuit.stats()
+        assert large.arith_ops == pytest.approx(2 * small.arith_ops, rel=0.2)
+        assert large.bool_ops == pytest.approx(2 * small.bool_ops, rel=0.2)
+
+    def test_bitwidths_in_paper_range(self):
+        for name in ("b01", "b02", "b04", "b13"):
+            widths = {net.width for net in circuit(name).nets}
+            assert max(widths) <= 10
+            assert min(widths) == 1

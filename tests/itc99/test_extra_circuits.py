@@ -1,0 +1,106 @@
+"""Tests for the extension benchmark circuits b03 and b06."""
+
+import random
+
+import pytest
+
+from repro.core import HDPLL_SP, Status, solve_circuit
+from repro.itc99 import circuit, instance
+from repro.rtl import SequentialSimulator
+
+
+class TestB03Behaviour:
+    def test_grant_acquire_and_release(self):
+        sim = SequentialSimulator(circuit("b03"))
+        values = sim.step({"request": 0b0100})
+        assert values["granted_out"] == 0
+        values = sim.step({"request": 0})
+        assert values["granted_out"] == 1
+        assert values["owner_out"] == 2  # line 2 was the lowest requester
+        # The grant is held for the timer window, then released.
+        held = 0
+        for _ in range(12):
+            values = sim.step({"request": 0})
+            if values["granted_out"]:
+                held += 1
+            assert values["timer_out"] <= 6
+        assert 5 <= held <= 7
+
+    def test_priority_encoder(self):
+        sim = SequentialSimulator(circuit("b03"))
+        sim.step({"request": 0b1010})
+        values = sim.step({"request": 0})
+        assert values["owner_out"] == 1  # bit 1 beats bit 3
+
+    def test_invariants_random(self):
+        rng = random.Random(5)
+        sim = SequentialSimulator(circuit("b03"))
+        for _ in range(300):
+            values = sim.step({"request": rng.randint(0, 15)})
+            assert values["ok_p1"] == 1
+            assert values["ok_p2"] == 1
+
+
+class TestB06Behaviour:
+    def test_interrupt_sequence(self):
+        sim = SequentialSimulator(circuit("b06"))
+        values = sim.step({"irq": 1})           # idle -> ack
+        assert values["state_out"] == 0
+        values = sim.step({"irq": 0})           # ack -> service
+        assert values["state_out"] == 1
+        values = sim.step({"irq": 0})           # service, nesting 0 -> drain
+        assert values["state_out"] == 2
+        values = sim.step({"irq": 0})           # drain -> idle
+        assert values["state_out"] == 3
+        values = sim.step({"irq": 0})
+        assert values["state_out"] == 0
+
+    def test_nesting_bounded_random(self):
+        rng = random.Random(11)
+        sim = SequentialSimulator(circuit("b06"))
+        for _ in range(400):
+            values = sim.step({"irq": rng.randint(0, 1)})
+            assert values["nesting_out"] <= 5
+            assert values["ok_p1"] == 1
+            assert values["ok_p2"] == 1
+
+    def test_urgent_reachable_by_flooding(self):
+        sim = SequentialSimulator(circuit("b06"))
+        values = None
+        for _ in range(12):
+            values = sim.step({"irq": 1})
+        assert values["ok_p40"] == 0
+
+
+class TestSolving:
+    @pytest.mark.parametrize(
+        "case, bound, expected_sat",
+        [
+            ("b03_1", 12, False),
+            ("b03_2", 12, False),
+            ("b03_40", 8, True),
+            ("b03_40", 7, False),
+            ("b06_1", 10, False),
+            ("b06_2", 10, False),
+            ("b06_40", 10, False),
+            ("b06_40", 11, True),
+        ],
+    )
+    def test_expected_results(self, case, bound, expected_sat):
+        inst = instance(case, bound)
+        result = solve_circuit(
+            inst.circuit, inst.assumptions, HDPLL_SP.with_overrides(timeout=120)
+        )
+        assert result.status is not Status.UNKNOWN
+        assert result.is_sat == expected_sat, (case, bound)
+
+    def test_counterexample_replays(self):
+        from repro.bmc import input_trace_from_model
+
+        inst = instance("b03_40", 8)
+        result = solve_circuit(inst.circuit, inst.assumptions, HDPLL_SP)
+        assert result.is_sat
+        trace = input_trace_from_model(circuit("b03"), result.model, 8)
+        sim = SequentialSimulator(circuit("b03"))
+        values = [sim.step(frame) for frame in trace]
+        assert values[-1]["ok_p40"] == 0

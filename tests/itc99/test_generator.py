@@ -1,0 +1,80 @@
+"""Tests for the parametric workload generators (the solver oracle mill)."""
+
+import pytest
+
+from repro.bmc import make_bmc_instance
+from repro.core import HDPLL_SP, Status, solve_circuit
+from repro.itc99 import (
+    random_combinational_circuit,
+    random_safety_property,
+    random_sequential_circuit,
+)
+from repro.rtl import SequentialSimulator, simulate_combinational
+
+
+def test_combinational_generator_is_deterministic():
+    from repro.rtl import save
+
+    a = random_combinational_circuit(42)
+    b = random_combinational_circuit(42)
+    assert save(a) == save(b)
+
+
+def test_combinational_generator_validates():
+    for seed in range(5):
+        circuit = random_combinational_circuit(seed)
+        circuit.validate()
+        assert "flag" in circuit.outputs
+        assert "word" in circuit.outputs
+
+
+def test_sequential_generator_validates_and_simulates():
+    import random
+
+    for seed in range(5):
+        circuit = random_sequential_circuit(seed)
+        circuit.validate()
+        sim = SequentialSimulator(circuit)
+        rng = random.Random(seed)
+        for _ in range(10):
+            values = sim.step(
+                {
+                    "ctl": rng.randint(0, 1),
+                    "data": rng.randint(0, 2 ** circuit.inputs[1].width - 1),
+                }
+            )
+            assert values["ok"] in (0, 1)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_generated_bmc_instances_solve_and_verify(seed):
+    """BMC over generated circuits: solver answers replay on the
+    simulator (SAT) or agree with bounded exhaustive search (small)."""
+    circuit = random_sequential_circuit(seed, width=3, operations=6)
+    prop = random_safety_property()
+    bound = 4
+    inst = make_bmc_instance(circuit, prop, bound)
+    result = solve_circuit(
+        inst.circuit, inst.assumptions, HDPLL_SP.with_overrides(timeout=60)
+    )
+    assert result.status is not Status.UNKNOWN
+
+    # Exhaustive bounded check over all input traces (2 inputs, tiny).
+    import itertools
+
+    ctl_width = 1
+    data_width = 3
+    expected = False
+    for trace_bits in itertools.product(
+        range(2 ** (ctl_width + data_width)), repeat=bound
+    ):
+        sim = SequentialSimulator(circuit)
+        values = None
+        for packed in trace_bits:
+            values = sim.step(
+                {"ctl": packed & 1, "data": (packed >> 1) & 7}
+            )
+        if values["ok"] == 0:
+            expected = True
+            break
+    assert result.is_sat == expected

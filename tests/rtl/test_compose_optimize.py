@@ -1,0 +1,222 @@
+"""Tests for circuit composition and the optimisation pass."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.rtl import CircuitBuilder, SequentialSimulator, simulate_combinational
+from repro.rtl.compose import copy_into
+from repro.rtl.optimize import optimize
+from repro.itc99 import circuit as itc_circuit
+from repro.itc99 import random_combinational_circuit, random_sequential_circuit
+
+
+class TestCopyInto:
+    def test_shared_inputs(self):
+        from repro.rtl.circuit import Circuit
+
+        b = CircuitBuilder("src")
+        a = b.input("a", 4)
+        s = b.add(a, 1, name="s")
+        b.output("s", s)
+        source = b.build()
+
+        target = Circuit("t")
+        first = copy_into(target, source, prefix="x::")
+        second = copy_into(target, source, prefix="y::")
+        # One shared input, two adder copies.
+        assert len(target.inputs) == 1
+        assert first["a"] is second["a"]
+        assert first["s"] is not second["s"]
+
+    def test_width_mismatch_rejected(self):
+        from repro.rtl.circuit import Circuit
+
+        b = CircuitBuilder("one")
+        b.output("o", b.input("a", 4))
+        source_a = b.build()
+        b2 = CircuitBuilder("two")
+        b2.output("o", b2.input("a", 5))
+        source_b = b2.build()
+        target = Circuit("t")
+        copy_into(target, source_a)
+        with pytest.raises(CircuitError):
+            copy_into(target, source_b)
+
+    def test_sequential_copy_preserves_behaviour(self):
+        from repro.rtl.circuit import Circuit
+
+        source = itc_circuit("b13")
+        target = Circuit("copy_host")
+        mapping = copy_into(target, source, prefix="c::")
+        for alias, net in source.outputs.items():
+            target.mark_output(alias, mapping[net.name])
+        target.validate()
+
+        rng = random.Random(3)
+        sim_a = SequentialSimulator(source)
+        sim_b = SequentialSimulator(target)
+        for _ in range(30):
+            stimulus = {"start": rng.randint(0, 1), "din": rng.randint(0, 255)}
+            va = sim_a.step(stimulus)
+            vb = sim_b.step(stimulus)
+            for alias in source.outputs:
+                assert va[alias] == vb[alias]
+
+
+class TestOptimize:
+    def _assert_equivalent_comb(self, original, optimised, samples=None):
+        inputs = original.inputs
+        if samples is None:
+            space = itertools.product(
+                *(range(min(net.max_value + 1, 8)) for net in inputs)
+            )
+        else:
+            space = samples
+        for point in space:
+            stimulus = dict(zip((n.name for n in inputs), point))
+            va = simulate_combinational(original, stimulus)
+            vb = simulate_combinational(optimised, stimulus)
+            for alias in original.outputs:
+                assert va[alias] == vb[alias], (alias, stimulus)
+
+    def test_constant_folding(self):
+        b = CircuitBuilder()
+        k1 = b.const(3, 4)
+        k2 = b.const(4, 4)
+        s = b.add(k1, k2, name="s")
+        a = b.input("a", 4)
+        out = b.add(a, s, name="out")
+        b.output("out", out)
+        original = b.build()
+        optimised = optimize(original)
+        # The constant adder folded away.
+        assert optimised.stats().arith_ops == 1
+        self._assert_equivalent_comb(original, optimised)
+
+    def test_identity_removal(self):
+        b = CircuitBuilder()
+        a = b.input("a", 4)
+        s1 = b.add(a, 0)          # x + 0
+        s2 = b.mul_const(s1, 1)   # x * 1
+        s3 = b.shl(s2, 0)         # x << 0
+        b.output("out", s3)
+        original = b.build()
+        optimised = optimize(original)
+        assert optimised.stats().arith_ops == 0
+        self._assert_equivalent_comb(original, optimised)
+
+    def test_mux_same_branches(self):
+        b = CircuitBuilder()
+        sel = b.input("sel", 1)
+        a = b.input("a", 4)
+        m = b.mux(sel, a, a, name="m")
+        b.output("m", m)
+        optimised = optimize(b.build())
+        assert optimised.stats().arith_ops == 0
+
+    def test_cse_merges_duplicates(self):
+        b = CircuitBuilder()
+        a = b.input("a", 4)
+        c = b.input("c", 4)
+        s1 = b.add(a, c)
+        s2 = b.add(c, a)  # commutative duplicate
+        p = b.eq(s1, s2, name="p")
+        b.output("p", p)
+        original = b.build()
+        optimised = optimize(original)
+        # Both adders merge, and eq(x, x) folds to 1.
+        assert optimised.stats().arith_ops == 0
+        self._assert_equivalent_comb(original, optimised)
+
+    def test_comparator_identical_operands(self):
+        b = CircuitBuilder()
+        a = b.input("a", 3)
+        for name, fn, expected in (
+            ("eq", b.eq, 1),
+            ("ne", b.ne, 0),
+            ("lt", b.lt, 0),
+            ("le", b.le, 1),
+        ):
+            b.output(name, fn(a, a))
+        original = b.build()
+        optimised = optimize(original)
+        assert optimised.stats().predicates == 0
+        values = simulate_combinational(optimised, {"a": 5})
+        assert values["eq"] == 1
+        assert values["ne"] == 0
+        assert values["lt"] == 0
+        assert values["le"] == 1
+
+    def test_double_negation(self):
+        b = CircuitBuilder()
+        x = b.input("x", 1)
+        b.output("o", b.not_(b.not_(x)))
+        optimised = optimize(b.build())
+        assert optimised.stats().bool_ops == 0
+
+    def test_and_or_constant_absorption(self):
+        b = CircuitBuilder()
+        x = b.input("x", 1)
+        t = b.const(1, 1)
+        f = b.const(0, 1)
+        b.output("and_f", b.and_(x, f))   # -> 0
+        b.output("or_t", b.or_(x, t))     # -> 1
+        b.output("and_t", b.and_(x, t))   # -> x
+        b.output("or_f", b.or_(x, f))     # -> x
+        optimised = optimize(b.build())
+        assert optimised.stats().bool_ops == 0
+        for value in (0, 1):
+            out = simulate_combinational(optimised, {"x": value})
+            assert out["and_f"] == 0
+            assert out["or_t"] == 1
+            assert out["and_t"] == value
+            assert out["or_f"] == value
+
+    def test_dead_logic_removed(self):
+        b = CircuitBuilder()
+        a = b.input("a", 4)
+        dead = b.add(a, 7)
+        dead2 = b.mul_const(dead, 3)
+        live = b.sub(a, 1, name="live")
+        b.output("live", live)
+        optimised = optimize(b.build())
+        assert optimised.stats().arith_ops == 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_combinational_equivalence(self, seed):
+        original = random_combinational_circuit(seed, operations=12)
+        optimised = optimize(original)
+        rng = random.Random(seed)
+        samples = [
+            tuple(rng.randint(0, net.max_value) for net in original.inputs)
+            for _ in range(25)
+        ]
+        self._assert_equivalent_comb(original, optimised, samples)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_sequential_equivalence_by_simulation(self, seed):
+        original = random_sequential_circuit(seed)
+        optimised = optimize(original)
+        rng = random.Random(seed + 1)
+        sim_a = SequentialSimulator(original)
+        sim_b = SequentialSimulator(optimised)
+        width = original.inputs[1].width
+        for _ in range(25):
+            stimulus = {
+                "ctl": rng.randint(0, 1),
+                "data": rng.randint(0, 2**width - 1),
+            }
+            va = sim_a.step(stimulus)
+            vb = sim_b.step(stimulus)
+            for alias in original.outputs:
+                assert va[alias] == vb[alias]
+
+    def test_itc99_circuits_shrink(self):
+        for name in ("b01", "b02", "b04", "b13"):
+            original = itc_circuit(name)
+            optimised = optimize(original)
+            assert len(optimised.nodes) <= len(original.nodes)
+            assert set(optimised.outputs) == set(original.outputs)

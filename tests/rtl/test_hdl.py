@@ -1,0 +1,247 @@
+"""Tests for the HDL frontend."""
+
+import pytest
+
+from repro.errors import NetlistFormatError
+from repro.core import HDPLL_SP, solve_circuit
+from repro.equivalence import EquivalenceStatus, check_combinational_equivalence
+from repro.rtl import CircuitBuilder, SequentialSimulator, simulate_combinational
+from repro.rtl.hdl import parse_module
+
+
+class TestCombinational:
+    def test_clipper_module(self):
+        circuit = parse_module(
+            """
+            module clipper(input [8:0] a, input [8:0] b,
+                           output [8:0] y, output over);
+              wire [8:0] total = a + b;
+              wire over_w = total > 9'd200;
+              assign y = over_w ? 9'd200 : total;
+              assign over = over_w;
+            endmodule
+            """
+        )
+        assert circuit.name == "clipper"
+        values = simulate_combinational(circuit, {"a": 150, "b": 100})
+        assert values["y"] == 200
+        assert values["over"] == 1
+        values = simulate_combinational(circuit, {"a": 3, "b": 4})
+        assert values["y"] == 7
+        assert values["over"] == 0
+
+    def test_operators(self):
+        circuit = parse_module(
+            """
+            module ops(input [3:0] a, input [3:0] b, output [3:0] s,
+                       output [3:0] d, output eqo, output lto, output geo,
+                       output mix);
+              assign s = a + b;
+              assign d = a - b;
+              assign eqo = a == b;
+              assign lto = a < b;
+              assign geo = a >= b;
+              assign mix = (a == b) || ((a < b) && !(b == 4'd0));
+            endmodule
+            """
+        )
+        for av in range(16):
+            for bv in range(0, 16, 3):
+                values = simulate_combinational(circuit, {"a": av, "b": bv})
+                assert values["s"] == (av + bv) % 16
+                assert values["d"] == (av - bv) % 16
+                assert values["eqo"] == int(av == bv)
+                assert values["lto"] == int(av < bv)
+                assert values["geo"] == int(av >= bv)
+                assert values["mix"] == int(
+                    av == bv or (av < bv and bv != 0)
+                )
+
+    def test_shifts_selects_concat(self):
+        circuit = parse_module(
+            """
+            module bits(input [7:0] x, output [7:0] l, output [7:0] r,
+                        output [3:0] hi, output b0, output [9:0] cat);
+              assign l = x << 2;
+              assign r = x >> 3;
+              assign hi = x[7:4];
+              assign b0 = x[0];
+              assign cat = {x, 2'b10};
+            endmodule
+            """
+        )
+        values = simulate_combinational(circuit, {"x": 0b10110101})
+        assert values["l"] == (0b10110101 << 2) & 0xFF
+        assert values["r"] == 0b10110101 >> 3
+        assert values["hi"] == 0b1011
+        assert values["b0"] == 1
+        assert values["cat"] == (0b10110101 << 2) | 0b10
+
+    def test_width_balancing_zero_extends(self):
+        circuit = parse_module(
+            """
+            module widen(input [3:0] small, input [7:0] big,
+                         output [7:0] total);
+              assign total = small + big;
+            endmodule
+            """
+        )
+        values = simulate_combinational(circuit, {"small": 15, "big": 250})
+        assert values["total"] == (15 + 250) % 256
+
+    def test_literal_bases(self):
+        circuit = parse_module(
+            """
+            module lits(input [7:0] x, output a, output b, output c);
+              assign a = x == 8'd200;
+              assign b = x == 8'hC8;
+              assign c = x == 8'b11001000;
+            endmodule
+            """
+        )
+        values = simulate_combinational(circuit, {"x": 200})
+        assert values["a"] == values["b"] == values["c"] == 1
+
+    def test_unary_minus_and_negation(self):
+        circuit = parse_module(
+            """
+            module neg(input [3:0] x, input p, output [3:0] m, output np);
+              assign m = -x;
+              assign np = !p;
+            endmodule
+            """
+        )
+        values = simulate_combinational(circuit, {"x": 3, "p": 1})
+        assert values["m"] == (16 - 3) % 16
+        assert values["np"] == 0
+
+
+class TestSequential:
+    SOURCE = """
+    module counter(input clk, input enable, input [7:0] step,
+                   output [7:0] value, output saturated);
+      reg [7:0] count = 5;
+      wire can = count < 8'd200;
+      wire go = enable && can;
+      wire [7:0] bumped = count + step;
+      always @(posedge clk) count <= go ? bumped : count;
+      assign value = count;
+      assign saturated = !can;
+    endmodule
+    """
+
+    def test_counter_behaviour(self):
+        circuit = parse_module(self.SOURCE)
+        sim = SequentialSimulator(circuit)
+        values = sim.step({"clk": 0, "enable": 1, "step": 10})
+        assert values["value"] == 5
+        values = sim.step({"clk": 0, "enable": 1, "step": 10})
+        assert values["value"] == 15
+        values = sim.step({"clk": 0, "enable": 0, "step": 10})
+        assert values["value"] == 25
+        values = sim.step({"clk": 0, "enable": 1, "step": 10})
+        assert values["value"] == 25
+
+    def test_bmc_on_parsed_module(self):
+        from repro.bmc import SafetyProperty, make_bmc_instance
+
+        circuit = parse_module(self.SOURCE)
+        prop = SafetyProperty("sat", "saturated", "never saturates")
+        # Needs ceil(195/255)... with step up to 255 per cycle: count can
+        # pass 200 after one big enabled step -> violation at frame 2.
+        instance = make_bmc_instance(circuit, prop, 3)
+        # saturated must be 0 always; ask for saturated==1... the ok
+        # convention: property signal should be 1; here 'saturated' is a
+        # bad-state flag, so check its negation via assumptions directly.
+        result = solve_circuit(
+            instance.circuit,
+            {f"saturated@2": 1},
+            HDPLL_SP,
+        )
+        assert result.is_sat
+
+
+class TestAgainstBuilder:
+    def test_equivalence_with_builder_version(self):
+        parsed = parse_module(
+            """
+            module minmax(input [7:0] data, input [7:0] ref,
+                          output [7:0] maxv, output [7:0] minv);
+              wire g = data > ref;
+              assign maxv = g ? data : ref;
+              assign minv = g ? ref : data;
+            endmodule
+            """
+        )
+        b = CircuitBuilder("built")
+        data = b.input("data", 8)
+        ref = b.input("ref", 8)
+        g = b.gt(data, ref)
+        b.output("maxv", b.mux(g, data, ref))
+        b.output("minv", b.mux(g, ref, data))
+        built = b.build()
+        result = check_combinational_equivalence(parsed, built, config=HDPLL_SP)
+        assert result.status is EquivalenceStatus.EQUIVALENT
+
+
+class TestErrors:
+    def test_undeclared_signal(self):
+        with pytest.raises(NetlistFormatError):
+            parse_module(
+                "module m(output o); assign o = ghost; endmodule"
+            )
+
+    def test_unassigned_output(self):
+        with pytest.raises(NetlistFormatError):
+            parse_module("module m(input a, output o); endmodule")
+
+    def test_double_assignment(self):
+        with pytest.raises(NetlistFormatError):
+            parse_module(
+                """
+                module m(input a, output o);
+                  assign o = a;
+                  assign o = a;
+                endmodule
+                """
+            )
+
+    def test_literal_overflow(self):
+        with pytest.raises(NetlistFormatError):
+            parse_module(
+                "module m(output [2:0] o); assign o = 3'd9; endmodule"
+            )
+
+    def test_width_overflow_rejected(self):
+        with pytest.raises(NetlistFormatError):
+            parse_module(
+                """
+                module m(input [7:0] a, output [3:0] o);
+                  assign o = a;
+                endmodule
+                """
+            )
+
+    def test_two_bare_literals(self):
+        with pytest.raises(NetlistFormatError):
+            parse_module(
+                "module m(output o); assign o = 1 + 2; endmodule"
+            )
+
+    def test_bad_token(self):
+        with pytest.raises(NetlistFormatError):
+            parse_module("module m(output o); assign o = `macro; endmodule")
+
+    def test_multiple_clocks_rejected(self):
+        with pytest.raises(NetlistFormatError):
+            parse_module(
+                """
+                module m(input clk1, input clk2, input d, output o);
+                  reg r1 = 0;
+                  reg r2 = 0;
+                  always @(posedge clk1) r1 <= d;
+                  always @(posedge clk2) r2 <= d;
+                  assign o = r1 && r2;
+                endmodule
+                """
+            )

@@ -1,0 +1,75 @@
+"""Tests for level ordering and cone analyses."""
+
+from repro.rtl import (
+    CircuitBuilder,
+    fanin_cone_nodes,
+    fanout_cone_nodes,
+    levelize,
+    max_level,
+    nets_by_level,
+    transitive_fanout_count,
+)
+
+
+def _example():
+    b = CircuitBuilder()
+    a = b.input("a", 4)
+    c = b.input("c", 4)
+    s = b.add(a, c, name="s")
+    p = b.lt(s, c, name="p")
+    q = b.not_(p, name="q")
+    m = b.mux(q, a, s, name="m")
+    b.output("out", m)
+    return b.build(), {"a": a, "c": c, "s": s, "p": p, "q": q, "m": m}
+
+
+def test_levels():
+    circuit, nets = _example()
+    levels = levelize(circuit)
+    assert levels[nets["a"].index] == 0
+    assert levels[nets["c"].index] == 0
+    assert levels[nets["s"].index] == 1
+    assert levels[nets["p"].index] == 2
+    assert levels[nets["q"].index] == 3
+    assert levels[nets["m"].index] == 4
+    assert max_level(circuit) == 4
+
+
+def test_levels_treat_registers_as_sources():
+    b = CircuitBuilder()
+    r = b.register("r", 4)
+    nxt = b.inc(r)
+    b.next_state(r, nxt)
+    circuit = b.build()
+    levels = levelize(circuit)
+    assert levels[r.index] == 0
+
+
+def test_fanin_cone():
+    circuit, nets = _example()
+    cone = fanin_cone_nodes([nets["p"]])
+    cone_names = {node.output.name for node in cone}
+    assert cone_names == {"a", "c", "s", "p"}
+
+
+def test_fanout_cone():
+    circuit, nets = _example()
+    cone = fanout_cone_nodes([nets["s"]])
+    cone_names = {node.output.name for node in cone}
+    assert cone_names == {"p", "q", "m"}
+
+
+def test_transitive_fanout_count():
+    circuit, nets = _example()
+    assert transitive_fanout_count(nets["s"]) == 3
+    assert transitive_fanout_count(nets["m"]) == 0
+    # 'a' feeds the adder and the mux, hence everything downstream.
+    assert transitive_fanout_count(nets["a"]) == 4
+
+
+def test_nets_by_level_sorted():
+    circuit, _ = _example()
+    ordered = nets_by_level(circuit)
+    levels = levelize(circuit)
+    values = [levels[n.index] for n in ordered]
+    assert values == sorted(values)

@@ -1,0 +1,118 @@
+"""Tests for the textual netlist format, including round-trip properties."""
+
+import pytest
+
+from repro.errors import NetlistFormatError
+from repro.rtl import CircuitBuilder, load, save, simulate_combinational
+from repro.rtl.netlist_io import load_from_path, save_to_path
+
+
+def _rich_circuit():
+    b = CircuitBuilder("rich")
+    a = b.input("a", 4)
+    c = b.input("c", 4)
+    sel = b.input("sel", 1)
+    k = b.const(9, 4, name="k9")
+    r = b.register("r", 4, init=3)
+    s = b.add(a, c, name="s")
+    d = b.sub(s, k, name="d")
+    m3 = b.mul_const(a, 3, name="m3")
+    sh = b.shl(a, 1, name="sh")
+    sr = b.shr(a, 2, name="sr")
+    cat = b.concat(a, c, name="cat")
+    ex = b.extract(cat, 5, 2, name="ex")
+    z = b.zext(a, 6, name="z")
+    p = b.lt(d, k, name="p")
+    g = b.and_(p, sel, name="g")
+    m = b.mux(g, s, d, name="m")
+    b.next_state(r, m)
+    b.output("out", m)
+    b.output("flag", g)
+    b.output("wide", z)
+    b.output("slice", ex)
+    b.output("m3o", m3)
+    b.output("sho", sh)
+    b.output("sro", sr)
+    return b.build()
+
+
+def test_roundtrip_structure():
+    original = _rich_circuit()
+    text = save(original)
+    restored = load(text)
+    assert restored.name == original.name
+    assert len(restored.nodes) == len(original.nodes)
+    assert len(restored.nets) == len(original.nets)
+    assert set(restored.outputs) == set(original.outputs)
+    assert len(restored.registers) == len(original.registers)
+    assert restored.registers[0].init_value == 3
+
+
+def test_roundtrip_behaviour():
+    original = _rich_circuit()
+    restored = load(save(original))
+    for av in (0, 5, 15):
+        for cv in (0, 7):
+            for sv in (0, 1):
+                inputs = {"a": av, "c": cv, "sel": sv}
+                vo = simulate_combinational(original, inputs)
+                vr = simulate_combinational(restored, inputs)
+                for name in original.outputs:
+                    assert vo[original.outputs[name].name] == \
+                        vr[restored.outputs[name].name]
+
+
+def test_double_roundtrip_is_stable():
+    text1 = save(_rich_circuit())
+    text2 = save(load(text1))
+    assert text1 == text2
+
+
+def test_file_roundtrip(tmp_path):
+    path = str(tmp_path / "circuit.net")
+    save_to_path(_rich_circuit(), path)
+    restored = load_from_path(path)
+    assert restored.name == "rich"
+
+
+def test_comments_and_blank_lines():
+    text = (
+        "# a comment\n"
+        "circuit demo\n"
+        "\n"
+        "input a 2  # trailing comment\n"
+        "output o a\n"
+    )
+    circuit = load(text)
+    assert circuit.name == "demo"
+    assert "o" in circuit.outputs
+
+
+class TestMalformedInputs:
+    def test_missing_header(self):
+        with pytest.raises(NetlistFormatError):
+            load("input a 2\noutput o a\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(NetlistFormatError):
+            load("circuit x\nfrobnicate a 2\n")
+
+    def test_unknown_operator(self):
+        with pytest.raises(NetlistFormatError):
+            load("circuit x\ninput a 1\nnode n bogus 1 a\n")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(NetlistFormatError):
+            load("circuit x\ninput a 4\nnode n shl 4 a speed=3\n")
+
+    def test_undefined_net_reference(self):
+        with pytest.raises(NetlistFormatError):
+            load("circuit x\ninput a 1\nnode n and 1 a ghost\n")
+
+    def test_width_mismatch_reported(self):
+        with pytest.raises(NetlistFormatError):
+            load("circuit x\ninput a 4\ninput b 5\nnode n add 4 a b\n")
+
+    def test_bad_reg_line(self):
+        with pytest.raises(NetlistFormatError):
+            load("circuit x\nreg r 4\n")

@@ -1,0 +1,84 @@
+"""Tests for predicate-logic extraction (Section 3, step 1)."""
+
+from repro.rtl import CircuitBuilder, count_predicate_gates, extract_predicates
+
+
+def test_comparators_are_predicate_outputs():
+    b = CircuitBuilder()
+    a = b.input("a", 4)
+    c = b.input("c", 4)
+    p = b.lt(a, c, name="p")
+    b.output("o", p)
+    report = extract_predicates(b.build())
+    assert [n.name for n in report.predicate_outputs] == ["p"]
+
+
+def test_mux_selects_are_control_points():
+    b = CircuitBuilder()
+    sel = b.input("sel", 1)
+    a = b.input("a", 4)
+    c = b.input("c", 4)
+    m = b.mux(sel, a, c)
+    b.output("o", m)
+    report = extract_predicates(b.build())
+    assert [n.name for n in report.control_points] == ["sel"]
+
+
+def test_candidates_cover_control_cone_in_level_order():
+    # comparator -> NOT -> AND -> mux select: all Boolean gates in the
+    # chain are learning candidates, lowest level first.
+    b = CircuitBuilder()
+    a = b.input("a", 4)
+    c = b.input("c", 4)
+    en = b.input("en", 1)
+    p = b.lt(a, c, name="p")
+    q = b.not_(p, name="q")
+    g = b.and_(q, en, name="g")
+    m = b.mux(g, a, c)
+    b.output("o", m)
+    report = extract_predicates(b.build())
+    names = [n.name for n in report.learning_candidates]
+    assert names == ["p", "q", "g"]
+
+
+def test_pure_boolean_logic_outside_cone_excluded():
+    # A Boolean gate that neither feeds a datapath control point nor
+    # consumes a predicate output is not a candidate.
+    b = CircuitBuilder()
+    x = b.input("x", 1)
+    y = b.input("y", 1)
+    isolated = b.and_(x, y, name="isolated")
+    a = b.input("a", 4)
+    c = b.input("c", 4)
+    p = b.lt(a, c, name="p")
+    b.output("o1", isolated)
+    b.output("o2", p)
+    report = extract_predicates(b.build())
+    names = [n.name for n in report.learning_candidates]
+    assert "isolated" not in names
+    assert "p" in names
+
+
+def test_forward_cone_from_predicates_included():
+    # Boolean logic consuming comparator outputs is predicate logic even
+    # if it does not steer a mux.
+    b = CircuitBuilder()
+    a = b.input("a", 4)
+    c = b.input("c", 4)
+    p1 = b.lt(a, c, name="p1")
+    p2 = b.eq(a, c, name="p2")
+    both = b.or_(p1, p2, name="both")
+    b.output("o", both)
+    report = extract_predicates(b.build())
+    names = {n.name for n in report.learning_candidates}
+    assert {"p1", "p2", "both"} <= names
+
+
+def test_count_predicate_gates():
+    b = CircuitBuilder()
+    a = b.input("a", 4)
+    c = b.input("c", 4)
+    p = b.lt(a, c)
+    m = b.mux(p, a, c)
+    b.output("o", m)
+    assert count_predicate_gates(b.build()) == 1

@@ -1,0 +1,146 @@
+"""Tests for the concrete simulator, including exhaustive operator checks."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.rtl import CircuitBuilder, SequentialSimulator, simulate_combinational
+
+
+def test_boolean_gates_exhaustive():
+    b = CircuitBuilder()
+    x = b.input("x")
+    y = b.input("y")
+    gates = {
+        "and": b.and_(x, y),
+        "or": b.or_(x, y),
+        "nand": b.nand(x, y),
+        "nor": b.nor(x, y),
+        "xor": b.xor(x, y),
+        "xnor": b.xnor(x, y),
+        "not": b.not_(x),
+        "buf": b.buf(x),
+    }
+    for name, net in gates.items():
+        b.output(name, net)
+    circuit = b.build()
+    expected = {
+        "and": lambda a, c: a & c,
+        "or": lambda a, c: a | c,
+        "nand": lambda a, c: 1 - (a & c),
+        "nor": lambda a, c: 1 - (a | c),
+        "xor": lambda a, c: a ^ c,
+        "xnor": lambda a, c: 1 - (a ^ c),
+        "not": lambda a, c: 1 - a,
+        "buf": lambda a, c: a,
+    }
+    for xv in (0, 1):
+        for yv in (0, 1):
+            values = simulate_combinational(circuit, {"x": xv, "y": yv})
+            for name, net in gates.items():
+                assert values[net.name] == expected[name](xv, yv), name
+
+
+def test_word_ops_exhaustive_3bit():
+    b = CircuitBuilder()
+    a = b.input("a", 3)
+    c = b.input("c", 3)
+    sel = b.input("sel", 1)
+    outs = {
+        "add": b.add(a, c),
+        "sub": b.sub(a, c),
+        "mulc": b.mul_const(a, 3),
+        "shl": b.shl(a, 1),
+        "shr": b.shr(a, 1),
+        "concat": b.concat(a, c),
+        "extract": b.extract(a, 2, 1),
+        "zext": b.zext(a, 5),
+        "mux": b.mux(sel, a, c),
+        "eq": b.eq(a, c),
+        "ne": b.ne(a, c),
+        "lt": b.lt(a, c),
+        "le": b.le(a, c),
+        "gt": b.gt(a, c),
+        "ge": b.ge(a, c),
+    }
+    circuit = b.circuit
+    expected = {
+        "add": lambda a, c, s: (a + c) % 8,
+        "sub": lambda a, c, s: (a - c) % 8,
+        "mulc": lambda a, c, s: (a * 3) % 8,
+        "shl": lambda a, c, s: (a << 1) % 8,
+        "shr": lambda a, c, s: a >> 1,
+        "concat": lambda a, c, s: (a << 3) | c,
+        "extract": lambda a, c, s: (a >> 1) & 3,
+        "zext": lambda a, c, s: a,
+        "mux": lambda a, c, s: a if s else c,
+        "eq": lambda a, c, s: int(a == c),
+        "ne": lambda a, c, s: int(a != c),
+        "lt": lambda a, c, s: int(a < c),
+        "le": lambda a, c, s: int(a <= c),
+        "gt": lambda a, c, s: int(a > c),
+        "ge": lambda a, c, s: int(a >= c),
+    }
+    for av in range(8):
+        for cv in range(8):
+            for sv in (0, 1):
+                values = simulate_combinational(
+                    circuit, {"a": av, "c": cv, "sel": sv}
+                )
+                for name, net in outs.items():
+                    assert values[net.name] == expected[name](av, cv, sv), name
+
+
+def test_missing_input_rejected():
+    b = CircuitBuilder()
+    b.input("a", 3)
+    circuit = b.circuit
+    with pytest.raises(CircuitError):
+        simulate_combinational(circuit, {})
+
+
+def test_out_of_range_input_rejected():
+    b = CircuitBuilder()
+    b.input("a", 3)
+    with pytest.raises(CircuitError):
+        simulate_combinational(b.circuit, {"a": 8})
+
+
+class TestSequential:
+    def _counter(self, width=4, init=0):
+        b = CircuitBuilder("counter")
+        enable = b.input("enable", 1)
+        count = b.register("count", width, init=init)
+        incremented = b.inc(count)
+        nxt = b.mux(enable, incremented, count)
+        b.next_state(count, nxt)
+        b.output("count_out", count)
+        return b.build()
+
+    def test_counter_counts(self):
+        sim = SequentialSimulator(self._counter())
+        for cycle in range(10):
+            values = sim.step({"enable": 1})
+            assert values["count_out"] == cycle
+
+    def test_counter_holds_when_disabled(self):
+        sim = SequentialSimulator(self._counter(init=7))
+        for _ in range(3):
+            values = sim.step({"enable": 0})
+            assert values["count_out"] == 7
+
+    def test_counter_wraps(self):
+        sim = SequentialSimulator(self._counter(width=2, init=3))
+        assert sim.step({"enable": 1})["count_out"] == 3
+        assert sim.step({"enable": 1})["count_out"] == 0
+
+    def test_run_trace(self):
+        sim = SequentialSimulator(self._counter())
+        trace = sim.run([{"enable": 1}] * 3)
+        assert [v["count_out"] for v in trace] == [0, 1, 2]
+
+    def test_register_state_override(self):
+        circuit = self._counter()
+        values = simulate_combinational(
+            circuit, {"enable": 1}, register_values={"count": 9}
+        )
+        assert values["count_out"] == 9

@@ -1,0 +1,45 @@
+"""Every example script must run clean — examples are part of the API.
+
+Each script is executed in-process (fast, and coverage-visible); the
+scripts end with assertions, so a zero-noise run means the documented
+behaviour still holds.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs(script, capsys, monkeypatch):
+    # compare_solvers iterates every engine incl. the deliberately slow
+    # comparators; pin it to a tiny instance.
+    if script.stem == "compare_solvers":
+        monkeypatch.setattr(sys, "argv", [str(script), "b01_1", "10"])
+    else:
+        monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.stem} produced no output"
+
+
+def test_example_inventory():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "figure1_recursive_learning",
+        "figure2_predicate_learning",
+        "figure4_structural_search",
+        "bmc_counterexample",
+        "compare_solvers",
+        "equivalence_checking",
+        "unbounded_proof",
+    } <= names

@@ -1,0 +1,96 @@
+"""Hypothesis fuzzing across module boundaries.
+
+These tests chain several subsystems per example: generator -> netlist
+IO round trip -> optimiser -> simulator/solver cross-checks.  They are
+the suite's broad-spectrum regression net.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HDPLL_SP, Status, solve_circuit
+from repro.bmc import make_bmc_instance
+from repro.itc99 import (
+    random_combinational_circuit,
+    random_safety_property,
+    random_sequential_circuit,
+)
+from repro.rtl import (
+    SequentialSimulator,
+    load,
+    optimize,
+    save,
+    simulate_combinational,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_netlist_roundtrip_preserves_behaviour(seed):
+    circuit = random_combinational_circuit(seed, operations=10)
+    restored = load(save(circuit))
+    rng = random.Random(seed)
+    for _ in range(5):
+        stimulus = {
+            net.name: rng.randint(0, net.max_value)
+            for net in circuit.inputs
+        }
+        original_values = simulate_combinational(circuit, stimulus)
+        restored_values = simulate_combinational(restored, stimulus)
+        for alias in circuit.outputs:
+            assert original_values[alias] == restored_values[alias]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_optimize_then_roundtrip(seed):
+    circuit = random_combinational_circuit(seed, operations=10)
+    rebuilt = load(save(optimize(circuit)))
+    rng = random.Random(seed ^ 0xBEEF)
+    for _ in range(5):
+        stimulus = {
+            net.name: rng.randint(0, net.max_value)
+            for net in circuit.inputs
+        }
+        assert (
+            simulate_combinational(circuit, stimulus)["word"]
+            == simulate_combinational(rebuilt, stimulus)["word"]
+        )
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 10_000), st.integers(2, 4))
+def test_sequential_roundtrip_and_unroll(seed, bound):
+    circuit = random_sequential_circuit(seed, width=3, operations=6)
+    restored = load(save(circuit))
+    rng = random.Random(seed)
+    sim_a = SequentialSimulator(circuit)
+    sim_b = SequentialSimulator(restored)
+    for _ in range(bound * 2):
+        stimulus = {"ctl": rng.randint(0, 1), "data": rng.randint(0, 7)}
+        va = sim_a.step(stimulus)
+        vb = sim_b.step(stimulus)
+        assert va["ok"] == vb["ok"]
+        assert va["probe"] == vb["probe"]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_solver_answers_survive_optimisation(seed):
+    """solve(C) and solve(optimize(C)) must agree on BMC instances."""
+    circuit = random_sequential_circuit(seed, width=3, operations=6)
+    prop = random_safety_property()
+    original = make_bmc_instance(circuit, prop, 3)
+    optimised = make_bmc_instance(optimize(circuit), prop, 3)
+    first = solve_circuit(
+        original.circuit, original.assumptions, HDPLL_SP.with_overrides(timeout=60)
+    )
+    second = solve_circuit(
+        optimised.circuit,
+        optimised.assumptions,
+        HDPLL_SP.with_overrides(timeout=60),
+    )
+    assert first.status is not Status.UNKNOWN
+    assert first.status == second.status

@@ -1,0 +1,258 @@
+"""Tests for the SMT-LIB2 exporter.
+
+The strong check: a miniature S-expression evaluator executes every
+exported assertion against values from the concrete simulator — each
+assertion must hold on every simulated point (the export is a faithful
+encoding), and the assumption assertions must flip exactly when the
+simulated values violate them.
+"""
+
+import random
+import re
+
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.export import to_smtlib2
+from repro.intervals import Interval
+from repro.itc99 import instance, random_combinational_circuit
+from repro.rtl import CircuitBuilder, simulate_combinational
+
+
+# ----------------------------------------------------------------------
+# A tiny evaluator for the exported QF_BV subset.
+# ----------------------------------------------------------------------
+
+def _tokenize(text):
+    return re.findall(r"\(|\)|\|[^|]*\||[^\s()]+", text)
+
+
+def _parse(tokens, position=0):
+    token = tokens[position]
+    if token == "(":
+        items = []
+        position += 1
+        while tokens[position] != ")":
+            node, position = _parse(tokens, position)
+            items.append(node)
+        return items, position + 1
+    return token, position + 1
+
+
+def parse_script(text):
+    """Yield top-level s-expressions."""
+    tokens = _tokenize(text)
+    position = 0
+    expressions = []
+    while position < len(tokens):
+        node, position = _parse(tokens, position)
+        expressions.append(node)
+    return expressions
+
+
+class MiniBv:
+    """Evaluate the exported expression grammar over (value, width)."""
+
+    def __init__(self, env):
+        self.env = env  # name -> (value, width)
+
+    def eval(self, node):
+        if isinstance(node, str):
+            name = node.strip("|")
+            return self.env[name]
+        head = node[0]
+        if isinstance(head, list):  # ((_ extract hi lo) x) etc.
+            inner = head
+            if inner[1] == "extract":
+                hi, lo = int(inner[2]), int(inner[3])
+                value, _ = self.eval(node[1])
+                return ((value >> lo) & ((1 << (hi - lo + 1)) - 1),
+                        hi - lo + 1)
+            if inner[1] == "zero_extend":
+                pad = int(inner[2])
+                value, width = self.eval(node[1])
+                return value, width + pad
+            raise AssertionError(f"unknown indexed op {inner}")
+        if head == "_":  # (_ bvN w)
+            return int(node[1][2:]), int(node[2])
+        if head == "=":
+            left, right = self.eval(node[1]), self.eval(node[2])
+            return (int(left[0] == right[0]), 0)
+        if head == "distinct":
+            left, right = self.eval(node[1]), self.eval(node[2])
+            return (int(left[0] != right[0]), 0)
+        if head == "ite":
+            condition = self.eval(node[1])
+            return self.eval(node[2]) if condition[0] else self.eval(node[3])
+        operands = [self.eval(child) for child in node[1:]]
+        width = max(w for _, w in operands)
+        mask = (1 << width) - 1
+        values = [v for v, _ in operands]
+        if head == "bvadd":
+            return (sum(values) & mask, width)
+        if head == "bvsub":
+            return ((values[0] - values[1]) & mask, width)
+        if head == "bvmul":
+            return ((values[0] * values[1]) & mask, width)
+        if head == "bvand":
+            result = mask
+            for value in values:
+                result &= value
+            return (result, width)
+        if head == "bvor":
+            result = 0
+            for value in values:
+                result |= value
+            return (result, width)
+        if head == "bvxor":
+            return (values[0] ^ values[1], width)
+        if head == "bvnot":
+            return (~values[0] & mask, width)
+        if head == "bvshl":
+            return ((values[0] << values[1]) & mask if values[1] < width
+                    else 0, width)
+        if head == "bvlshr":
+            return (values[0] >> values[1] if values[1] < width else 0,
+                    width)
+        if head == "concat":
+            (hi_value, hi_width), (lo_value, lo_width) = operands
+            return ((hi_value << lo_width) | lo_value, hi_width + lo_width)
+        if head == "bvult":
+            return (int(values[0] < values[1]), 0)
+        if head == "bvule":
+            return (int(values[0] <= values[1]), 0)
+        if head == "bvugt":
+            return (int(values[0] > values[1]), 0)
+        if head == "bvuge":
+            return (int(values[0] >= values[1]), 0)
+        raise AssertionError(f"unknown operator {head}")
+
+
+def check_script_against_simulation(circuit, assumptions, stimulus):
+    """All circuit assertions must hold on the simulated point; return
+    whether the assumption assertions hold too."""
+    text = to_smtlib2(circuit, assumptions)
+    values = simulate_combinational(circuit, stimulus)
+    env = {net.name: (values[net.name], net.width) for net in circuit.nets}
+    evaluator = MiniBv(env)
+    expressions = parse_script(text)
+    assumption_count = sum(
+        2 if isinstance(v, Interval) else 1 for v in assumptions.values()
+    )
+    assertions = [e for e in expressions if e and e[0] == "assert"]
+    circuit_assertions = assertions[: len(assertions) - assumption_count]
+    assumption_assertions = assertions[len(assertions) - assumption_count:]
+    for assertion in circuit_assertions:
+        value, _ = evaluator.eval(assertion[1])
+        assert value == 1, assertion
+    return all(
+        evaluator.eval(a[1])[0] == 1 for a in assumption_assertions
+    )
+
+
+def _mixed_circuit():
+    b = CircuitBuilder("mix")
+    a = b.input("a", 4)
+    c = b.input("c", 4)
+    sel = b.input("sel", 1)
+    s = b.add(a, c, name="s")
+    d = b.sub(a, c, name="d")
+    m3 = b.mul_const(a, 3, name="m3")
+    sh = b.shl(a, 1, name="sh")
+    sr = b.shr(a, 2, name="sr")
+    cat = b.concat(a, c, name="cat")
+    ex = b.extract(cat, 5, 2, name="ex")
+    z = b.zext(a, 6, name="z")
+    p = b.lt(s, m3, name="p")
+    q = b.ge(d, c, name="q")
+    g = b.and_(p, sel, name="g")
+    x = b.xor(q, g, name="x")
+    m = b.mux(x, s, d, name="m")
+    b.output("out", m)
+    return b.build()
+
+
+class TestExport:
+    def test_structure(self):
+        circuit = _mixed_circuit()
+        text = to_smtlib2(circuit, {"out": 5})
+        assert text.startswith("; circuit mix")
+        assert "(set-logic QF_BV)" in text
+        assert text.count("(declare-const") == len(circuit.nets)
+        assert "(check-sat)" in text
+        assert text.count("(") == text.count(")")
+
+    def test_assertions_hold_on_simulated_points(self):
+        circuit = _mixed_circuit()
+        for av in (0, 7, 15):
+            for cv in (0, 9):
+                for sv in (0, 1):
+                    stimulus = {"a": av, "c": cv, "sel": sv}
+                    check_script_against_simulation(
+                        circuit, {"out": 0}, stimulus
+                    )
+
+    def test_assumption_assertions_track_values(self):
+        circuit = _mixed_circuit()
+        stimulus = {"a": 3, "c": 2, "sel": 1}
+        out_value = simulate_combinational(circuit, stimulus)["out"]
+        assert check_script_against_simulation(
+            circuit, {"out": out_value}, stimulus
+        )
+        assert not check_script_against_simulation(
+            circuit, {"out": (out_value + 1) % 16}, stimulus
+        )
+
+    def test_interval_assumptions(self):
+        circuit = _mixed_circuit()
+        stimulus = {"a": 3, "c": 2, "sel": 1}
+        out_value = simulate_combinational(circuit, stimulus)["out"]
+        assert check_script_against_simulation(
+            circuit, {"out": Interval(out_value, out_value)}, stimulus
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_circuits_export_faithfully(self, seed):
+        circuit = random_combinational_circuit(seed, operations=10)
+        rng = random.Random(seed)
+        for _ in range(5):
+            stimulus = {
+                net.name: rng.randint(0, net.max_value)
+                for net in circuit.inputs
+            }
+            check_script_against_simulation(circuit, {}, stimulus)
+
+    def test_bmc_instance_exports(self):
+        inst = instance("b13_1", 4)
+        text = to_smtlib2(inst.circuit, inst.assumptions)
+        # Frame names need quoting ('@' is not a plain symbol char).
+        assert "|" in text
+        assert text.count("(") == text.count(")")
+
+    def test_sequential_rejected(self):
+        from repro.itc99 import circuit as get_circuit
+
+        with pytest.raises(UnsupportedOperationError):
+            to_smtlib2(get_circuit("b01"), {})
+
+
+class TestDimacsExport:
+    def test_dimacs_roundtrips_and_solves(self):
+        from repro.baselines import from_dimacs, solve_cnf
+        from repro.export import to_dimacs
+
+        circuit = _mixed_circuit()
+        text = to_dimacs(circuit, {"out": 5})
+        cnf = from_dimacs(text)
+        result = solve_cnf(cnf)
+        # The HDPLL answer is the reference.
+        from repro.core import solve_circuit
+
+        reference = solve_circuit(circuit, {"out": 5})
+        assert result.satisfiable == reference.is_sat
+
+    def test_dimacs_header(self):
+        from repro.export import to_dimacs
+
+        text = to_dimacs(_mixed_circuit(), {})
+        assert text.startswith("p cnf ")
