@@ -29,6 +29,11 @@ from repro.constraints.propagators import (
 from repro.constraints.store import (
     ASSUMPTION,
     DECISION,
+    EVENT_ANY,
+    EVENT_BOOL,
+    EVENT_FIXED,
+    EVENT_LOWER,
+    EVENT_UPPER,
     Conflict,
     DomainStore,
     Event,
@@ -46,6 +51,11 @@ __all__ = [
     "Conflict",
     "DECISION",
     "DomainStore",
+    "EVENT_ANY",
+    "EVENT_BOOL",
+    "EVENT_FIXED",
+    "EVENT_LOWER",
+    "EVENT_UPPER",
     "Event",
     "FALSE",
     "LinearEqProp",

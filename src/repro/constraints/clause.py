@@ -26,6 +26,9 @@ TRUE = 1
 FALSE = 0
 UNASSIGNED = -1
 
+#: Sentinel: a falsified watch migrated to another literal.
+_MOVED = object()
+
 
 @dataclass(frozen=True)
 class BoolLit:
@@ -160,19 +163,58 @@ def _propagate_literal(
 class ClauseDatabase:
     """Clause storage with two-watched-literal propagation.
 
-    Every clause watches two of its literals; a clause is only examined
-    when a watched variable's domain changes.  Because literal status is
-    monotone under narrowing, the standard invariant (watch two non-false
-    literals, or the clause is unit/conflicting) carries over unchanged
-    from Boolean CDCL.
+    Every clause watches two of its literals; a clause is only *visited*
+    when a watched variable's domain changes, and only *examined* when
+    that event actually falsified the watched literal.  Because literal
+    status is monotone under narrowing, the standard invariant (watch two
+    non-false literals, or the clause is satisfied / was handled when a
+    watch fell) carries over unchanged from Boolean CDCL: a kept-false
+    watch is only ever kept when the other watch is true or the clause
+    was unit-propagated, and in both cases the falsifying event is at the
+    current decision level, so backtracking unassigns it no later than
+    the fact that justified keeping it.
+
+    Watch lists are maintained in place: a moved watch is appended to its
+    new variable's list and swap-removed from the old one in O(1), never
+    via a linear pop-scan.
     """
 
     def __init__(self, store: DomainStore):
         self.store = store
         self.clauses: List[Clause] = []
-        #: var index -> list of (clause, watch position) pairs.
-        self.watches: Dict[int, List[Tuple[Clause, int]]] = {}
+        #: var index -> list of [clause, watch position] entries.
+        self.watches: Dict[int, List[List[object]]] = {}
+        #: id(clause) -> its two watched literal positions.
         self._watch_positions: Dict[int, Tuple[int, int]] = {}
+        #: Perf counters: watch-list entries inspected / watches moved.
+        self.clause_visits = 0
+        self.watch_moves = 0
+
+    # ------------------------------------------------------------------
+    # Literal status against the flat domain arrays
+    # ------------------------------------------------------------------
+    def _lit_status(self, literal: Literal) -> int:
+        """Status of one literal, read off ``store.lo``/``store.hi``."""
+        store = self.store
+        index = literal.var.index
+        lo = store.lo[index]
+        hi = store.hi[index]
+        if type(literal) is BoolLit:
+            if lo != hi:
+                return UNASSIGNED
+            return TRUE if bool(lo) == literal.positive else FALSE
+        interval = literal.interval
+        if literal.positive:
+            if interval.lo <= lo and hi <= interval.hi:
+                return TRUE
+            if interval.hi < lo or hi < interval.lo:
+                return FALSE
+            return UNASSIGNED
+        if interval.hi < lo or hi < interval.lo:
+            return TRUE
+        if interval.lo <= lo and hi <= interval.hi:
+            return FALSE
+        return UNASSIGNED
 
     # ------------------------------------------------------------------
     # Clause installation
@@ -182,95 +224,181 @@ class ClauseDatabase:
 
         The clause may be unit or even false under the current trail
         (learned clauses usually are); the caller must then backtrack
-        and re-propagate as appropriate.
+        and re-propagate as appropriate.  Watches are placed on non-false
+        literals whenever any exist, establishing the invariant at entry.
         """
         self.clauses.append(clause)
-        count = len(clause.literals)
-        self._set_watches(clause, 0, min(1, count - 1))
-        return self._examine(clause)
+        literals = clause.literals
+        true_pos = -1
+        open1 = -1
+        open2 = -1
+        for position, literal in enumerate(literals):
+            status = self._lit_status(literal)
+            if status == TRUE:
+                true_pos = position
+                break
+            if status == UNASSIGNED:
+                if open1 < 0:
+                    open1 = position
+                elif open2 < 0:
+                    open2 = position
+        if true_pos >= 0:
+            other = open1 if open1 >= 0 else (true_pos + 1) % len(literals)
+            self._attach(clause, true_pos, other)
+            return None
+        if open1 < 0:
+            # Every literal false under the current trail.
+            self._attach(clause, 0, min(1, len(literals) - 1))
+            return self._conflict(clause)
+        if open2 < 0:
+            # Unit: assert the single open literal.
+            other = (open1 + 1) % len(literals) if len(literals) > 1 else open1
+            self._attach(clause, open1, other)
+            outcome = _propagate_literal(clause, literals[open1], self.store)
+            if isinstance(outcome, Conflict):
+                return outcome
+            return None
+        self._attach(clause, open1, open2)
+        return None
 
-    def _set_watches(self, clause: Clause, first: int, second: int) -> None:
-        """(Re)point the clause's watches at literal positions."""
-        old = self._watch_positions.get(id(clause))
-        if old is not None:
-            for position in set(old):
-                var = clause.literals[position].var
-                entries = self.watches.get(var.index, [])
-                for i, (watched_clause, watched_position) in enumerate(entries):
-                    if watched_clause is clause and watched_position == position:
-                        entries.pop(i)
-                        break
+    def _attach(self, clause: Clause, first: int, second: int) -> None:
+        """Register fresh watch entries for a newly installed clause."""
         self._watch_positions[id(clause)] = (first, second)
         for position in {first, second}:
             var = clause.literals[position].var
-            self.watches.setdefault(var.index, []).append((clause, position))
+            self.watches.setdefault(var.index, []).append([clause, position])
+
+    def _set_watches(self, clause: Clause, first: int, second: int) -> None:
+        """Repoint both watches (slow path, used by the reference scan)."""
+        self._detach(clause)
+        self._attach(clause, first, second)
+
+    def _detach(self, clause: Clause) -> None:
+        positions = self._watch_positions.pop(id(clause), None)
+        if positions is None:
+            return
+        for position in set(positions):
+            var = clause.literals[position].var
+            entries = self.watches.get(var.index, [])
+            for i, entry in enumerate(entries):
+                if entry[0] is clause and entry[1] == position:
+                    last = entries.pop()
+                    if i < len(entries):
+                        entries[i] = last
+                    break
 
     # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
     def on_var_event(self, var: Variable) -> Optional[Conflict]:
-        """Re-examine all clauses watching ``var``; returns a conflict or None."""
+        """Visit the clauses watching ``var``; returns a conflict or None.
+
+        Only clauses whose *watched literal on this variable* was
+        falsified by the event are examined; everything else is a
+        two-int-compare skip.
+        """
         entries = self.watches.get(var.index)
         if not entries:
             return None
-        for clause, _position in list(entries):
-            conflict = self._examine(clause)
-            if conflict is not None:
-                return conflict
+        i = 0
+        visits = 0
+        while i < len(entries):
+            entry = entries[i]
+            clause: Clause = entry[0]  # type: ignore[assignment]
+            position: int = entry[1]  # type: ignore[assignment]
+            visits += 1
+            if self._lit_status(clause.literals[position]) != FALSE:
+                i += 1
+                continue
+            outcome = self._on_watch_falsified(clause, position, entries, i)
+            if outcome is _MOVED:
+                # Entry i was swap-replaced; re-examine the same slot.
+                continue
+            if outcome is not None:
+                self.clause_visits += visits
+                return outcome
+            i += 1
+        self.clause_visits += visits
+        return None
+
+    def _on_watch_falsified(
+        self,
+        clause: Clause,
+        position: int,
+        entries: List[List[object]],
+        entry_index: int,
+    ) -> object:
+        """Handle one falsified watch: rewatch, satisfy, unit, or conflict.
+
+        Returns ``_MOVED`` when the watch migrated (the caller's entry was
+        swap-removed), ``None`` when the clause is satisfied or was unit
+        propagated (watches kept), or a :class:`Conflict`.
+        """
+        first, second = self._watch_positions[id(clause)]
+        other = second if position == first else first
+        literals = clause.literals
+        if other != position:
+            other_status = self._lit_status(literals[other])
+            if other_status == TRUE:
+                # Satisfied; the kept-false watch is at the current level,
+                # which cannot outlive the satisfying assignment.
+                return None
+        else:
+            other_status = FALSE
+        for replacement in range(len(literals)):
+            if replacement == position or replacement == other:
+                continue
+            if self._lit_status(literals[replacement]) == FALSE:
+                continue
+            # Move this watch to the non-false replacement literal.
+            self.watch_moves += 1
+            if position == first:
+                self._watch_positions[id(clause)] = (replacement, second)
+            else:
+                self._watch_positions[id(clause)] = (first, replacement)
+            target = literals[replacement].var.index
+            self.watches.setdefault(target, []).append([clause, replacement])
+            # Swap-remove the old entry.  When the replacement is on the
+            # same variable, the pop below grabs the entry just appended
+            # and lands it in the vacated slot — still correct.
+            last = entries.pop()
+            if entry_index < len(entries):
+                entries[entry_index] = last
+            return _MOVED
+        # No replacement: the clause is unit on ``other`` or conflicting.
+        if other == position or other_status == FALSE:
+            return self._conflict(clause)
+        outcome = _propagate_literal(clause, literals[other], self.store)
+        if isinstance(outcome, Conflict):
+            return outcome
         return None
 
     def _examine(self, clause: Clause) -> Optional[Conflict]:
-        """Examine one clause: satisfied, unit, conflicting, or rewatch.
+        """Reference full scan: satisfied, unit, conflicting, or rewatch.
 
-        Fast path first: while both watched literals are non-false (or
-        either is true) the clause cannot be unit or conflicting, so the
-        full literal scan only runs when a watch has actually been
-        falsified — the textbook two-watched-literal argument.
+        Used by :meth:`recheck_all` (the naive reference path the
+        differential tests compare against) and safe in any watch state.
         """
-        first, second = self._watch_positions[id(clause)]
         literals = clause.literals
-        first_status = literals[first].status(self.store)
-        if first_status == TRUE:
-            return None
-        second_status = (
-            literals[second].status(self.store) if second != first else first_status
-        )
-        if second_status == TRUE:
-            return None
-        if (
-            first != second
-            and first_status == UNASSIGNED
-            and second_status == UNASSIGNED
-        ):
-            return None
-        statuses = [literal.status(self.store) for literal in clause.literals]
-        if TRUE in statuses:
-            # Park a watch on the satisfying literal so subsequent visits
-            # take the fast path while it stays true.
-            true_position = statuses.index(TRUE)
-            other = next(
-                (
-                    i
-                    for i, s in enumerate(statuses)
-                    if s != FALSE and i != true_position
-                ),
-                true_position,
-            )
-            self._set_watches(clause, true_position, other)
-            return None
-        unassigned = [i for i, s in enumerate(statuses) if s == UNASSIGNED]
-        if not unassigned:
+        open1 = -1
+        open2 = -1
+        for position, literal in enumerate(literals):
+            status = self._lit_status(literal)
+            if status == TRUE:
+                return None
+            if status == UNASSIGNED:
+                if open1 < 0:
+                    open1 = position
+                elif open2 < 0:
+                    open2 = position
+        if open1 < 0:
             return self._conflict(clause)
-        if len(unassigned) == 1:
-            outcome = _propagate_literal(
-                clause, clause.literals[unassigned[0]], self.store
-            )
+        if open2 < 0:
+            outcome = _propagate_literal(clause, literals[open1], self.store)
             if isinstance(outcome, Conflict):
                 return outcome
             return None
-        # Two or more open literals: watch two of them so the clause is
-        # revisited no later than when one becomes false.
-        self._set_watches(clause, unassigned[0], unassigned[1])
+        self._set_watches(clause, open1, open2)
         return None
 
     def _conflict(self, clause: Clause) -> Conflict:
@@ -295,15 +423,7 @@ class ClauseDatabase:
 
     def remove_clause(self, clause: Clause) -> None:
         """Detach a clause from the database and its watch lists."""
-        positions = self._watch_positions.pop(id(clause), None)
-        if positions is not None:
-            for position in set(positions):
-                var = clause.literals[position].var
-                entries = self.watches.get(var.index, [])
-                for i, (watched, watched_position) in enumerate(entries):
-                    if watched is clause and watched_position == position:
-                        entries.pop(i)
-                        break
+        self._detach(clause)
         try:
             self.clauses.remove(clause)
         except ValueError:  # pragma: no cover - defensive

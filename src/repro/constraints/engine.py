@@ -1,16 +1,31 @@
 """Event-driven hybrid constraint propagation (the paper's ``Ddeduce``).
 
-The engine maintains a worklist of propagators.  Whenever a variable's
-domain changes (by decision, assumption, clause propagation or another
-propagator) every propagator registered on that variable is enqueued; the
-loop runs until no further narrowing is possible (bounds consistency,
-Section 2.2) or a conflict is found.
+The engine maintains a two-tier worklist of propagators.  Whenever a
+variable's domain changes (by decision, assumption, clause propagation or
+another propagator) the propagators registered on that variable whose
+*wake mask* matches the event's kind bits are enqueued; the loop runs
+until no further narrowing is possible (bounds consistency, Section 2.2)
+or a conflict is found.
+
+Two scheduling disciplines keep the fixpoint loop off the slow path:
+
+* **Event-kind filtering** — each propagator declares, per watched
+  variable, which domain changes matter to it (``EVENT_LOWER``,
+  ``EVENT_UPPER``, ``EVENT_FIXED``, ``EVENT_BOOL``); non-matching events
+  cost one mask test.  A propagator that just narrowed a variable is not
+  re-woken by its own event: every propagator family leaves its
+  constraint at a local fixpoint before returning (``idempotent``).
+* **Two queue tiers** — cheap Boolean propagation (tier 0) drains fully
+  before any expensive ICP propagator (tier 1) runs, so interval
+  propagators always see the largest consistent set of Boolean facts and
+  run fewer times.  Clause (BCP) propagation happens inline during event
+  dispatch and therefore ahead of both tiers.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Set
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.constraints.clause import Clause, ClauseDatabase
 from repro.constraints.propagators import Propagator
@@ -25,17 +40,22 @@ class PropagationEngine:
         self.store = store
         self.propagators: List[Propagator] = list(propagators)
         self.clause_db = ClauseDatabase(store)
-        #: var index -> propagators mentioning that variable.
-        self._watchers: Dict[int, List[int]] = {}
+        #: var index -> [(propagator position, wake mask)].
+        self._watchers: Dict[int, List[Tuple[int, int]]] = {}
         for position, propagator in enumerate(self.propagators):
             for var in propagator.variables:
-                self._watchers.setdefault(var.index, []).append(position)
-        self._queue: Deque[int] = deque()
+                self._watchers.setdefault(var.index, []).append(
+                    (position, propagator.wake_mask(var))
+                )
+        #: Tier queues: 0 = cheap Boolean, 1 = expensive ICP.
+        self._queues: Tuple[Deque[int], Deque[int]] = (deque(), deque())
+        self._tier: List[int] = [p.priority for p in self.propagators]
         self._queued: Set[int] = set()
         #: Trail index up to which events have been dispatched.
         self._dispatched = 0
         #: Statistics.
         self.propagation_count = 0
+        self.wakeup_count = 0
 
     # ------------------------------------------------------------------
     # Worklist management
@@ -43,10 +63,12 @@ class PropagationEngine:
     def _enqueue(self, position: int) -> None:
         if position not in self._queued:
             self._queued.add(position)
-            self._queue.append(position)
+            self.wakeup_count += 1
+            self._queues[self._tier[position]].append(position)
 
     def enqueue_watchers_of(self, var: Variable) -> None:
-        for position in self._watchers.get(var.index, ()):
+        """Schedule every propagator watching ``var`` (mask-agnostic)."""
+        for position, _mask in self._watchers.get(var.index, ()):
             self._enqueue(position)
 
     def enqueue_all(self) -> None:
@@ -57,7 +79,8 @@ class PropagationEngine:
     def notify_backtrack(self) -> None:
         """Reset dispatch bookkeeping after the trail shrank."""
         self._dispatched = min(self._dispatched, len(self.store.trail))
-        self._queue.clear()
+        self._queues[0].clear()
+        self._queues[1].clear()
         self._queued.clear()
 
     # ------------------------------------------------------------------
@@ -77,15 +100,37 @@ class PropagationEngine:
         """Process trail events added since the last dispatch.
 
         Each new event triggers clause propagation (which may append more
-        events) and schedules the propagators watching the variable.
+        events) and schedules the propagators whose wake mask matches the
+        event's kind bits — except the propagator that produced the event,
+        which is already at its local fixpoint.
         """
-        while self._dispatched < len(self.store.trail):
-            event = self.store.trail[self._dispatched]
+        store = self.store
+        trail = store.trail
+        clause_db = self.clause_db
+        watchers = self._watchers
+        queued = self._queued
+        queues = self._queues
+        tier = self._tier
+        while self._dispatched < len(trail):
+            event = trail[self._dispatched]
             self._dispatched += 1
-            conflict = self.clause_db.on_var_event(event.var)
+            conflict = clause_db.on_var_event(event.var)
             if conflict is not None:
                 return conflict
-            self.enqueue_watchers_of(event.var)
+            watching = watchers.get(event.var.index)
+            if not watching:
+                continue
+            kinds = event.kinds
+            reason = event.reason
+            propagators = self.propagators
+            for position, mask in watching:
+                if mask & kinds and position not in queued:
+                    propagator = propagators[position]
+                    if propagator is reason and propagator.idempotent:
+                        continue
+                    queued.add(position)
+                    self.wakeup_count += 1
+                    queues[tier[position]].append(position)
         return None
 
     def propagate(self) -> Optional[Conflict]:
@@ -93,8 +138,9 @@ class PropagationEngine:
         conflict = self._dispatch_new_events()
         if conflict is not None:
             return conflict
-        while self._queue:
-            position = self._queue.popleft()
+        cheap, expensive = self._queues
+        while cheap or expensive:
+            position = cheap.popleft() if cheap else expensive.popleft()
             self._queued.discard(position)
             self.propagation_count += 1
             conflict = self.propagators[position].propagate(self.store)

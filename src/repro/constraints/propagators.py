@@ -26,9 +26,24 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import SolverError
 from repro.intervals import Interval, narrow_eq, narrow_le, narrow_lt, narrow_ne
-from repro.constraints.store import Conflict, DomainStore, Event
+from repro.constraints.store import (
+    EVENT_ANY,
+    EVENT_BOOL,
+    EVENT_FIXED,
+    EVENT_LOWER,
+    EVENT_UPPER,
+    Conflict,
+    DomainStore,
+    Event,
+)
 from repro.constraints.variable import Variable
 from repro.rtl.types import OpKind
+
+#: Wake mask for propagators that react to any bound movement.
+BOUNDS_MASK = EVENT_LOWER | EVENT_UPPER | EVENT_FIXED | EVENT_BOOL
+#: Wake mask for variables that only matter once fixed to a point
+#: (Boolean controls: gate pins, mux selects, comparator outputs).
+FIXED_MASK = EVENT_FIXED | EVENT_BOOL
 
 
 class Propagator:
@@ -38,6 +53,18 @@ class Propagator:
     variables: Tuple[Variable, ...] = ()
     #: Backing circuit node index, when compiled from a circuit.
     node_index: Optional[int] = None
+    #: Worklist tier: 0 = cheap Boolean propagation (drained first),
+    #: 1 = interval constraint propagation.
+    priority: int = 1
+    #: True when ``propagate`` leaves the constraint at a local fixpoint
+    #: on return, allowing the engine to skip re-waking the propagator on
+    #: events it produced itself.  Every built-in family qualifies; a
+    #: subclass that narrows lazily must set this to False.
+    idempotent: bool = True
+
+    def wake_mask(self, var: Variable) -> int:
+        """EVENT_* bits that should wake this propagator for ``var``."""
+        return EVENT_ANY
 
     def propagate(self, store: DomainStore) -> Optional[Conflict]:
         """Narrow variable domains; return a conflict or ``None``."""
@@ -83,60 +110,89 @@ class LinearEqProp(Propagator):
         self.label = label
 
     def propagate(self, store: DomainStore) -> Optional[Conflict]:
-        if not self.variables:
+        variables = self.variables
+        if not variables:
             if self.constant != 0:
                 return Conflict(source=self, antecedents=())
             return None
         # Iterate to a local fixpoint: each pass narrows each variable
-        # against the residual interval of the others.
+        # against the residual interval of the others.  Term bounds are
+        # tracked as plain ints against the store's flat lo/hi arrays —
+        # no interval objects are built unless a domain actually shrinks.
+        coeffs = self.coeffs
+        constant = self.constant
+        lo_arr = store.lo
+        hi_arr = store.hi
+        count = len(coeffs)
+        term_lo = [0] * count
+        term_hi = [0] * count
+        total_lo = 0
+        total_hi = 0
+        for position in range(count):
+            coeff = coeffs[position]
+            index = variables[position].index
+            if coeff >= 0:
+                t_lo = coeff * lo_arr[index]
+                t_hi = coeff * hi_arr[index]
+            else:
+                t_lo = coeff * hi_arr[index]
+                t_hi = coeff * lo_arr[index]
+            term_lo[position] = t_lo
+            term_hi[position] = t_hi
+            total_lo += t_lo
+            total_hi += t_hi
         changed = True
         while changed:
             changed = False
-            terms = [
-                store.domain(var).mul_const(coeff)
-                for coeff, var in zip(self.coeffs, self.variables)
-            ]
-            total_lo = sum(t.lo for t in terms)
-            total_hi = sum(t.hi for t in terms)
-            if not total_lo <= self.constant <= total_hi:
+            if not total_lo <= constant <= total_hi:
                 return Conflict(
                     source=self,
                     antecedents=self._antecedents(store),
-                    var=self.variables[0],
+                    var=variables[0],
                 )
-            for position, (coeff, var) in enumerate(
-                zip(self.coeffs, self.variables)
-            ):
-                term = terms[position]
-                others_lo = total_lo - term.lo
-                others_hi = total_hi - term.hi
+            for position in range(count):
+                coeff = coeffs[position]
+                var = variables[position]
+                t_lo = term_lo[position]
+                t_hi = term_hi[position]
                 # coeff * var must land in [constant - others_hi,
                 #                           constant - others_lo].
-                residual_lo = self.constant - others_hi
-                residual_hi = self.constant - others_lo
+                residual_lo = constant - (total_hi - t_hi)
+                residual_hi = constant - (total_lo - t_lo)
                 if coeff > 0:
                     var_lo = -((-residual_lo) // coeff)   # ceil
                     var_hi = residual_hi // coeff          # floor
                 else:
                     var_lo = -((-residual_hi) // coeff)
                     var_hi = residual_lo // coeff
+                index = var.index
+                if var_lo <= lo_arr[index] and var_hi >= hi_arr[index]:
+                    continue
                 if var_lo > var_hi:
                     return Conflict(
                         source=self,
                         antecedents=self._antecedents(store),
                         var=var,
                     )
-                outcome = store.narrow(
-                    var, Interval(var_lo, var_hi), self, self.variables
+                outcome = store.narrow_bounds(
+                    var, var_lo, var_hi, self, variables
                 )
                 if isinstance(outcome, Conflict):
                     return outcome
                 if isinstance(outcome, Event):
                     changed = True
-                    new_term = store.domain(var).mul_const(coeff)
-                    total_lo += new_term.lo - term.lo
-                    total_hi += new_term.hi - term.hi
-                    terms[position] = new_term
+                    new_lo = lo_arr[index]
+                    new_hi = hi_arr[index]
+                    if coeff >= 0:
+                        n_lo = coeff * new_lo
+                        n_hi = coeff * new_hi
+                    else:
+                        n_lo = coeff * new_hi
+                        n_hi = coeff * new_lo
+                    total_lo += n_lo - t_lo
+                    total_hi += n_hi - t_hi
+                    term_lo[position] = n_lo
+                    term_hi[position] = n_hi
         return None
 
     def _antecedents(self, store: DomainStore) -> Tuple[int, ...]:
@@ -178,6 +234,11 @@ class MuxProp(Propagator):
         self.else_var = else_var
         self.imply_select = imply_select
         self.variables = (out, sel, then_var, else_var)
+
+    def wake_mask(self, var: Variable) -> int:
+        # The select only matters once it is decided to 0/1; the data
+        # pins and the output matter on any bound movement.
+        return FIXED_MASK if var is self.sel else BOUNDS_MASK
 
     def propagate(self, store: DomainStore) -> Optional[Conflict]:
         sel_value = store.bool_value(self.sel)
@@ -261,6 +322,15 @@ class ComparatorProp(Propagator):
         self.x = x
         self.y = y
         self.variables = (pred, x, y)
+        # A degenerate comparator (x aliased to y, e.g. ``a != a`` from a
+        # randomly generated circuit) narrows the same variable twice per
+        # pass against stale bounds, so one pass is not a local fixpoint:
+        # the engine must re-wake it on its own events.
+        self.idempotent = x is not y
+
+    def wake_mask(self, var: Variable) -> int:
+        # The predicate output is Boolean: nothing to do until assigned.
+        return FIXED_MASK if var is self.pred else BOUNDS_MASK
 
     # -- truth evaluation over intervals --------------------------------
     def _decided(self, dx: Interval, dy: Interval) -> Optional[int]:
@@ -322,9 +392,12 @@ class ComparatorProp(Propagator):
         return narrow_le(dx, dy)
 
     def propagate(self, store: DomainStore) -> Optional[Conflict]:
-        dx = store.domain(self.x)
-        dy = store.domain(self.y)
-        pred_value = store.bool_value(self.pred)
+        domains = store.domains
+        dx = domains[self.x.index]
+        dy = domains[self.y.index]
+        pred_index = self.pred.index
+        pred_lo = store.lo[pred_index]
+        pred_value = pred_lo if pred_lo == store.hi[pred_index] else None
         if pred_value is None:
             decided = self._decided(dx, dy)
             if decided is None:
@@ -366,6 +439,12 @@ class BoolGateProp(Propagator):
     controlling input forces the output; output at non-controlled value
     forces remaining inputs once all others are at non-controlling values.
     """
+
+    #: Boolean implication is the cheap tier: drained before any ICP.
+    priority = 0
+
+    def wake_mask(self, var: Variable) -> int:
+        return FIXED_MASK
 
     def __init__(self, kind: OpKind, out: Variable, inputs: Sequence[Variable]):
         self.kind = kind
@@ -438,31 +517,43 @@ class BoolGateProp(Propagator):
     def _propagate_and_or(self, store: DomainStore) -> Optional[Conflict]:
         controlling = self._controlling
         controlled_output = controlling ^ (1 if self._inversion else 0)
-        input_values = [store.bool_value(v) for v in self.inputs]
-        # Forward: a controlling input decides the output.
-        if controlling in input_values:
-            return self._assign(store, self.out, controlled_output)
-        unknown = [
-            var for var, value in zip(self.inputs, input_values) if value is None
-        ]
-        if not unknown:
+        lo_arr = store.lo
+        hi_arr = store.hi
+        # Forward: a controlling input decides the output.  One scan over
+        # the flat bound arrays also counts the open inputs.
+        unknown_count = 0
+        first_unknown: Optional[Variable] = None
+        for var in self.inputs:
+            index = var.index
+            value = lo_arr[index]
+            if value != hi_arr[index]:
+                unknown_count += 1
+                if first_unknown is None:
+                    first_unknown = var
+            elif value == controlling:
+                return self._assign(store, self.out, controlled_output)
+        if unknown_count == 0:
             # All inputs at the non-controlling value.
             return self._assign(store, self.out, 1 - controlled_output)
-        output_value = store.bool_value(self.out)
-        if output_value is None:
+        out_index = self.out.index
+        output_value = lo_arr[out_index]
+        if output_value != hi_arr[out_index]:
             return None
         if output_value == 1 - controlled_output:
             # Output at the non-controlled value: every input must be
             # non-controlling.
-            for var in unknown:
-                conflict = self._assign(store, var, 1 - controlling)
-                if conflict is not None:
-                    return conflict
+            non_controlling = 1 - controlling
+            for var in self.inputs:
+                index = var.index
+                if lo_arr[index] != hi_arr[index]:
+                    conflict = self._assign(store, var, non_controlling)
+                    if conflict is not None:
+                        return conflict
             return None
         # Output at the controlled value: if exactly one input is open,
         # it must be controlling.
-        if len(unknown) == 1:
-            return self._assign(store, unknown[0], controlling)
+        if unknown_count == 1:
+            return self._assign(store, first_unknown, controlling)
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -26,8 +26,17 @@ from repro.constraints.variable import Variable
 DECISION = "decision"
 ASSUMPTION = "assumption"
 
+#: Event-kind bits: which aspect of the domain a narrowing changed.
+#: Propagators declare which kinds they wake on per watched variable, so
+#: the engine can skip wakeups for irrelevant bound movements.
+EVENT_LOWER = 1   #: lower bound raised
+EVENT_UPPER = 2   #: upper bound dropped
+EVENT_FIXED = 4   #: domain collapsed to a single point
+EVENT_BOOL = 8    #: a Boolean variable was assigned (implies FIXED)
+EVENT_ANY = EVENT_LOWER | EVENT_UPPER | EVENT_FIXED | EVENT_BOOL
 
-@dataclass(eq=False)
+
+@dataclass(eq=False, slots=True)
 class Event:
     """One domain change on the trail (a node of the implication graph)."""
 
@@ -41,6 +50,12 @@ class Event:
     reason: object
     #: Ids of the events this one was derived from (implication edges).
     antecedents: Tuple[int, ...]
+    #: EVENT_* bits describing the change (for wakeup filtering).
+    kinds: int = EVENT_ANY
+    #: Id of this variable's previous event at narrow time (None when
+    #: this is the variable's first narrowing) — lets backtracking
+    #: restore ``latest_event`` in O(1) per popped event.
+    prev_on_var: Optional[int] = None
 
     @property
     def is_decision(self) -> bool:
@@ -87,6 +102,13 @@ class DomainStore:
             if var.index != position:
                 raise SolverError("variable indices must be dense and ordered")
         self.domains: List[Interval] = [v.initial_domain for v in self.variables]
+        #: Flat bound arrays — the hot-path representation.  ``domains``
+        #: holds the equivalent interned :class:`Interval` objects for
+        #: callers that want value objects; ``narrow``/``backtrack_to``
+        #: keep all three in lockstep.
+        self.lo: List[int] = [d.lo for d in self.domains]
+        self.hi: List[int] = [d.hi for d in self.domains]
+        self._is_bool: List[bool] = [v.is_bool for v in self.variables]
         self.trail: List[Event] = []
         #: Latest event id per variable (or None if never narrowed).
         self.latest_event: List[Optional[int]] = [None] * len(self.variables)
@@ -103,16 +125,20 @@ class DomainStore:
 
     def is_assigned(self, var: Variable) -> bool:
         """True when the domain is a single value."""
-        return self.domains[var.index].is_point
+        index = var.index
+        return self.lo[index] == self.hi[index]
 
     def value(self, var: Variable) -> Optional[int]:
         """The assigned value, or ``None`` when not yet a point."""
-        domain = self.domains[var.index]
-        return domain.lo if domain.is_point else None
+        index = var.index
+        lo = self.lo[index]
+        return lo if lo == self.hi[index] else None
 
     def bool_value(self, var: Variable) -> Optional[int]:
         """Value of a Boolean variable (0/1) or ``None``."""
-        return self.value(var)
+        index = var.index
+        lo = self.lo[index]
+        return lo if lo == self.hi[index] else None
 
     def event(self, event_id: int) -> Event:
         return self.trail[event_id]
@@ -173,25 +199,58 @@ class DomainStore:
         the implying constraint (for implication-graph edges); pass the
         constraint's variable tuple.
         """
-        current = self.domains[var.index]
-        meet = current.intersect(new_domain)
-        if meet == current:
+        return self.narrow_bounds(
+            var, new_domain.lo, new_domain.hi, reason, involved
+        )
+
+    def narrow_bounds(
+        self,
+        var: Variable,
+        new_lo: int,
+        new_hi: int,
+        reason: object,
+        involved: Optional[Sequence[Variable]] = None,
+    ) -> NarrowOutcome:
+        """:meth:`narrow` taking raw bounds — the allocation-free entry
+        point for propagators that compute bounds as plain ints."""
+        index = var.index
+        cur_lo = self.lo[index]
+        cur_hi = self.hi[index]
+        meet_lo = cur_lo if cur_lo >= new_lo else new_lo
+        meet_hi = cur_hi if cur_hi <= new_hi else new_hi
+        if meet_lo == cur_lo and meet_hi == cur_hi:
+            # No change — the overwhelmingly common case, decided here on
+            # four int comparisons without allocating an interval.
             return None
         antecedents = self._antecedents_for(var, reason, involved)
-        if meet is None:
+        if meet_lo > meet_hi:
             return Conflict(source=reason, antecedents=antecedents, var=var)
+        kinds = 0
+        if meet_lo > cur_lo:
+            kinds |= EVENT_LOWER
+        if meet_hi < cur_hi:
+            kinds |= EVENT_UPPER
+        if meet_lo == meet_hi:
+            kinds |= EVENT_FIXED
+            if self._is_bool[index]:
+                kinds |= EVENT_BOOL
+        meet = Interval.make(meet_lo, meet_hi)
         event = Event(
             id=len(self.trail),
             var=var,
-            old=current,
+            old=self.domains[index],
             new=meet,
             level=self.decision_level,
             reason=reason,
             antecedents=antecedents,
+            kinds=kinds,
+            prev_on_var=self.latest_event[index],
         )
         self.trail.append(event)
-        self.domains[var.index] = meet
-        self.latest_event[var.index] = event.id
+        self.domains[index] = meet
+        self.lo[index] = meet_lo
+        self.hi[index] = meet_hi
+        self.latest_event[index] = event.id
         return event
 
     def assign_bool(
@@ -242,12 +301,15 @@ class DomainStore:
             return
         keep = self._level_marks[level + 1]
         for event in reversed(self.trail[keep:]):
-            self.domains[event.var.index] = event.old
-            previous = None
-            for ante in event.antecedents:
-                if self.trail[ante].var is event.var:
-                    previous = ante
-            self.latest_event[event.var.index] = previous
+            index = event.var.index
+            old = event.old
+            self.domains[index] = old
+            self.lo[index] = old.lo
+            self.hi[index] = old.hi
+            # ``prev_on_var`` was recorded at narrow() time, so restoring
+            # the per-variable event chain is O(1) per popped event
+            # instead of a scan over the event's antecedents.
+            self.latest_event[index] = event.prev_on_var
         del self.trail[keep:]
         del self._level_marks[level + 1 :]
         self.decision_level = level
@@ -256,7 +318,7 @@ class DomainStore:
     # Introspection helpers
     # ------------------------------------------------------------------
     def num_assigned(self) -> int:
-        return sum(1 for domain in self.domains if domain.is_point)
+        return sum(1 for lo, hi in zip(self.lo, self.hi) if lo == hi)
 
     def snapshot(self) -> List[Interval]:
         """Copy of all current domains (for tests and diagnostics)."""

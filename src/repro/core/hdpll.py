@@ -22,7 +22,7 @@ import time
 from typing import Dict, List, Mapping, Optional, Union
 
 from repro.errors import ResourceLimitError, SolverError
-from repro.intervals import Interval
+from repro.intervals import Interval, interval_cache_stats
 from repro.constraints.clause import Clause
 from repro.constraints.compile import CompiledSystem, compile_circuit
 from repro.constraints.engine import PropagationEngine
@@ -70,6 +70,11 @@ class HdpllSolver:
                 self.system, self.store, self.order
             )
         self._deadline: Optional[float] = None
+        #: A solver instance answers exactly one query.
+        self._consumed = False
+        #: (hits, misses) of the interval interning cache at solve start,
+        #: so the reported hit rate covers only this solve.
+        self._cache_mark = interval_cache_stats()
         # Attempt an early solution-box certification whenever the
         # J-frontier has just emptied (the paper's Decide() == done with
         # free don't-care variables remaining).
@@ -87,12 +92,13 @@ class HdpllSolver:
         intervals.  The solver instance is single-shot: construct a new
         one for each query.
         """
-        if getattr(self, "_consumed", False):
+        if self._consumed:
             raise SolverError(
                 "HdpllSolver is single-shot; construct a new instance "
                 "per query"
             )
         self._consumed = True
+        self._cache_mark = interval_cache_stats()
         start = time.monotonic()
         if self.config.timeout is not None:
             self._deadline = start + self.config.timeout
@@ -418,6 +424,15 @@ class HdpllSolver:
         note: str = "",
     ) -> SolverResult:
         self.stats.propagations = self.engine.propagation_count
+        self.stats.propagator_wakeups = self.engine.wakeup_count
+        self.stats.clause_visits = self.engine.clause_db.clause_visits
+        self.stats.watch_moves = self.engine.clause_db.watch_moves
+        hits, misses = interval_cache_stats()
+        delta_hits = hits - self._cache_mark[0]
+        delta_total = delta_hits + misses - self._cache_mark[1]
+        self.stats.interval_cache_hit_rate = (
+            delta_hits / delta_total if delta_total else 0.0
+        )
         return SolverResult(
             status=status, model=model, stats=self.stats, note=note
         )

@@ -39,6 +39,15 @@ class SolverStats:
     learn_time: float = 0.0
     #: Wall-clock seconds spent in search (excludes learn_time).
     solve_time: float = 0.0
+    #: Propagator enqueues that passed the event-kind wake filter.
+    propagator_wakeups: int = 0
+    #: Clauses examined during watched-literal propagation.
+    clause_visits: int = 0
+    #: Watched-literal relocations (replacement watch found).
+    watch_moves: int = 0
+    #: Interval interning cache hit rate over this solve (0.0 when the
+    #: solve performed no interval constructions).
+    interval_cache_hit_rate: float = 0.0
 
 
 @dataclass

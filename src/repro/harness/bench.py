@@ -1,0 +1,268 @@
+"""Performance benchmark harness: ``python -m repro.harness bench``.
+
+Runs a fixed ITC99 BMC workload matrix per engine, records wall time and
+the solver's hot-path counters, and emits a machine-readable report
+(``BENCH_1.json`` by default).  A committed baseline report
+(``benchmarks/perf/baseline_<profile>.json``) turns the harness into a
+perf-regression gate: ``--check`` fails the run when the geomean wall
+time of a gated engine regresses past ``--tolerance``.
+
+Workflow::
+
+    # refresh the committed baseline (done once per accepted perf change)
+    python -m repro.harness bench --profile smoke --update-baseline
+
+    # measure and compare (CI smoke gate)
+    python -m repro.harness bench --profile smoke --check
+
+Runs are deterministic, so each (engine, instance) cell is repeated
+``--repeat`` times and the *minimum* wall time is recorded — the standard
+best-of-N discipline for microbenchmarks, which strips scheduler noise
+without averaging in warm-up effects.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.runner import RunRecord, run_engine
+from repro.itc99 import instance
+
+#: Report schema version (bump when the JSON layout changes).
+SCHEMA_VERSION = 1
+
+#: Counter fields copied from a :class:`RunRecord` into the report.
+COUNTER_FIELDS = (
+    "decisions",
+    "conflicts",
+    "propagations",
+    "propagator_wakeups",
+    "clause_visits",
+    "watch_moves",
+    "interval_cache_hit_rate",
+)
+
+#: Workload matrices.  ``smoke`` is the CI gate (seconds-scale); ``full``
+#: is the Table 2 style sweep for local investigation.
+PROFILES: Dict[str, Dict[str, object]] = {
+    "smoke": {
+        "instances": (
+            ("b01_1", 20),
+            ("b02_1", 20),
+            ("b04_1", 20),
+            ("b13_5", 20),
+            ("b13_1", 20),
+        ),
+        "engines": ("hdpll", "hdpll+sp"),
+        #: Engines whose geomean is gated against the baseline.
+        "gated": ("hdpll+sp",),
+    },
+    "full": {
+        "instances": (
+            ("b01_1", 50),
+            ("b02_1", 50),
+            ("b04_1", 50),
+            ("b13_1", 50),
+            ("b13_2", 50),
+            ("b13_3", 50),
+            ("b13_5", 50),
+            ("b13_8", 50),
+        ),
+        "engines": ("hdpll", "hdpll+s", "hdpll+sp"),
+        "gated": ("hdpll+sp",),
+    },
+}
+
+#: Floor applied to per-run wall times before geomean aggregation so a
+#: near-zero cell cannot dominate the ratio.
+_GEOMEAN_FLOOR = 1e-3
+
+
+@dataclass
+class BenchCell:
+    """One measured (engine, instance) cell."""
+
+    case: str
+    bound: int
+    engine: str
+    status: str
+    wall_time: float
+    counters: Dict[str, float] = field(default_factory=dict)
+
+
+def _record_counters(record: RunRecord) -> Dict[str, float]:
+    counters: Dict[str, float] = {}
+    for name in COUNTER_FIELDS:
+        counters[name] = getattr(record, name, 0) or 0
+    return counters
+
+
+def run_profile(
+    profile: str,
+    timeout: float = 60.0,
+    repeat: int = 2,
+) -> Dict[str, object]:
+    """Run one profile's matrix; returns the report dictionary."""
+    if profile not in PROFILES:
+        raise ValueError(f"unknown bench profile {profile!r}")
+    spec = PROFILES[profile]
+    instances: Sequence[Tuple[str, int]] = spec["instances"]  # type: ignore
+    engines: Sequence[str] = spec["engines"]  # type: ignore
+    cells: List[BenchCell] = []
+    for case, bound in instances:
+        inst = instance(case, bound)
+        for engine in engines:
+            best: Optional[RunRecord] = None
+            for _ in range(max(1, repeat)):
+                record = run_engine(inst, engine, timeout)
+                if best is None or record.seconds < best.seconds:
+                    best = record
+            assert best is not None
+            cells.append(
+                BenchCell(
+                    case=case,
+                    bound=bound,
+                    engine=engine,
+                    status=best.status,
+                    wall_time=best.seconds,
+                    counters=_record_counters(best),
+                )
+            )
+    report: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "profile": profile,
+        "timeout": timeout,
+        "repeat": repeat,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "runs": [asdict(cell) for cell in cells],
+        "geomean": {
+            engine: geomean_wall_time(cells, engine) for engine in engines
+        },
+        "gated_engines": list(spec["gated"]),  # type: ignore[arg-type]
+    }
+    return report
+
+
+def geomean_wall_time(cells: Sequence[BenchCell], engine: str) -> float:
+    """Geometric mean wall time of one engine across the matrix."""
+    times = [
+        max(cell.wall_time, _GEOMEAN_FLOOR)
+        for cell in cells
+        if cell.engine == engine
+    ]
+    if not times:
+        return 0.0
+    return math.exp(sum(math.log(t) for t in times) / len(times))
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+@dataclass
+class GateResult:
+    """Baseline comparison for one gated engine."""
+
+    engine: str
+    baseline: float
+    current: float
+    #: current/baseline; < 1 is a speedup.
+    ratio: float
+    passed: bool
+
+
+def compare_to_baseline(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = 0.25,
+) -> List[GateResult]:
+    """Gate the report's geomeans against a baseline report.
+
+    ``tolerance`` is the allowed fractional slowdown: 0.25 passes any
+    run up to 25% slower than baseline (absorbing machine noise) and
+    fails anything beyond it.
+    """
+    results: List[GateResult] = []
+    current_geo: Dict[str, float] = report["geomean"]  # type: ignore
+    baseline_geo: Dict[str, float] = baseline.get("geomean", {})  # type: ignore
+    for engine in report.get("gated_engines", []):  # type: ignore[union-attr]
+        base = baseline_geo.get(engine)
+        cur = current_geo.get(engine)
+        if base is None or cur is None or base <= 0:
+            continue
+        ratio = cur / base
+        results.append(
+            GateResult(
+                engine=engine,
+                baseline=base,
+                current=cur,
+                ratio=ratio,
+                passed=ratio <= 1.0 + tolerance,
+            )
+        )
+    return results
+
+
+def default_baseline_path(profile: str) -> Path:
+    return Path("benchmarks") / "perf" / f"baseline_{profile}.json"
+
+
+def load_report(path: Path) -> Optional[Dict[str, object]]:
+    if not path.exists():
+        return None
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_report(report: Dict[str, object], path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Human-readable rendering
+# ----------------------------------------------------------------------
+def format_report(report: Dict[str, object]) -> str:
+    lines = [
+        f"{'instance':14s} {'engine':10s} {'st':4s} {'secs':>8s} "
+        f"{'props':>9s} {'wakeups':>9s} {'visits':>9s} {'moves':>8s}"
+    ]
+    for run in report["runs"]:  # type: ignore[union-attr]
+        counters = run["counters"]
+        lines.append(
+            f"{run['case'] + '(' + str(run['bound']) + ')':14s} "
+            f"{run['engine']:10s} "
+            f"{run['status']:4s} "
+            f"{run['wall_time']:>8.3f} "
+            f"{int(counters.get('propagations', 0)):>9d} "
+            f"{int(counters.get('propagator_wakeups', 0)):>9d} "
+            f"{int(counters.get('clause_visits', 0)):>9d} "
+            f"{int(counters.get('watch_moves', 0)):>8d}"
+        )
+    lines.append("")
+    for engine, value in report["geomean"].items():  # type: ignore[union-attr]
+        lines.append(f"geomean[{engine}] = {value:.3f}s")
+    return "\n".join(lines)
+
+
+def format_gates(gates: Sequence[GateResult], tolerance: float) -> str:
+    if not gates:
+        return "no baseline comparison (baseline missing or not gated)"
+    lines = []
+    for gate in gates:
+        speedup = gate.baseline / gate.current if gate.current else float("inf")
+        verdict = "ok" if gate.passed else "REGRESSION"
+        lines.append(
+            f"gate[{gate.engine}]: baseline {gate.baseline:.3f}s -> "
+            f"current {gate.current:.3f}s  (speedup {speedup:.2f}x, "
+            f"tolerance +{tolerance:.0%}) {verdict}"
+        )
+    return "\n".join(lines)

@@ -92,6 +92,41 @@ def build_parser() -> argparse.ArgumentParser:
     prove.add_argument("--max-k", type=int, default=8)
     _add_common(prove)
 
+    bench = sub.add_parser(
+        "bench", help="run the perf benchmark matrix and emit BENCH_1.json"
+    )
+    bench.add_argument(
+        "--profile", choices=("smoke", "full"), default="smoke"
+    )
+    bench.add_argument(
+        "--output", default="BENCH_1.json", help="report output path"
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline report (default benchmarks/perf/baseline_<profile>.json)",
+    )
+    bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="also write this run as the committed baseline",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when a gated engine regresses past tolerance",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown vs baseline (default 0.25)",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=2, help="runs per cell; min is kept"
+    )
+    _add_common(bench)
+
     sub.add_parser("list", help="list benchmark cases")
     return parser
 
@@ -172,6 +207,43 @@ def main(argv: Optional[List[str]] = None) -> int:
             timeout=args.timeout,
         )
         print(format_table2(rows, engines))
+        return 0
+    if args.command == "bench":
+        from pathlib import Path
+
+        from repro.harness.bench import (
+            compare_to_baseline,
+            default_baseline_path,
+            format_gates,
+            format_report,
+            load_report,
+            run_profile,
+            write_report,
+        )
+
+        report = run_profile(
+            args.profile, timeout=args.timeout, repeat=args.repeat
+        )
+        print(format_report(report))
+        write_report(report, Path(args.output))
+        print(f"report written to {args.output}")
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline
+            else default_baseline_path(args.profile)
+        )
+        if args.update_baseline:
+            write_report(report, baseline_path)
+            print(f"baseline updated at {baseline_path}")
+            return 0
+        baseline = load_report(baseline_path)
+        if baseline is None:
+            print(f"no baseline at {baseline_path}; skipping gate")
+            return 0
+        gates = compare_to_baseline(report, baseline, args.tolerance)
+        print(format_gates(gates, args.tolerance))
+        if args.check and any(not gate.passed for gate in gates):
+            return 1
         return 0
     if args.command == "ablation":
         results = run_ablation(timeout=args.timeout)

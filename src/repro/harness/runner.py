@@ -54,6 +54,11 @@ class RunRecord:
     learned_relations: int = 0
     decisions: int = 0
     conflicts: int = 0
+    propagations: int = 0
+    propagator_wakeups: int = 0
+    clause_visits: int = 0
+    watch_moves: int = 0
+    interval_cache_hit_rate: float = 0.0
     arith_ops: int = 0
     bool_ops: int = 0
     note: str = ""
@@ -114,6 +119,13 @@ def run_engine(
             record.learned_relations = result.stats.learned_relations
             record.decisions = result.stats.decisions
             record.conflicts = result.stats.conflicts
+            record.propagations = result.stats.propagations
+            record.propagator_wakeups = result.stats.propagator_wakeups
+            record.clause_visits = result.stats.clause_visits
+            record.watch_moves = result.stats.watch_moves
+            record.interval_cache_hit_rate = (
+                result.stats.interval_cache_hit_rate
+            )
             record.note = result.note
         elif engine == "uclid":
             result = solve_lazy_smt(

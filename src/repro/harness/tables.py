@@ -76,7 +76,8 @@ def format_records(records: List[RunRecord]) -> str:
     """Generic per-record listing (used for ablations)."""
     lines = [
         f"{'case':16s} {'engine':24s} {'st':3s} {'secs':>8s} "
-        f"{'conf':>6s} {'dec':>6s}"
+        f"{'conf':>6s} {'dec':>6s} {'props':>8s} {'wakes':>8s} "
+        f"{'cvis':>8s} {'wmov':>7s} {'cache%':>7s}"
     ]
     for record in records:
         lines.append(
@@ -85,6 +86,11 @@ def format_records(records: List[RunRecord]) -> str:
             f"{record.status:3s} "
             f"{record.seconds:>8.2f} "
             f"{record.conflicts:>6d} "
-            f"{record.decisions:>6d}"
+            f"{record.decisions:>6d} "
+            f"{record.propagations:>8d} "
+            f"{record.propagator_wakeups:>8d} "
+            f"{record.clause_visits:>8d} "
+            f"{record.watch_moves:>7d} "
+            f"{record.interval_cache_hit_rate:>7.1%}"
         )
     return "\n".join(lines)

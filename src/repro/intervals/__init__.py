@@ -20,6 +20,7 @@ from repro.intervals.interval import (
     Interval,
     full_interval,
     hull,
+    interval_cache_stats,
     interval_for_width,
 )
 from repro.intervals.narrowing import (
@@ -41,6 +42,7 @@ __all__ = [
     "Interval",
     "full_interval",
     "hull",
+    "interval_cache_stats",
     "interval_for_width",
     "narrow_add",
     "narrow_concat",

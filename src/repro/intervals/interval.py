@@ -18,10 +18,20 @@ constraint propagation effective on RTL datapaths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
+
+#: Interned-interval cache: (lo, hi) -> Interval.  Domains revisit the
+#: same bounds constantly (booleans, points, full width domains), so the
+#: solver trail mostly shares instances instead of allocating.  The cache
+#: stops admitting new entries at the cap; lookups keep working either
+#: way, and equality is by value so interned and direct instances mix.
+_CACHE: "dict[Tuple[int, int], Interval]" = {}
+_CACHE_MAX = 1 << 16
+#: Hit/miss counters (read via :func:`interval_cache_stats`).
+_CACHE_COUNTS = [0, 0]  # [hits, misses]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Interval:
     """A closed integer interval ``<lo, hi>`` with ``lo <= hi``."""
 
@@ -36,9 +46,23 @@ class Interval:
     # Constructors
     # ------------------------------------------------------------------
     @staticmethod
+    def make(lo: int, hi: int) -> "Interval":
+        """Interning constructor — the hot-path way to build an interval."""
+        key = (lo, hi)
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE_COUNTS[0] += 1
+            return cached
+        _CACHE_COUNTS[1] += 1
+        interval = Interval(lo, hi)
+        if len(_CACHE) < _CACHE_MAX:
+            _CACHE[key] = interval
+        return interval
+
+    @staticmethod
     def point(value: int) -> "Interval":
-        """The singleton interval ``<value, value>``."""
-        return Interval(value, value)
+        """The singleton interval ``<value, value>`` (interned)."""
+        return Interval.make(value, value)
 
     # ------------------------------------------------------------------
     # Predicates and set queries
@@ -76,11 +100,11 @@ class Interval:
         hi = min(self.hi, other.hi)
         if lo > hi:
             return None
-        return Interval(lo, hi)
+        return Interval.make(lo, hi)
 
     def union_hull(self, other: "Interval") -> "Interval":
         """Smallest interval containing both operands."""
-        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+        return Interval.make(min(self.lo, other.lo), max(self.hi, other.hi))
 
     def difference(self, other: "Interval") -> Optional["Interval"]:
         """Interval hull-preserving set difference ``self \\ other``.
@@ -97,22 +121,22 @@ class Interval:
         if other.lo <= self.lo and self.hi <= other.hi:
             return None
         if other.lo <= self.lo:
-            return Interval(other.hi + 1, self.hi)
+            return Interval.make(other.hi + 1, self.hi)
         if self.hi <= other.hi:
-            return Interval(self.lo, other.lo - 1)
+            return Interval.make(self.lo, other.lo - 1)
         return self
 
     # ------------------------------------------------------------------
     # Forward arithmetic (exact hulls)
     # ------------------------------------------------------------------
     def add(self, other: "Interval") -> "Interval":
-        return Interval(self.lo + other.lo, self.hi + other.hi)
+        return Interval.make(self.lo + other.lo, self.hi + other.hi)
 
     def sub(self, other: "Interval") -> "Interval":
-        return Interval(self.lo - other.hi, self.hi - other.lo)
+        return Interval.make(self.lo - other.hi, self.hi - other.lo)
 
     def neg(self) -> "Interval":
-        return Interval(-self.hi, -self.lo)
+        return Interval.make(-self.hi, -self.lo)
 
     def mul(self, other: "Interval") -> "Interval":
         """General interval multiplication (Equation 1 of the paper)."""
@@ -122,20 +146,20 @@ class Interval:
             self.hi * other.lo,
             self.hi * other.hi,
         )
-        return Interval(min(products), max(products))
+        return Interval.make(min(products), max(products))
 
     def mul_const(self, k: int) -> "Interval":
         if k >= 0:
-            return Interval(self.lo * k, self.hi * k)
-        return Interval(self.hi * k, self.lo * k)
+            return Interval.make(self.lo * k, self.hi * k)
+        return Interval.make(self.hi * k, self.lo * k)
 
     def floordiv_const(self, k: int) -> "Interval":
         """Image hull of ``x // k`` (Python floor division), ``k != 0``."""
         if k == 0:
             raise ZeroDivisionError("interval division by zero constant")
         if k > 0:
-            return Interval(self.lo // k, self.hi // k)
-        return Interval(self.hi // k, self.lo // k)
+            return Interval.make(self.lo // k, self.hi // k)
+        return Interval.make(self.hi // k, self.lo // k)
 
     def shift_left(self, k: int) -> "Interval":
         """Image of ``x << k`` for a constant non-negative shift."""
@@ -162,15 +186,20 @@ class Interval:
         return f"<{self.lo}, {self.hi}>"
 
 
+def interval_cache_stats() -> Tuple[int, int]:
+    """Interning cache counters as ``(hits, misses)`` since import."""
+    return _CACHE_COUNTS[0], _CACHE_COUNTS[1]
+
+
 #: Domain of a Boolean variable, per Section 2.1 of the paper.
-BOOL_DOMAIN = Interval(0, 1)
+BOOL_DOMAIN = Interval.make(0, 1)
 
 
 def interval_for_width(width: int) -> Interval:
     """Full unsigned domain ``<0, 2**width - 1>`` of a word of ``width`` bits."""
     if width < 1:
         raise ValueError(f"width must be positive, got {width}")
-    return Interval(0, (1 << width) - 1)
+    return Interval.make(0, (1 << width) - 1)
 
 
 def full_interval(width: int) -> Interval:
@@ -182,4 +211,4 @@ def hull(values: "list[int]") -> Interval:
     """Smallest interval containing every integer in ``values``."""
     if not values:
         raise ValueError("hull of an empty value set")
-    return Interval(min(values), max(values))
+    return Interval.make(min(values), max(values))

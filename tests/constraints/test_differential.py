@@ -1,0 +1,204 @@
+"""Differential tests: optimized propagation vs a naive reference.
+
+The optimized fast path — event-kind-filtered wakeups, the two-tier
+worklist, two-watched-literal clause visits and the flat lo/hi bound
+arrays — must be behaviourally invisible.  Two oracles check that over
+hundreds of randomized circuits:
+
+* the level-0 fixpoint (domains and conflict-ness) matches a naive
+  reference engine that simply re-runs every propagator and re-examines
+  every clause until the trail stops growing, and
+* full HDPLL solves agree with brute-force enumeration of the input
+  space, with every SAT model verified by simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+from typing import List, Optional
+
+from repro.constraints import (
+    Clause,
+    ClauseDatabase,
+    Conflict,
+    DomainStore,
+    PropagationEngine,
+    compile_circuit,
+    make_bool_lit,
+)
+from repro.core import SolverConfig, Status, solve_circuit
+from repro.intervals import Interval
+from repro.itc99.generator import random_combinational_circuit
+from repro.rtl.simulate import simulate_combinational
+
+#: Parameter sets alternated across seeds, for shape diversity.
+_PARAM_SETS = (
+    dict(num_word_inputs=2, width=3, operations=8),
+    dict(num_word_inputs=2, width=4, operations=12),
+)
+
+
+def _reference_fixpoint(store, propagators, clause_db) -> Optional[Conflict]:
+    """Naive Ddeduce: run everything until the trail stops growing."""
+    while True:
+        mark = len(store.trail)
+        for propagator in propagators:
+            conflict = propagator.propagate(store)
+            if conflict is not None:
+                return conflict
+        conflict = clause_db.recheck_all()
+        if conflict is not None:
+            return conflict
+        if len(store.trail) == mark:
+            return None
+
+
+def _random_bool_clauses(rng: random.Random, variables) -> List[List]:
+    """Literal specs (var, value) for a few random Boolean clauses."""
+    bools = [v for v in variables if v.is_bool]
+    specs = []
+    for _ in range(rng.randint(0, 3)):
+        if len(bools) < 2:
+            break
+        chosen = rng.sample(bools, rng.randint(2, min(3, len(bools))))
+        specs.append([(var, rng.randint(0, 1)) for var in chosen])
+    return specs
+
+
+def _fixpoint_pair(seed: int):
+    """Level-0 fixpoints of the optimized and reference engines."""
+    circuit = random_combinational_circuit(
+        seed, **_PARAM_SETS[seed % len(_PARAM_SETS)]
+    )
+    system = compile_circuit(circuit)
+    rng = random.Random(seed * 7919 + 13)
+    clause_specs = _random_bool_clauses(rng, system.variables)
+    flag_value = rng.randint(0, 1)
+    width = _PARAM_SETS[seed % len(_PARAM_SETS)]["width"]
+    w0_lo = rng.randint(0, (1 << width) - 1)
+    w0_hi = rng.randint(w0_lo, (1 << width) - 1)
+
+    def run_optimized():
+        store = DomainStore(system.variables)
+        engine = PropagationEngine(store, system.propagators)
+        for spec in clause_specs:
+            clause = Clause(
+                tuple(make_bool_lit(var, value) for var, value in spec)
+            )
+            conflict = engine.add_clause(clause)
+            if conflict is not None:
+                return store, conflict
+        engine.enqueue_all()
+        conflict = engine.propagate()
+        if conflict is not None:
+            return store, conflict
+        for name, interval in (
+            ("flag", Interval.point(flag_value)),
+            ("w0", Interval.make(w0_lo, w0_hi)),
+        ):
+            outcome = store.assume(system.var_by_name(name), interval)
+            if isinstance(outcome, Conflict):
+                return store, outcome
+        engine.enqueue_all()
+        return store, engine.propagate()
+
+    def run_reference():
+        store = DomainStore(system.variables)
+        clause_db = ClauseDatabase(store)
+        for spec in clause_specs:
+            clause = Clause(
+                tuple(make_bool_lit(var, value) for var, value in spec)
+            )
+            conflict = clause_db.add_clause(clause)
+            if conflict is not None:
+                return store, conflict
+        conflict = _reference_fixpoint(store, system.propagators, clause_db)
+        if conflict is not None:
+            return store, conflict
+        for name, interval in (
+            ("flag", Interval.point(flag_value)),
+            ("w0", Interval.make(w0_lo, w0_hi)),
+        ):
+            outcome = store.assume(system.var_by_name(name), interval)
+            if isinstance(outcome, Conflict):
+                return store, outcome
+        return store, _reference_fixpoint(
+            store, system.propagators, clause_db
+        )
+
+    return run_optimized(), run_reference()
+
+
+def test_level0_fixpoint_matches_reference():
+    """Optimized and naive engines reach identical level-0 fixpoints."""
+    for seed in range(200):
+        (opt_store, opt_conflict), (ref_store, ref_conflict) = (
+            _fixpoint_pair(seed)
+        )
+        assert (opt_conflict is None) == (ref_conflict is None), (
+            f"seed {seed}: optimized conflict {opt_conflict!r} vs "
+            f"reference {ref_conflict!r}"
+        )
+        if opt_conflict is None:
+            assert opt_store.lo == ref_store.lo, f"seed {seed}: lo differs"
+            assert opt_store.hi == ref_store.hi, f"seed {seed}: hi differs"
+            assert opt_store.domains == ref_store.domains, (
+                f"seed {seed}: interned domains differ"
+            )
+
+
+def _brute_force_sat(circuit, width: int) -> bool:
+    """Does any input assignment drive the flag output to 1?"""
+    word_inputs = [net for net in circuit.inputs if net.width > 1]
+    bool_inputs = [net for net in circuit.inputs if net.width == 1]
+    word_range = range(1 << width)
+    for word_values in product(word_range, repeat=len(word_inputs)):
+        for bool_values in product((0, 1), repeat=len(bool_inputs)):
+            values = {
+                net.name: value
+                for net, value in zip(word_inputs, word_values)
+            }
+            values.update(
+                {
+                    net.name: value
+                    for net, value in zip(bool_inputs, bool_values)
+                }
+            )
+            if simulate_combinational(circuit, values)["flag"] == 1:
+                return True
+    return False
+
+
+def test_solve_matches_bruteforce():
+    """HDPLL status and model validity match input-space enumeration."""
+    configs = {
+        "hdpll": SolverConfig(),
+        "hdpll+sp": SolverConfig(
+            structural_decisions=True, predicate_learning=True
+        ),
+    }
+    width = 3
+    for seed in range(200):
+        circuit = random_combinational_circuit(
+            seed, num_word_inputs=2, width=width, operations=8
+        )
+        expected = _brute_force_sat(circuit, width)
+        for label, config in configs.items():
+            result = solve_circuit(circuit, {"flag": 1}, config)
+            assert result.status is not Status.UNKNOWN, (
+                f"seed {seed} [{label}]: unexpected UNKNOWN ({result.note})"
+            )
+            assert result.is_sat == expected, (
+                f"seed {seed} [{label}]: solver says {result.status.value}, "
+                f"brute force says {'sat' if expected else 'unsat'}"
+            )
+            if result.is_sat:
+                inputs = {
+                    net.name: result.model[net.name]
+                    for net in circuit.inputs
+                }
+                replay = simulate_combinational(circuit, inputs)
+                assert replay["flag"] == 1, (
+                    f"seed {seed} [{label}]: model fails simulation"
+                )
