@@ -23,6 +23,8 @@ Quick start::
     assert result.is_sat and result.model["a"] > 200
 """
 
+import logging as _logging
+
 from repro.bmc import (
     InductionStatus,
     SafetyProperty,
@@ -49,7 +51,18 @@ from repro.equivalence import (
     check_sequential_equivalence,
 )
 from repro.intervals import Interval
+from repro.obs import (
+    MetricsRegistry,
+    Observation,
+    PhaseProfiler,
+    TraceEmitter,
+    configure_logging,
+)
 from repro.rtl import Circuit, CircuitBuilder, optimize, parse_module
+
+# Library default: silent unless the application (or the CLI's
+# --log-level / $REPRO_LOG) attaches a handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 
@@ -64,13 +77,18 @@ __all__ = [
     "HdpllSolver",
     "InductionStatus",
     "Interval",
+    "MetricsRegistry",
+    "Observation",
+    "PhaseProfiler",
     "SafetyProperty",
     "SolverConfig",
     "SolverResult",
     "SolverStats",
     "Status",
+    "TraceEmitter",
     "check_combinational_equivalence",
     "check_sequential_equivalence",
+    "configure_logging",
     "make_bmc_instance",
     "optimize",
     "parse_module",

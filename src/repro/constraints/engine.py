@@ -24,6 +24,7 @@ Two scheduling disciplines keep the fixpoint loop off the slow path:
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -56,6 +57,21 @@ class PropagationEngine:
         #: Statistics.
         self.propagation_count = 0
         self.wakeup_count = 0
+        #: Wall-time split (only accrued once :meth:`enable_timing` ran):
+        #: ``bcp_time`` covers event dispatch (clause propagation) plus
+        #: tier-0 Boolean propagators, ``icp_time`` the tier-1 interval
+        #: propagators.
+        self.bcp_time = 0.0
+        self.icp_time = 0.0
+        self._timed = False
+
+    def enable_timing(self) -> None:
+        """Switch :meth:`propagate` to the timed path (phase profiling).
+
+        The untimed path stays completely free of clock reads; enabling
+        is one-way for the lifetime of the engine.
+        """
+        self._timed = True
 
     # ------------------------------------------------------------------
     # Worklist management
@@ -135,6 +151,8 @@ class PropagationEngine:
 
     def propagate(self) -> Optional[Conflict]:
         """Run to bounds consistency; returns the first conflict or None."""
+        if self._timed:
+            return self._propagate_timed()
         conflict = self._dispatch_new_events()
         if conflict is not None:
             return conflict
@@ -147,6 +165,40 @@ class PropagationEngine:
             if conflict is not None:
                 return conflict
             conflict = self._dispatch_new_events()
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _propagate_timed(self) -> Optional[Conflict]:
+        """The fixpoint loop with per-phase clocks (profiling only)."""
+        perf = time.perf_counter
+        start = perf()
+        conflict = self._dispatch_new_events()
+        self.bcp_time += perf() - start
+        if conflict is not None:
+            return conflict
+        cheap, expensive = self._queues
+        while cheap or expensive:
+            if cheap:
+                position = cheap.popleft()
+                expensive_tier = False
+            else:
+                position = expensive.popleft()
+                expensive_tier = True
+            self._queued.discard(position)
+            self.propagation_count += 1
+            start = perf()
+            conflict = self.propagators[position].propagate(self.store)
+            elapsed = perf() - start
+            if expensive_tier:
+                self.icp_time += elapsed
+            else:
+                self.bcp_time += elapsed
+            if conflict is not None:
+                return conflict
+            start = perf()
+            conflict = self._dispatch_new_events()
+            self.bcp_time += perf() - start
             if conflict is not None:
                 return conflict
         return None

@@ -33,6 +33,18 @@ class AnalysisResult:
     #: in the rare no-UIP corner).
     asserting_literal: Optional[Literal]
 
+    @property
+    def word_literal_count(self) -> int:
+        """Word (interval) literals in the learned clause — the hybrid
+        share of the cut, reported in trace ``conflict`` events."""
+        return sum(
+            1 for lit in self.clause.literals if isinstance(lit, WordLit)
+        )
+
+    @property
+    def bool_literal_count(self) -> int:
+        return len(self.clause.literals) - self.word_literal_count
+
 
 def _negate_event_literal(event: Event) -> BoolLit:
     """The Boolean literal falsified by this point assignment."""

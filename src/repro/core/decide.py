@@ -49,6 +49,10 @@ class ActivityOrder:
         #: step 5: "learned relations guide the decision strategy by
         #: assigning a higher weight to variables in these relations").
         self.static_weight: Dict[int, float] = {}
+        #: Heap health counters, surfaced through the metrics registry:
+        #: successful selections vs. lazily discarded stale entries.
+        self.picks = 0
+        self.stale_pops = 0
 
     def _rebuild_heap(self) -> None:
         self._heap = [
@@ -99,11 +103,14 @@ class ActivityOrder:
             negative_activity, index = self._heap[0]
             if -negative_activity != self.activity[index]:
                 heapq.heappop(self._heap)  # stale entry
+                self.stale_pops += 1
                 continue
             var = self._var_by_index[index]
             if self.store.is_assigned(var):
                 heapq.heappop(self._heap)
+                self.stale_pops += 1
                 continue
+            self.picks += 1
             return var, self.phase.get(index, 1)
         return None
 

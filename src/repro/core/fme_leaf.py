@@ -18,6 +18,7 @@ keeps leaf checks tractable on deep BMC unrollings.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -31,6 +32,8 @@ from repro.constraints.store import DomainStore
 from repro.fme.linear import LinearConstraint
 from repro.fme.omega import OmegaSolver
 from repro.rtl.types import OpKind
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -243,6 +246,14 @@ def check_solution_box(
                     for _, _, source, _ in members
                     if source is not None
                 }.values()
+            )
+            logger.debug(
+                "leaf refuted: component of %d vars / %d constraints "
+                "(of %d components, %d live constraints)",
+                len(component_vars),
+                len(members),
+                len(components),
+                len(live),
             )
             return LeafCheckResult(
                 feasible=False,

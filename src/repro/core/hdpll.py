@@ -14,12 +14,20 @@ Optional strategies (the paper's contributions):
   before search (see :mod:`repro.core.predlearn`).
 * ``structural_decisions`` — Section 4 justification-driven ``Decide``
   (see :mod:`repro.core.justify`).
+
+Observability: pass an :class:`repro.obs.Observation` to stream a
+structured JSONL trace of every decision / propagation batch / conflict
+/ restart / J-frontier action / FME leaf, and to collect a hierarchical
+phase profile (learn / search / BCP / ICP / conflict / FME).  Without
+one, every instrumentation point is a single ``is None`` test — the
+bench regression gate holds the disabled path to zero measurable cost.
 """
 
 from __future__ import annotations
 
+import logging
 import time
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import ResourceLimitError, SolverError
 from repro.intervals import Interval, interval_cache_stats
@@ -32,8 +40,12 @@ from repro.core.conflict import analyze_conflict, decision_cut_clause
 from repro.core.decide import ActivityOrder
 from repro.core.fme_leaf import check_solution_box
 from repro.core.result import SolverResult, SolverStats, Status
+from repro.obs import Observation
+from repro.obs.trace import TRACE_SCHEMA_VERSION
 from repro.rtl.circuit import Circuit
 from repro.rtl.simulate import simulate_combinational
+
+logger = logging.getLogger(__name__)
 
 AssumptionValue = Union[int, Interval]
 
@@ -46,15 +58,27 @@ _FALLBACK = object()
 class HdpllSolver:
     """Satisfiability of a combinational RTL circuit under assumptions."""
 
-    def __init__(self, circuit: Circuit, config: Optional[SolverConfig] = None):
+    def __init__(
+        self,
+        circuit: Circuit,
+        config: Optional[SolverConfig] = None,
+        observation: Optional[Observation] = None,
+    ):
         self.circuit = circuit
         self.config = config or SolverConfig()
+        tracer = observation.tracer if observation is not None else None
+        #: Trace emitter, or None when tracing is off (the common case);
+        #: every emission site guards on this being non-None.
+        self._trace = tracer if tracer is not None and tracer.enabled else None
+        self._prof = observation.profiler if observation is not None else None
         self.system: CompiledSystem = compile_circuit(
             circuit,
             mux_select_implication=self.config.mux_select_implication,
         )
         self.store = DomainStore(self.system.variables)
         self.engine = PropagationEngine(self.store, self.system.propagators)
+        if self._prof is not None:
+            self.engine.enable_timing()
         self.order = ActivityOrder(
             self.system,
             self.store,
@@ -67,7 +91,7 @@ class HdpllSolver:
             from repro.core.justify import StructuralDecide
 
             self._structural = StructuralDecide(
-                self.system, self.store, self.order
+                self.system, self.store, self.order, tracer=self._trace
             )
         self._deadline: Optional[float] = None
         #: A solver instance answers exactly one query.
@@ -79,6 +103,13 @@ class HdpllSolver:
         # J-frontier has just emptied (the paper's Decide() == done with
         # free don't-care variables remaining).
         self._early_leaf_pending = True
+        #: How the most recent (var, value) decision was chosen
+        #: ("activity" or "structural") — trace metadata only.
+        self._decision_kind = "activity"
+        #: Engine BCP/ICP seconds accrued before search began, so the
+        #: profiler can split propagation time between learn and search.
+        self._learn_bcp = 0.0
+        self._learn_icp = 0.0
 
     # ------------------------------------------------------------------
     # Public API
@@ -99,36 +130,114 @@ class HdpllSolver:
             )
         self._consumed = True
         self._cache_mark = interval_cache_stats()
-        start = time.monotonic()
+        tracer = self._trace
+        start = time.perf_counter()
         if self.config.timeout is not None:
             self._deadline = start + self.config.timeout
-
-        if self.config.predicate_learning:
-            from repro.core.predlearn import run_predicate_learning
-
-            learn_start = time.monotonic()
-            report = run_predicate_learning(
-                self.system,
-                self.store,
-                self.engine,
-                self.order,
-                threshold=self.config.learning_threshold,
-                deadline=self._deadline,
-                phase_hints=self.config.learned_phase_hints,
+        if tracer is not None:
+            tracer.event(
+                "solve_begin",
+                dl=0,
+                schema=TRACE_SCHEMA_VERSION,
+                vars=len(self.system.variables),
+                propagators=len(self.system.propagators),
             )
+        logger.debug(
+            "solve begin: circuit=%s vars=%d propagators=%d",
+            self.circuit.name,
+            len(self.system.variables),
+            len(self.system.propagators),
+        )
+
+        result = self._solve(assumptions, start)
+
+        if self._prof is not None:
+            self._attribute_engine_phases()
+        if tracer is not None:
+            # The profile snapshot precedes solve_end: a complete trace
+            # always *ends* with its solve_end event.
+            if self._prof is not None:
+                tracer.event(
+                    "profile", dl=0, phases=self._prof.report()["phases"]
+                )
+            tracer.event(
+                "solve_end",
+                dl=0,
+                status=result.status.value,
+                decisions=self.stats.decisions,
+                conflicts=self.stats.conflicts,
+                solve_time=self.stats.solve_time,
+                learn_time=self.stats.learn_time,
+            )
+            tracer.flush()
+        logger.debug(
+            "solve end: %s decisions=%d conflicts=%d solve_time=%.3fs",
+            result.status.value,
+            self.stats.decisions,
+            self.stats.conflicts,
+            self.stats.solve_time,
+        )
+        return result
+
+    def _solve(
+        self, assumptions: Mapping[str, AssumptionValue], start: float
+    ) -> SolverResult:
+        prof = self._prof
+        if self.config.predicate_learning:
+            learn_start = time.perf_counter()
+            if prof is not None:
+                with prof.phase("learn"):
+                    report = self._run_learning()
+            else:
+                report = self._run_learning()
             self.stats.learned_relations = report.relations_learned
-            self.stats.learn_time = time.monotonic() - learn_start
+            self.stats.learn_time = time.perf_counter() - learn_start
+            self._learn_bcp = self.engine.bcp_time
+            self._learn_icp = self.engine.icp_time
+            if self._trace is not None:
+                self._trace.event(
+                    "learn_done",
+                    dl=0,
+                    relations=report.relations_learned,
+                    probes=report.probes,
+                    seconds=self.stats.learn_time,
+                )
             if report.root_conflict:
-                self.stats.solve_time = time.monotonic() - start
+                self.stats.solve_time = time.perf_counter() - start
                 return self._finish(Status.UNSAT)
 
+        if prof is not None:
+            with prof.phase("search"):
+                return self._search(assumptions, start)
+        return self._search(assumptions, start)
+
+    def _run_learning(self):
+        from repro.core.predlearn import run_predicate_learning
+
+        return run_predicate_learning(
+            self.system,
+            self.store,
+            self.engine,
+            self.order,
+            threshold=self.config.learning_threshold,
+            deadline=self._deadline,
+            phase_hints=self.config.learned_phase_hints,
+            tracer=self._trace,
+        )
+
+    def _search(
+        self, assumptions: Mapping[str, AssumptionValue], start: float
+    ) -> SolverResult:
         conflict = self._apply_assumptions(assumptions)
         if conflict is not None:
-            self.stats.solve_time = time.monotonic() - start
+            self.stats.solve_time = (
+                time.perf_counter() - start - self.stats.learn_time
+            )
             return self._finish(Status.UNSAT)
-
         result = self._search_loop(assumptions)
-        self.stats.solve_time = time.monotonic() - start - self.stats.learn_time
+        self.stats.solve_time = (
+            time.perf_counter() - start - self.stats.learn_time
+        )
         return result
 
     # ------------------------------------------------------------------
@@ -142,7 +251,7 @@ class HdpllSolver:
         # requirements (narrowings caused by the proposition and by
         # search, not by the circuit or static learning).
         self.engine.enqueue_all()
-        conflict = self.engine.propagate()
+        conflict = self._propagate()
         if conflict is not None:
             return conflict
         if self._structural is not None:
@@ -156,7 +265,7 @@ class HdpllSolver:
             if isinstance(outcome, Conflict):
                 return outcome
         self.engine.enqueue_all()
-        return self.engine.propagate()
+        return self._propagate()
 
     # ------------------------------------------------------------------
     # Main loop
@@ -164,6 +273,8 @@ class HdpllSolver:
     def _search_loop(
         self, assumptions: Mapping[str, AssumptionValue]
     ) -> SolverResult:
+        tracer = self._trace
+        prof = self._prof
         restart_budget = self.config.restart_interval
         conflicts_since_restart = 0
 
@@ -171,7 +282,12 @@ class HdpllSolver:
             if self._out_of_budget():
                 return self._finish(Status.UNKNOWN, note=self._budget_note())
 
-            decision = self._next_decision()
+            if prof is not None:
+                begin = prof.now()
+                decision = self._next_decision()
+                prof.add("search/decide", prof.now() - begin)
+            else:
+                decision = self._next_decision()
             if decision is _EARLY_LEAF:
                 # J-frontier empty but free don't-care variables remain:
                 # try certifying the box over the active constraints.
@@ -200,29 +316,22 @@ class HdpllSolver:
                 self.stats.max_decision_level = max(
                     self.stats.max_decision_level, self.store.decision_level
                 )
-                conflict = self.engine.propagate()
-
-            while conflict is not None:
-                if self._out_of_budget():
-                    return self._finish(
-                        Status.UNKNOWN, note=self._budget_note()
+                if tracer is not None:
+                    tracer.event(
+                        "decision",
+                        dl=self.store.decision_level,
+                        var=var.name,
+                        value=value,
+                        kind=self._decision_kind,
                     )
-                self.stats.conflicts += 1
-                conflicts_since_restart += 1
-                if isinstance(conflict.source, Clause):
-                    conflict.source.activity += 1.0
-                analysis = analyze_conflict(
-                    conflict,
-                    self.store,
-                    hybrid_word_literals=self.config.hybrid_learned_clauses,
-                )
-                if analysis is None:
-                    return self._finish(Status.UNSAT)
-                self.order.bump_clause(analysis.clause)
-                self.order.decay()
-                conflict = self._install_learned(
-                    analysis.clause, analysis.backtrack_level
-                )
+                conflict = self._propagate()
+
+            final, resolved = self._resolve_conflicts(
+                conflict, bump_source=True
+            )
+            if final is not None:
+                return final
+            conflicts_since_restart += resolved
 
             if (
                 self.config.restart_interval
@@ -233,6 +342,13 @@ class HdpllSolver:
                 restart_budget = int(
                     restart_budget * self.config.restart_multiplier
                 )
+                if tracer is not None:
+                    tracer.event(
+                        "restart",
+                        dl=self.store.decision_level,
+                        n=self.stats.restarts,
+                        conflicts=self.stats.conflicts,
+                    )
                 self._backtrack(0)
 
     def _next_decision(self):
@@ -245,17 +361,98 @@ class HdpllSolver:
                     self.stats.j_conflicts += 1
                 else:
                     self.stats.structural_decisions += 1
+                    self._decision_kind = "structural"
                 self._early_leaf_pending = True
                 return outcome
             if self._early_leaf_pending:
                 self._early_leaf_pending = False
                 if self.order.pick() is not None:
                     return _EARLY_LEAF
+        self._decision_kind = "activity"
         return self.order.pick()
 
     # ------------------------------------------------------------------
-    # Conflict bookkeeping
+    # Propagation / conflict bookkeeping
     # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[Conflict]:
+        """``engine.propagate()`` plus optional batch trace/profiling."""
+        tracer = self._trace
+        prof = self._prof
+        if tracer is None and prof is None:
+            return self.engine.propagate()
+        engine = self.engine
+        props_before = engine.propagation_count
+        trail_before = len(self.store.trail)
+        begin = time.perf_counter()
+        conflict = engine.propagate()
+        elapsed = time.perf_counter() - begin
+        if prof is not None:
+            prof.add("search/propagate", elapsed)
+        if tracer is not None:
+            tracer.event(
+                "propagate",
+                dl=self.store.decision_level,
+                props=engine.propagation_count - props_before,
+                events=len(self.store.trail) - trail_before,
+                conflict=conflict is not None,
+            )
+        return conflict
+
+    def _resolve_conflicts(
+        self, conflict: Optional[Conflict], bump_source: bool
+    ) -> Tuple[Optional[SolverResult], int]:
+        """Drain a conflict chain: analyse, learn, backtrack, re-propagate.
+
+        Returns ``(final_result, resolved_count)``; the result is None
+        when search can resume.  ``bump_source`` preserves the historical
+        asymmetry that only main-loop conflicts bump the activity of a
+        conflicting source clause (FME refutation chains do not).
+        """
+        tracer = self._trace
+        prof = self._prof
+        resolved = 0
+        while conflict is not None:
+            if self._out_of_budget():
+                return (
+                    self._finish(Status.UNKNOWN, note=self._budget_note()),
+                    resolved,
+                )
+            self.stats.conflicts += 1
+            resolved += 1
+            if bump_source and isinstance(conflict.source, Clause):
+                conflict.source.activity += 1.0
+            if prof is not None:
+                begin = prof.now()
+                analysis = analyze_conflict(
+                    conflict,
+                    self.store,
+                    hybrid_word_literals=self.config.hybrid_learned_clauses,
+                )
+                prof.add("search/conflict", prof.now() - begin)
+            else:
+                analysis = analyze_conflict(
+                    conflict,
+                    self.store,
+                    hybrid_word_literals=self.config.hybrid_learned_clauses,
+                )
+            if analysis is None:
+                return self._finish(Status.UNSAT), resolved
+            if tracer is not None:
+                tracer.event(
+                    "conflict",
+                    dl=self.store.decision_level,
+                    n=self.stats.conflicts,
+                    size=len(analysis.clause.literals),
+                    words=analysis.word_literal_count,
+                    backtrack=analysis.backtrack_level,
+                )
+            self.order.bump_clause(analysis.clause)
+            self.order.decay()
+            conflict = self._install_learned(
+                analysis.clause, analysis.backtrack_level
+            )
+        return None, resolved
+
     def _backtrack(self, level: int) -> None:
         self.store.backtrack_to(level)
         self.engine.notify_backtrack()
@@ -267,13 +464,16 @@ class HdpllSolver:
         """Backtrack, add the clause, and re-propagate."""
         self._backtrack(backtrack_level)
         self.stats.learned_clauses += 1
+        self.stats.registry.histogram("learned_clause_size").observe(
+            len(clause.literals)
+        )
         interval = self.config.clause_db_reduce_interval
         if interval and self.stats.learned_clauses % interval == 0:
             self.engine.clause_db.reduce_learned()
         conflict = self.engine.add_clause(clause)
         if conflict is not None:
             return conflict
-        conflict = self.engine.propagate()
+        conflict = self._propagate()
         self.stats.propagations = self.engine.propagation_count
         return conflict
 
@@ -294,6 +494,7 @@ class HdpllSolver:
         of the full problem.
         """
         self.stats.fme_checks += 1
+        begin = time.perf_counter()
         try:
             leaf = check_solution_box(
                 self.store,
@@ -304,6 +505,20 @@ class HdpllSolver:
             # The integer solver ran out of branch budget: neither SAT
             # nor UNSAT can be concluded from this box.
             return self._finish(Status.UNKNOWN, note=str(error))
+        elapsed = time.perf_counter() - begin
+        self.stats.fme_time += elapsed
+        if self._prof is not None:
+            self._prof.add("search/fme", elapsed)
+        if self._trace is not None:
+            self._trace.event(
+                "leaf",
+                dl=self.store.decision_level,
+                mode="full" if strict else "early",
+                feasible=leaf.feasible,
+                components=leaf.components,
+                constraints=leaf.constraints,
+                seconds=elapsed,
+            )
         if leaf.feasible:
             model = self._build_model(leaf.witness, assumptions, strict)
             if model is None:
@@ -320,23 +535,8 @@ class HdpllSolver:
         self.order.decay()
         self.stats.conflicts += 1
         conflict = self._install_learned(clause, backtrack_level)
-        while conflict is not None:
-            if self._out_of_budget():
-                return self._finish(Status.UNKNOWN, note=self._budget_note())
-            self.stats.conflicts += 1
-            analysis = analyze_conflict(
-                conflict,
-                self.store,
-                hybrid_word_literals=self.config.hybrid_learned_clauses,
-            )
-            if analysis is None:
-                return self._finish(Status.UNSAT)
-            self.order.bump_clause(analysis.clause)
-            self.order.decay()
-            conflict = self._install_learned(
-                analysis.clause, analysis.backtrack_level
-            )
-        return None
+        final, _resolved = self._resolve_conflicts(conflict, bump_source=False)
+        return final
 
     def _analyze_fme_refutation(self, leaf):
         """Conflict analysis of an arithmetic refutation (the [9] hybrid
@@ -410,12 +610,34 @@ class HdpllSolver:
             and self.stats.conflicts >= self.config.max_conflicts
         ):
             return True
-        return self._deadline is not None and time.monotonic() > self._deadline
+        return (
+            self._deadline is not None
+            and time.perf_counter() > self._deadline
+        )
 
     def _budget_note(self) -> str:
-        if self._deadline is not None and time.monotonic() > self._deadline:
+        if self._deadline is not None and time.perf_counter() > self._deadline:
             return f"timeout after {self.config.timeout}s"
         return f"conflict budget {self.config.max_conflicts} exhausted"
+
+    def _attribute_engine_phases(self) -> None:
+        """Fold the engine's BCP/ICP clocks into the phase hierarchy.
+
+        Propagation driven by predicate-learning probes ran before the
+        search phase; the snapshot taken at the end of learning splits
+        the engine totals between ``learn/*`` and ``search/propagate/*``.
+        """
+        prof = self._prof
+        assert prof is not None
+        if self._learn_bcp or self._learn_icp:
+            prof.add("learn/bcp", self._learn_bcp)
+            prof.add("learn/icp", self._learn_icp)
+        prof.add(
+            "search/propagate/bcp", self.engine.bcp_time - self._learn_bcp
+        )
+        prof.add(
+            "search/propagate/icp", self.engine.icp_time - self._learn_icp
+        )
 
     def _finish(
         self,
@@ -427,6 +649,10 @@ class HdpllSolver:
         self.stats.propagator_wakeups = self.engine.wakeup_count
         self.stats.clause_visits = self.engine.clause_db.clause_visits
         self.stats.watch_moves = self.engine.clause_db.watch_moves
+        # Decision-heap health counters (auto-registered extensions —
+        # the metrics registry is the one place they need declaring).
+        self.stats.heap_picks = self.order.picks
+        self.stats.heap_stale_pops = self.order.stale_pops
         hits, misses = interval_cache_stats()
         delta_hits = hits - self._cache_mark[0]
         delta_total = delta_hits + misses - self._cache_mark[1]
@@ -442,6 +668,7 @@ def solve_circuit(
     circuit: Circuit,
     assumptions: Mapping[str, AssumptionValue],
     config: Optional[SolverConfig] = None,
+    observation: Optional[Observation] = None,
 ) -> SolverResult:
     """One-shot convenience wrapper around :class:`HdpllSolver`."""
-    return HdpllSolver(circuit, config).solve(assumptions)
+    return HdpllSolver(circuit, config, observation).solve(assumptions)

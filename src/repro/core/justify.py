@@ -52,10 +52,14 @@ class StructuralDecide:
         system: CompiledSystem,
         store: DomainStore,
         order: ActivityOrder,
+        tracer=None,
     ):
         self.system = system
         self.store = store
         self.order = order
+        #: Optional :class:`repro.obs.TraceEmitter`; when set, every
+        #: frontier action becomes a ``jfrontier`` trace event.
+        self._trace = tracer
         levels = levelize(system.circuit)
         #: node index -> (negative level, node index) sort key; high
         #: levels (near outputs) are justified first.
@@ -198,6 +202,19 @@ class StructuralDecide:
             else:
                 outcome = self._justify_bool_gate(prop)
             if outcome is not None:
+                if self._trace is not None:
+                    self._trace.event(
+                        "jfrontier",
+                        dl=self.store.decision_level,
+                        action=(
+                            "j-conflict"
+                            if isinstance(outcome, Conflict)
+                            else "justify"
+                        ),
+                        node=node_index,
+                        level=self._level_of[node_index],
+                        op=type(prop).__name__,
+                    )
                 return outcome
         return None
 

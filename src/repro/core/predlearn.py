@@ -22,6 +22,7 @@ Pre-processing before search:
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -35,6 +36,8 @@ from repro.constraints.variable import Variable
 from repro.core.decide import ActivityOrder
 from repro.core.recursive import RecursiveLearner, justification_options
 from repro.rtl.predicates import extract_predicates
+
+logger = logging.getLogger(__name__)
 
 #: The paper's default cap (Section 5.2): min(#predicate gates, 2000).
 DEFAULT_THRESHOLD_CAP = 2000
@@ -84,11 +87,15 @@ def run_predicate_learning(
     deadline: Optional[float] = None,
     phase_hints: bool = False,
     include_direct_relations: bool = False,
+    tracer=None,
 ) -> LearnReport:
     """Run the Section 3 pre-processing pass on a live solver state.
 
     Must be called at decision level 0 before any assumptions; learned
-    clauses are installed into ``engine``'s clause database.
+    clauses are installed into ``engine``'s clause database.  A
+    :class:`repro.obs.TraceEmitter` in ``tracer`` gets one
+    ``learn_probe`` event per recursive-learning probe.  ``deadline`` is
+    a ``time.perf_counter()`` instant (the solver's budget clock).
     """
     report = LearnReport()
     predicates = extract_predicates(system.circuit)
@@ -104,7 +111,7 @@ def run_predicate_learning(
     for net in candidates:
         if report.relations_learned >= threshold:
             break
-        if deadline is not None and time.monotonic() > deadline:
+        if deadline is not None and time.perf_counter() > deadline:
             break
         var = system.var(net)
         node = net.driver
@@ -118,6 +125,19 @@ def run_predicate_learning(
             options = justification_options(system, node, probe_value)
             implications = learner.probe(var, probe_value, depth=1)
             probe_results[probe_value] = implications
+            if tracer is not None:
+                tracer.event(
+                    "learn_probe",
+                    dl=0,
+                    var=net.name,
+                    value=probe_value,
+                    outcome=(
+                        "impossible" if implications is None else "ok"
+                    ),
+                    implications=(
+                        0 if implications is None else len(implications)
+                    ),
+                )
             if implications is None:
                 # The probe value is impossible: learn it as a fact
                 # (failed-literal detection / all options conflicting).
@@ -196,6 +216,14 @@ def run_predicate_learning(
                     return report
 
     report.probes = learner.probes
+    logger.debug(
+        "predicate learning: %d relations from %d probes "
+        "(%d candidates, threshold %d)",
+        report.relations_learned,
+        report.probes,
+        report.candidates,
+        threshold,
+    )
     if order is not None:
         # Phase hints (Section 4.4's "pick the value satisfying the most
         # learned relations") are off by default: on SAT instances they

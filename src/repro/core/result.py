@@ -1,10 +1,24 @@
-"""Solver results and statistics."""
+"""Solver results and statistics.
+
+:class:`SolverStats` used to be a dataclass with one field per counter;
+it is now an attribute facade over a :class:`repro.obs.MetricsRegistry`
+— the single source of truth for a run's numeric observability data.
+Every pre-existing attribute (``stats.decisions``, ``stats.solve_time``,
+...) keeps working, including augmented assignment, and *new* metrics
+can be added by plain attribute assignment from anywhere in the solver:
+integers auto-register as counters, floats as gauges.  ``as_dict()``
+snapshots everything, which is how the harness builds its
+:class:`~repro.harness.runner.RunRecord` and bench reports without
+copying fields one by one.
+"""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 
 class Status(enum.Enum):
@@ -15,39 +29,95 @@ class Status(enum.Enum):
     UNKNOWN = "unknown"  # timeout or budget exhaustion
 
 
-@dataclass
-class SolverStats:
-    """Counters the benchmark harness and tests inspect."""
-
-    decisions: int = 0
-    conflicts: int = 0
-    propagations: int = 0
-    learned_clauses: int = 0
-    restarts: int = 0
-    max_decision_level: int = 0
+#: The registered solver metrics: name -> (kind, default).  Counters are
+#: integer totals; gauges are float point-in-time values.  The set is
+#: extensible at runtime — assigning an unlisted attribute on a
+#: SolverStats registers it on the fly.
+STAT_SPEC = {
+    "decisions": ("counter", 0),
+    "conflicts": ("counter", 0),
+    "propagations": ("counter", 0),
+    "learned_clauses": ("counter", 0),
+    "restarts": ("counter", 0),
+    "max_decision_level": ("counter", 0),
     #: Leaf checks: calls into the Omega integer solver.
-    fme_checks: int = 0
+    "fme_checks": ("counter", 0),
     #: Leaf checks that refuted the solution box.
-    fme_conflicts: int = 0
+    "fme_conflicts": ("counter", 0),
     #: Structural (justification) decisions taken.
-    structural_decisions: int = 0
+    "structural_decisions": ("counter", 0),
     #: J-conflicts found by the structural strategy (Section 4.3).
-    j_conflicts: int = 0
+    "j_conflicts": ("counter", 0),
     #: Relations learned by predicate learning (Section 3).
-    learned_relations: int = 0
-    #: Wall-clock seconds spent in predicate learning pre-processing.
-    learn_time: float = 0.0
-    #: Wall-clock seconds spent in search (excludes learn_time).
-    solve_time: float = 0.0
+    "learned_relations": ("counter", 0),
     #: Propagator enqueues that passed the event-kind wake filter.
-    propagator_wakeups: int = 0
+    "propagator_wakeups": ("counter", 0),
     #: Clauses examined during watched-literal propagation.
-    clause_visits: int = 0
+    "clause_visits": ("counter", 0),
     #: Watched-literal relocations (replacement watch found).
-    watch_moves: int = 0
+    "watch_moves": ("counter", 0),
+    #: Wall-clock seconds spent in predicate learning pre-processing.
+    "learn_time": ("gauge", 0.0),
+    #: Wall-clock seconds spent in search (excludes learn_time).
+    "solve_time": ("gauge", 0.0),
+    #: Wall-clock seconds spent inside FME leaf certification.
+    "fme_time": ("gauge", 0.0),
     #: Interval interning cache hit rate over this solve (0.0 when the
     #: solve performed no interval constructions).
-    interval_cache_hit_rate: float = 0.0
+    "interval_cache_hit_rate": ("gauge", 0.0),
+}
+
+
+class SolverStats:
+    """Counters the benchmark harness and tests inspect.
+
+    Attribute reads/writes delegate to the underlying registry; see the
+    module docstring.  ``SolverStats(decisions=5)`` still works, as does
+    assigning brand-new attributes (they become registry metrics).
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, **overrides):
+        registry = MetricsRegistry()
+        object.__setattr__(self, "registry", registry)
+        for name, (kind, default) in STAT_SPEC.items():
+            if kind == "counter":
+                registry.counter(name).value = default
+            else:
+                registry.gauge(name).value = default
+        for name, value in overrides.items():
+            registry.set_value(name, value)
+
+    def __getattr__(self, name: str):
+        metric = self.registry.get(name)
+        if metric is None:
+            raise AttributeError(
+                f"SolverStats has no metric {name!r}"
+            )
+        if metric.kind == "histogram":
+            return metric
+        return metric.value
+
+    def __setattr__(self, name: str, value) -> None:
+        self.registry.set_value(name, value)
+
+    def as_dict(self, include_histograms: bool = True) -> Dict[str, object]:
+        """Snapshot of every metric (histograms as summary dicts)."""
+        return self.registry.as_dict(include_histograms=include_histograms)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SolverStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{name}={value!r}"
+            for name, value in self.as_dict(include_histograms=False).items()
+            if value
+        )
+        return f"SolverStats({parts})"
 
 
 @dataclass

@@ -9,8 +9,18 @@ from repro.harness.experiments import (
     run_table1,
     run_table2,
 )
-from repro.harness.runner import ENGINE_NAMES, RunRecord, run_engine
-from repro.harness.tables import format_records, format_table1, format_table2
+from repro.harness.runner import (
+    ENGINE_NAMES,
+    RunRecord,
+    apply_stats,
+    run_engine,
+)
+from repro.harness.tables import (
+    format_profile,
+    format_records,
+    format_table1,
+    format_table2,
+)
 
 __all__ = [
     "ABLATION_INSTANCES",
@@ -19,6 +29,8 @@ __all__ = [
     "TABLE1_INSTANCES",
     "TABLE2_INSTANCES",
     "TableRow",
+    "apply_stats",
+    "format_profile",
     "format_records",
     "format_table1",
     "format_table2",

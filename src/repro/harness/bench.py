@@ -24,6 +24,7 @@ without averaging in warm-up effects.
 from __future__ import annotations
 
 import json
+import logging
 import math
 import platform
 import time
@@ -33,6 +34,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.runner import RunRecord, run_engine
 from repro.itc99 import instance
+
+logger = logging.getLogger(__name__)
 
 #: Report schema version (bump when the JSON layout changes).
 SCHEMA_VERSION = 1
@@ -124,6 +127,14 @@ def run_profile(
                 if best is None or record.seconds < best.seconds:
                     best = record
             assert best is not None
+            logger.info(
+                "bench cell: %s(%d) %s %s %.3fs",
+                case,
+                bound,
+                engine,
+                best.status,
+                best.seconds,
+            )
             cells.append(
                 BenchCell(
                     case=case,
@@ -147,6 +158,12 @@ def run_profile(
         },
         "gated_engines": list(spec["gated"]),  # type: ignore[arg-type]
     }
+    logger.info(
+        "bench profile %s: %d cells, geomean %s",
+        profile,
+        len(cells),
+        {e: round(g, 3) for e, g in report["geomean"].items()},  # type: ignore
+    )
     return report
 
 

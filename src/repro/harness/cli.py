@@ -3,10 +3,16 @@
 Subcommands::
 
     repro-hdpll solve b13_5 50 --engine hdpll+sp
+    repro-hdpll trace b01_1 20 --output trace.jsonl --narrate
+    repro-hdpll trace --replay trace.jsonl
+    repro-hdpll profile b13_5 20
     repro-hdpll table1 --max-bound 30 --timeout 60
     repro-hdpll table2 --max-bound 30 --timeout 60
     repro-hdpll ablation
     repro-hdpll list
+
+Global options: ``--log-level debug`` (or ``REPRO_LOG=debug``) wires the
+library's ``repro`` logger to stderr.
 """
 
 from __future__ import annotations
@@ -19,6 +25,16 @@ from repro.harness.experiments import run_ablation, run_table1, run_table2
 from repro.harness.runner import ENGINE_NAMES, run_engine
 from repro.harness.tables import format_records, format_table1, format_table2
 from repro.itc99 import available_cases, instance
+from repro.obs import configure_logging
+
+#: Engines that accept an Observation (tracing / profiling).
+TRACEABLE_ENGINES = tuple(
+    name for name in ENGINE_NAMES if name.startswith("hdpll")
+)
+
+#: Flag a profile whose phase sum drifts more than this fraction from
+#: the solver-reported wall time (clock accounting has gone wrong).
+PROFILE_DRIFT_TOLERANCE = 0.10
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -35,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
             "(DAC 2005 reproduction)"
         ),
     )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        help="logging level for the repro logger (name or number; "
+        "defaults to $REPRO_LOG, silent when neither is set)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     solve = sub.add_parser("solve", help="solve one BMC instance")
@@ -44,6 +66,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINE_NAMES, default="hdpll+sp"
     )
     _add_common(solve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="solve one instance with structured JSONL tracing + "
+        "phase profiling, or replay an existing trace",
+    )
+    trace.add_argument("case", nargs="?", help="e.g. b01_1")
+    trace.add_argument("bound", nargs="?", type=int, help="time frames")
+    trace.add_argument(
+        "--engine", choices=TRACEABLE_ENGINES, default="hdpll+sp"
+    )
+    trace.add_argument(
+        "--output", default="trace.jsonl", help="trace file path"
+    )
+    trace.add_argument(
+        "--narrate",
+        action="store_true",
+        help="also print the human-readable search narrative",
+    )
+    trace.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="narrate an existing trace file instead of solving",
+    )
+    _add_common(trace)
+
+    profile = sub.add_parser(
+        "profile", help="per-phase wall-time breakdown of one solve"
+    )
+    profile.add_argument("case", help="e.g. b13_5")
+    profile.add_argument("bound", type=int, help="time frames")
+    profile.add_argument(
+        "--engine", choices=TRACEABLE_ENGINES, default="hdpll+sp"
+    )
+    _add_common(profile)
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
     table1.add_argument(
@@ -131,8 +188,119 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _trace_command(args) -> int:
+    from repro.harness.tables import format_profile
+    from repro.obs import (
+        Observation,
+        PhaseProfiler,
+        TraceEmitter,
+        narrate,
+        read_trace,
+        validate_trace,
+    )
+
+    if args.replay:
+        try:
+            events = read_trace(args.replay)
+        except (OSError, ValueError) as error:
+            print(f"trace: cannot replay {args.replay}: {error}",
+                  file=sys.stderr)
+            return 2
+        errors = validate_trace(events, complete=False)
+        print(narrate(events))
+        for error in errors:
+            print(f"schema error: {error}", file=sys.stderr)
+        return 1 if errors else 0
+
+    if args.case is None or args.bound is None:
+        print(
+            "trace: case and bound are required unless --replay is given",
+            file=sys.stderr,
+        )
+        return 2
+    inst = instance(args.case, args.bound)
+    profiler = PhaseProfiler()
+    with TraceEmitter.open(args.output) as tracer:
+        observation = Observation(tracer=tracer, profiler=profiler)
+        record = run_engine(
+            inst, args.engine, args.timeout, observation=observation
+        )
+    events = read_trace(args.output)
+    errors = validate_trace(events, complete=record.status != "-A-")
+    print(
+        f"{inst.name} [{args.engine}]: {record.status} in "
+        f"{record.seconds:.2f}s — {len(events)} trace events "
+        f"written to {args.output}"
+    )
+    if record.note:
+        print(f"note: {record.note}")
+    if args.narrate:
+        print()
+        print(narrate(events))
+    print()
+    reported = record.solve_seconds + record.learn_seconds
+    print(format_profile(profiler.report(), reference=reported))
+    drift_error = _check_profile_drift(profiler.report(), reported)
+    if drift_error:
+        errors.append(drift_error)
+    for error in errors:
+        print(f"trace error: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+def _check_profile_drift(report, reported: float) -> Optional[str]:
+    """Phase sum vs solver-reported wall time, beyond tolerance?
+
+    Sub-millisecond solves are all fixed overhead; the accounting check
+    only means something once the solve is long enough to measure.
+    """
+    phase_sum = report["top_level_total"]
+    if reported < 1e-3:
+        return None
+    drift = abs(phase_sum - reported) / reported
+    if drift > PROFILE_DRIFT_TOLERANCE:
+        return (
+            f"profiler phase sum {phase_sum:.4f}s deviates "
+            f"{drift:.0%} from solver-reported {reported:.4f}s"
+        )
+    return None
+
+
+def _profile_command(args) -> int:
+    from repro.harness.tables import format_profile
+    from repro.obs import Observation, PhaseProfiler
+
+    inst = instance(args.case, args.bound)
+    profiler = PhaseProfiler()
+    record = run_engine(
+        inst,
+        args.engine,
+        args.timeout,
+        observation=Observation(profiler=profiler),
+    )
+    print(
+        f"{inst.name} [{args.engine}]: {record.status} in "
+        f"{record.seconds:.2f}s"
+    )
+    if record.note:
+        print(f"note: {record.note}")
+    print()
+    reported = record.solve_seconds + record.learn_seconds
+    print(format_profile(profiler.report(), reference=reported))
+    drift_error = _check_profile_drift(profiler.report(), reported)
+    if drift_error:
+        print(f"profile error: {drift_error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        configure_logging(args.log_level)
+    except ValueError as error:
+        print(f"repro-hdpll: {error}", file=sys.stderr)
+        return 2
     if args.command == "list":
         for case in available_cases():
             print(case)
@@ -148,6 +316,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if record.note:
             print(f"note: {record.note}")
         return 0
+    if args.command == "trace":
+        return _trace_command(args)
+    if args.command == "profile":
+        return _profile_command(args)
     if args.command == "table1":
         max_bound = args.max_bound or None
         rows = run_table1(timeout=args.timeout, max_bound=max_bound)

@@ -14,12 +14,20 @@ uclid     lazy-SMT comparator substitute (Table 2, UCLID)
 ics       eager-CDP comparator substitute (Table 2, ICS)
 bitblast  CNF translation + CDCL (the introduction's baseline)
 ========  ====================================================
+
+Counter fields on :class:`RunRecord` are filled from the solver's
+:meth:`~repro.core.SolverStats.as_dict` snapshot — any stats metric
+whose name matches a record field (modulo :data:`_STAT_FIELD_ALIASES`)
+is copied, so a new solver counter only needs a record field of the
+same name to surface in reports.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import logging
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.baselines import (
@@ -28,7 +36,16 @@ from repro.baselines import (
     solve_lazy_smt,
 )
 from repro.bmc.property import BmcInstance
-from repro.core import SolverConfig, SolverResult, Status, solve_circuit
+from repro.core import (
+    SolverConfig,
+    SolverResult,
+    SolverStats,
+    Status,
+    solve_circuit,
+)
+from repro.obs import Observation
+
+logger = logging.getLogger(__name__)
 
 ENGINE_NAMES = (
     "hdpll",
@@ -50,6 +67,8 @@ class RunRecord:
     engine: str
     status: str              # "S", "U", "-to-" (timeout) or "-A-" (abort)
     seconds: float
+    #: Solver-reported search seconds (excludes compile and learn).
+    solve_seconds: float = 0.0
     learn_seconds: float = 0.0
     learned_relations: int = 0
     decisions: int = 0
@@ -66,6 +85,37 @@ class RunRecord:
     @property
     def timed_out(self) -> bool:
         return self.status == "-to-"
+
+
+#: Stats-metric name -> RunRecord field name, where they differ.
+_STAT_FIELD_ALIASES = {
+    "learn_time": "learn_seconds",
+    "solve_time": "solve_seconds",
+}
+
+_RECORD_FIELD_NAMES = frozenset(
+    f.name for f in dataclasses.fields(RunRecord)
+)
+
+
+def apply_stats(record: RunRecord, stats) -> None:
+    """Fill every matching counter field of ``record`` from ``stats``.
+
+    This is the single point where solver metrics flow into run
+    records; there is deliberately no field-by-field copying anywhere
+    else in the harness.  ``stats`` is a :class:`SolverStats` or any
+    plain stats dataclass (the baseline engines' ``SatStats``).
+    """
+    if isinstance(stats, SolverStats):
+        snapshot = stats.as_dict(include_histograms=False)
+    elif dataclasses.is_dataclass(stats):
+        snapshot = dataclasses.asdict(stats)
+    else:
+        snapshot = vars(stats)
+    for name, value in snapshot.items():
+        field_name = _STAT_FIELD_ALIASES.get(name, name)
+        if field_name in _RECORD_FIELD_NAMES:
+            setattr(record, field_name, value)
 
 
 def _status_letter(result: SolverResult) -> str:
@@ -94,8 +144,13 @@ def run_engine(
     engine: str,
     timeout: Optional[float] = None,
     learning_threshold: Optional[int] = None,
+    observation: Optional[Observation] = None,
 ) -> RunRecord:
-    """Run one engine on a BMC instance, catching aborts."""
+    """Run one engine on a BMC instance, catching aborts.
+
+    ``observation`` (tracing / profiling) applies to the HDPLL engines
+    only; baseline engines ignore it.
+    """
     stats = instance.circuit.stats()
     record = RunRecord(
         case=instance.name.rsplit("(", 1)[0],
@@ -106,39 +161,32 @@ def run_engine(
         arith_ops=stats.arith_ops,
         bool_ops=stats.bool_ops,
     )
-    start = time.monotonic()
+    logger.debug("run begin: %s engine=%s", instance.name, engine)
+    start = time.perf_counter()
     try:
         if engine.startswith("hdpll"):
             result = solve_circuit(
                 instance.circuit,
                 instance.assumptions,
                 _hdpll_config(engine, timeout, learning_threshold),
+                observation=observation,
             )
             record.status = _status_letter(result)
-            record.learn_seconds = result.stats.learn_time
-            record.learned_relations = result.stats.learned_relations
-            record.decisions = result.stats.decisions
-            record.conflicts = result.stats.conflicts
-            record.propagations = result.stats.propagations
-            record.propagator_wakeups = result.stats.propagator_wakeups
-            record.clause_visits = result.stats.clause_visits
-            record.watch_moves = result.stats.watch_moves
-            record.interval_cache_hit_rate = (
-                result.stats.interval_cache_hit_rate
-            )
+            apply_stats(record, result.stats)
             record.note = result.note
         elif engine == "uclid":
             result = solve_lazy_smt(
                 instance.circuit, instance.assumptions, timeout=timeout
             )
             record.status = _status_letter(result)
+            apply_stats(record, result.stats)
             record.note = result.note
         elif engine == "ics":
             result = solve_eager_cdp(
                 instance.circuit, instance.assumptions, timeout=timeout
             )
             record.status = _status_letter(result)
-            record.decisions = result.stats.decisions
+            apply_stats(record, result.stats)
             record.note = result.note
         elif engine == "bitblast":
             satisfiable, _model, sat_result = solve_by_bitblasting(
@@ -150,12 +198,21 @@ def run_engine(
                 record.status = "U"
             else:
                 record.status = "-to-"
-            record.decisions = sat_result.stats.decisions
-            record.conflicts = sat_result.stats.conflicts
+            apply_stats(record, sat_result.stats)
         else:
             raise ValueError(f"unknown engine {engine!r}")
     except Exception as error:  # aborts are data, not crashes (cf. -A-)
         record.status = "-A-"
         record.note = f"{type(error).__name__}: {error}"
-    record.seconds = time.monotonic() - start
+        logger.warning(
+            "run aborted: %s engine=%s: %s", instance.name, engine, record.note
+        )
+    record.seconds = time.perf_counter() - start
+    logger.debug(
+        "run end: %s engine=%s status=%s seconds=%.3f",
+        instance.name,
+        engine,
+        record.status,
+        record.seconds,
+    )
     return record

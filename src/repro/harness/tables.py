@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.harness.experiments import TableRow
 from repro.harness.runner import RunRecord
@@ -69,6 +69,40 @@ def format_table2(
             f"{any_record.bool_ops:>7d}"
             + cells
         )
+    return "\n".join(lines)
+
+
+def format_profile(report: dict, reference: Optional[float] = None) -> str:
+    """Render a :meth:`repro.obs.PhaseProfiler.report` as a table.
+
+    ``reference`` is the solver-reported wall time the percentages are
+    taken against (defaults to the profiler's own top-level total).
+    Nesting shows as indentation: ``search/propagate`` prints as
+    ``  propagate`` under ``search``.
+    """
+    phases = report["phases"]
+    total = report["top_level_total"]
+    base = reference if reference else total
+    lines = [
+        f"{'phase':28s} {'count':>8s} {'seconds':>9s} "
+        f"{'self':>9s} {'%':>6s}"
+    ]
+    for entry in phases:
+        path = entry["path"]
+        depth = path.count("/")
+        label = "  " * depth + path.rsplit("/", 1)[-1]
+        share = entry["seconds"] / base if base > 0 else 0.0
+        lines.append(
+            f"{label:28s} "
+            f"{entry['count']:>8d} "
+            f"{entry['seconds']:>9.4f} "
+            f"{entry['self_seconds']:>9.4f} "
+            f"{share:>6.1%}"
+        )
+    summary = f"{'total (top-level phases)':28s} {'':>8s} {total:>9.4f}"
+    if reference is not None:
+        summary += f" {'':>9s} vs reported {reference:.4f}s"
+    lines.append(summary)
     return "\n".join(lines)
 
 

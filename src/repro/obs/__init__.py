@@ -1,0 +1,56 @@
+"""Observability layer: tracing, metrics and phase profiling.
+
+The solver core accepts an optional :class:`Observation` bundle; each of
+its members is independently optional, and a solver constructed without
+one runs the uninstrumented fast path (the guards are single ``is
+None`` tests, verified by the bench regression gate).
+
+* :mod:`repro.obs.trace` — structured JSONL trace emitter + replay.
+* :mod:`repro.obs.metrics` — the counter/gauge/histogram registry that
+  backs :class:`repro.core.result.SolverStats`.
+* :mod:`repro.obs.profile` — hierarchical wall-time phase profiler.
+* :mod:`repro.obs.logging` — ``repro`` logger wiring for the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.logging import configure_logging
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import PhaseProfiler, merge_reports
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceEmitter,
+    narrate,
+    parse_trace,
+    read_trace,
+    validate_trace,
+)
+
+
+@dataclass
+class Observation:
+    """Optional instrumentation handed to a solver."""
+
+    tracer: Optional[TraceEmitter] = None
+    profiler: Optional[PhaseProfiler] = None
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observation",
+    "PhaseProfiler",
+    "TRACE_SCHEMA_VERSION",
+    "TraceEmitter",
+    "configure_logging",
+    "merge_reports",
+    "narrate",
+    "parse_trace",
+    "read_trace",
+    "validate_trace",
+]

@@ -1,0 +1,180 @@
+"""Metrics registry: named counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is the single source of truth for a solver
+run's numeric observability data.  :class:`repro.core.result.SolverStats`
+is a thin attribute facade over one registry, so adding a new metric is
+one ``stats.my_metric = value`` away — the registry auto-registers it —
+while every existing ``stats.decisions``-style access keeps working.
+
+Metric kinds:
+
+* **counter** — a monotone integer total (decisions, conflicts, ...).
+* **gauge** — a point-in-time float (solve time, cache hit rate, ...).
+* **histogram** — a streaming summary (count / sum / min / max) of an
+  observed distribution, e.g. learned-clause sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Union
+
+Scalar = Union[int, float]
+
+
+class Counter:
+    """Monotone integer total."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Point-in-time float value."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0):
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming count/sum/min/max summary of an observed distribution."""
+
+    kind = "histogram"
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[Scalar] = None
+        self.max: Optional[Scalar] = None
+
+    def observe(self, value: Scalar) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, Scalar]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0,
+            "max": self.max if self.max is not None else 0,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.2f})"
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and enumerable afterwards."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+    # Registration / lookup
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, factory) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {factory.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def names(self):
+        return list(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Scalar facade (used by SolverStats attribute access)
+    # ------------------------------------------------------------------
+    def set_value(self, name: str, value: Scalar) -> None:
+        """Set a scalar metric, auto-registering on first assignment.
+
+        Integers register as counters, floats as gauges (so attribute
+        extensions like ``stats.my_total = 3`` land in the right kind).
+        """
+        metric = self._metrics.get(name)
+        if metric is None:
+            factory = Counter if isinstance(value, int) else Gauge
+            metric = factory(name)
+            self._metrics[name] = metric
+        elif isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {name!r} is a histogram; use .observe(), "
+                "not scalar assignment"
+            )
+        metric.value = value
+
+    def value(self, name: str) -> Scalar:
+        metric = self._metrics[name]
+        if isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a histogram; use get()")
+        return metric.value
+
+    def as_dict(self, include_histograms: bool = True) -> Dict[str, object]:
+        """All metrics as plain data: scalars by value, histograms as
+        their summary dicts (omitted with ``include_histograms=False``)."""
+        out: Dict[str, object] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                if include_histograms:
+                    out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out

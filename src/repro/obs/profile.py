@@ -1,0 +1,127 @@
+"""Hierarchical phase profiler: where did the wall-clock go?
+
+Phases form a ``/``-separated hierarchy, e.g.::
+
+    learn
+    search
+    search/decide
+    search/propagate
+    search/propagate/bcp
+    search/propagate/icp
+    search/conflict
+    search/fme
+
+Coarse phases (``learn``, ``search``) are recorded with the
+:meth:`PhaseProfiler.phase` context manager; hot-loop sub-phases accrue
+pre-measured deltas through :meth:`PhaseProfiler.add` so the solver's
+fast path never pays for a context-manager frame.  All timing uses
+``time.perf_counter`` (monotonic, highest available resolution).
+
+Accounting is *inclusive*: a parent's time contains its children's.
+``self_seconds`` in the report subtracts direct children, and the sum of
+the *top-level* phases is the number the harness checks against the
+solver's reported wall time (they must agree to within a few percent;
+the CLI flags anything beyond 10%).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+
+class PhaseProfiler:
+    """Accumulates inclusive wall time per hierarchical phase path."""
+
+    __slots__ = ("totals", "counts", "_stack")
+
+    #: Monotonic high-resolution clock used for every delta.
+    now = staticmethod(time.perf_counter)
+
+    def __init__(self):
+        #: path -> inclusive seconds.
+        self.totals: Dict[str, float] = {}
+        #: path -> number of enter/add events.
+        self.counts: Dict[str, int] = {}
+        self._stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def add(self, path: str, seconds: float, count: int = 1) -> None:
+        """Accrue a pre-measured delta under an absolute phase path."""
+        self.totals[path] = self.totals.get(path, 0.0) + seconds
+        self.counts[path] = self.counts.get(path, 0) + count
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a (possibly nested) phase; path derives from nesting."""
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        start = self.now()
+        try:
+            yield self
+        finally:
+            self.add(path, self.now() - start)
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _children(self, path: str) -> List[str]:
+        prefix = path + "/"
+        depth = path.count("/") + 1
+        return [
+            other
+            for other in self.totals
+            if other.startswith(prefix) and other.count("/") == depth
+        ]
+
+    def self_seconds(self, path: str) -> float:
+        """Inclusive time minus the time of direct children."""
+        return self.totals[path] - sum(
+            self.totals[child] for child in self._children(path)
+        )
+
+    def top_level(self) -> Dict[str, float]:
+        """Inclusive seconds of each root phase."""
+        return {
+            path: seconds
+            for path, seconds in self.totals.items()
+            if "/" not in path
+        }
+
+    def top_level_total(self) -> float:
+        """Sum of root-phase inclusive times — the profiler's account of
+        the solve; compared against the solver-reported wall time."""
+        return sum(self.top_level().values())
+
+    def report(self) -> Dict[str, object]:
+        """Machine-readable breakdown (embedded in traces and reports)."""
+        phases = [
+            {
+                "path": path,
+                "seconds": round(self.totals[path], 9),
+                "self_seconds": round(self.self_seconds(path), 9),
+                "count": self.counts.get(path, 0),
+            }
+            for path in sorted(self.totals)
+        ]
+        return {
+            "phases": phases,
+            "top_level_total": round(self.top_level_total(), 9),
+        }
+
+
+def merge_reports(
+    reports: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """Combine several profiler reports (e.g. one per solver call)."""
+    merged = PhaseProfiler()
+    for report in reports:
+        for entry in report.get("phases", []):  # type: ignore[union-attr]
+            merged.add(
+                entry["path"], entry["seconds"], entry.get("count", 1)
+            )
+    return merged.report()

@@ -1,0 +1,273 @@
+"""Structured solver tracing: JSONL events with monotonic timestamps.
+
+A :class:`TraceEmitter` writes one JSON object per line to any file-like
+sink.  Every record carries:
+
+* ``t``  — seconds since the emitter was created (``time.perf_counter``
+  based, so deltas are monotonic and sub-microsecond),
+* ``ev`` — the event kind (see :data:`EVENT_FIELDS`),
+* ``dl`` — the solver decision level at emission time,
+
+plus event-specific fields.  The HDPLL core emits events at the
+boundaries the paper's analysis cares about: decisions, propagation
+batches, conflict analyses, restarts, predicate-learning probes,
+J-frontier actions and FME leaf checks.
+
+Tracing is strictly opt-in: a solver constructed without an
+:class:`~repro.obs.Observation` holds ``None`` in place of the emitter
+and the instrumented code paths reduce to a single ``is None`` test.
+:func:`read_trace` / :func:`validate_trace` / :func:`narrate` turn a
+trace file back into checked data and a human-readable search story.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: Bump when the JSONL layout changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+#: Event kind -> required event-specific fields (every record also has
+#: the common ``t`` / ``ev`` / ``dl`` fields).
+EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "solve_begin": ("schema", "vars", "propagators"),
+    "learn_probe": ("var", "value", "outcome", "implications"),
+    "learn_done": ("relations", "probes", "seconds"),
+    "decision": ("var", "value", "kind"),
+    "propagate": ("props", "events", "conflict"),
+    "conflict": ("n", "size", "backtrack"),
+    "restart": ("n", "conflicts"),
+    "jfrontier": ("action", "node", "level"),
+    "leaf": ("mode", "feasible", "components", "constraints", "seconds"),
+    "profile": ("phases",),
+    "solve_end": ("status", "decisions", "conflicts", "solve_time"),
+}
+
+_COMMON_FIELDS = ("t", "ev", "dl")
+
+
+class TraceEmitter:
+    """JSONL event writer over a file-like text sink.
+
+    Flip :attr:`enabled` to False before handing the emitter to a solver
+    to measure the fully disabled path (the solver then drops its
+    reference and records nothing).
+    """
+
+    __slots__ = ("enabled", "events_emitted", "_sink", "_clock", "_t0")
+
+    def __init__(self, sink, clock=time.perf_counter):
+        self._sink = sink
+        self._clock = clock
+        self._t0 = clock()
+        self.enabled = True
+        self.events_emitted = 0
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "TraceEmitter":
+        """Emitter writing to ``path`` (caller closes via context/close)."""
+        return cls(Path(path).open("w", encoding="utf-8"))
+
+    @classmethod
+    def in_memory(cls) -> "TraceEmitter":
+        """Emitter writing to an internal StringIO (see :meth:`text`)."""
+        return cls(io.StringIO())
+
+    def text(self) -> str:
+        """The emitted JSONL text (in-memory sinks only)."""
+        return self._sink.getvalue()
+
+    def event(self, ev: str, dl: int = 0, **fields) -> None:
+        record = {"t": round(self._clock() - self._t0, 9), "ev": ev, "dl": dl}
+        record.update(fields)
+        self._sink.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.events_emitted += 1
+
+    def flush(self) -> None:
+        flush = getattr(self._sink, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> None:
+        close = getattr(self._sink, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "TraceEmitter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Parsing and validation
+# ----------------------------------------------------------------------
+def parse_trace(text: str) -> List[dict]:
+    """Parse JSONL trace text into event dictionaries."""
+    events = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            raise ValueError(f"trace line {lineno} is not JSON: {error}")
+    return events
+
+
+def read_trace(path: Union[str, Path]) -> List[dict]:
+    """Read and parse a JSONL trace file."""
+    return parse_trace(Path(path).read_text(encoding="utf-8"))
+
+
+def validate_trace(
+    events: Sequence[dict], complete: bool = True
+) -> List[str]:
+    """Schema-check a parsed trace; returns a list of error strings.
+
+    ``complete=True`` additionally requires the trace to open with
+    ``solve_begin`` and close with ``solve_end`` (a crashed or truncated
+    solve legitimately fails this).
+    """
+    errors: List[str] = []
+    if not events:
+        return ["trace is empty"]
+    last_t = None
+    for position, event in enumerate(events):
+        where = f"event {position}"
+        for name in _COMMON_FIELDS:
+            if name not in event:
+                errors.append(f"{where}: missing common field {name!r}")
+        kind = event.get("ev")
+        if kind is not None:
+            if kind not in EVENT_FIELDS:
+                errors.append(f"{where}: unknown event kind {kind!r}")
+            else:
+                for name in EVENT_FIELDS[kind]:
+                    if name not in event:
+                        errors.append(
+                            f"{where} ({kind}): missing field {name!r}"
+                        )
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            if last_t is not None and t < last_t:
+                errors.append(
+                    f"{where}: timestamp {t} goes backwards (after {last_t})"
+                )
+            last_t = t
+    if complete:
+        if events[0].get("ev") != "solve_begin":
+            errors.append("trace does not start with solve_begin")
+        elif events[0].get("schema") != TRACE_SCHEMA_VERSION:
+            errors.append(
+                f"schema version {events[0].get('schema')!r} != "
+                f"{TRACE_SCHEMA_VERSION}"
+            )
+        if events[-1].get("ev") != "solve_end":
+            errors.append("trace does not end with solve_end")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Narration: replay a trace as a human-readable search story
+# ----------------------------------------------------------------------
+def _narrate_event(event: dict) -> Optional[str]:
+    kind = event.get("ev")
+    t = event.get("t", 0.0)
+    dl = event.get("dl", 0)
+    prefix = f"{t:9.4f}s "
+    if kind == "solve_begin":
+        return (
+            f"{prefix}solve begin: {event.get('vars')} variables, "
+            f"{event.get('propagators')} propagators"
+        )
+    if kind == "learn_probe":
+        return (
+            f"{prefix}  probe {event.get('var')}={event.get('value')}: "
+            f"{event.get('outcome')} "
+            f"({event.get('implications')} implications)"
+        )
+    if kind == "learn_done":
+        return (
+            f"{prefix}predicate learning done: "
+            f"{event.get('relations')} relations from "
+            f"{event.get('probes')} probes in {event.get('seconds'):.3f}s"
+        )
+    if kind == "decision":
+        return (
+            f"{prefix}[L{dl}] decide {event.get('var')} = "
+            f"{event.get('value')} ({event.get('kind')})"
+        )
+    if kind == "propagate":
+        suffix = "  -> CONFLICT" if event.get("conflict") else ""
+        return (
+            f"{prefix}[L{dl}]   propagate: {event.get('props')} runs, "
+            f"{event.get('events')} trail events{suffix}"
+        )
+    if kind == "conflict":
+        return (
+            f"{prefix}[L{dl}] conflict #{event.get('n')}: learned "
+            f"{event.get('size')}-literal clause, backtrack to "
+            f"L{event.get('backtrack')}"
+        )
+    if kind == "restart":
+        return (
+            f"{prefix}restart #{event.get('n')} "
+            f"(after {event.get('conflicts')} total conflicts)"
+        )
+    if kind == "jfrontier":
+        return (
+            f"{prefix}[L{dl}] J-frontier {event.get('action')}: node "
+            f"{event.get('node')} at level {event.get('level')}"
+        )
+    if kind == "leaf":
+        verdict = "feasible" if event.get("feasible") else "refuted"
+        return (
+            f"{prefix}[L{dl}] FME leaf ({event.get('mode')}): {verdict}, "
+            f"{event.get('components')} components / "
+            f"{event.get('constraints')} constraints "
+            f"in {event.get('seconds'):.4f}s"
+        )
+    if kind == "solve_end":
+        return (
+            f"{prefix}result: {str(event.get('status')).upper()} — "
+            f"{event.get('decisions')} decisions, "
+            f"{event.get('conflicts')} conflicts, "
+            f"solve time {event.get('solve_time'):.3f}s"
+        )
+    if kind == "profile":
+        return None  # rendered by the profiler table, not the narrative
+    return f"{prefix}{kind}: {event}"
+
+
+def narrate(events: Sequence[dict], limit: int = 400) -> str:
+    """Render a parsed trace as a line-per-event search narrative.
+
+    Traces longer than ``limit`` events keep the head and tail and elide
+    the middle, so the narrative stays skimmable on huge solves.
+    """
+    lines: List[str] = []
+    if len(events) > limit:
+        head = limit * 2 // 3
+        tail = limit - head
+        shown: List[Optional[dict]] = list(events[:head])
+        shown.append(None)  # elision marker
+        shown.extend(events[-tail:])
+        elided = len(events) - head - tail
+    else:
+        shown = list(events)
+        elided = 0
+    for event in shown:
+        if event is None:
+            lines.append(f"          ... {elided} events elided ...")
+            continue
+        line = _narrate_event(event)
+        if line is not None:
+            lines.append(line)
+    return "\n".join(lines)

@@ -112,6 +112,84 @@ class TestCli:
         with pytest.raises(Exception):
             main(["solve", "b99_1", "10"])
 
+    def test_trace_cli(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "trace", "b01_1", "10",
+                    "--output", str(trace_path), "--narrate",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace events" in out
+        assert "solve begin" in out       # the narrative
+        assert "phase" in out             # the profile table
+        from repro.obs import read_trace, validate_trace
+
+        events = read_trace(trace_path)
+        assert validate_trace(events) == []
+
+    def test_trace_cli_replay(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["trace", "b01_1", "10", "--output", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--replay", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "result:" in out
+
+    def test_trace_cli_requires_case_without_replay(self, capsys):
+        assert main(["trace"]) == 2
+        err = capsys.readouterr().err
+        assert "case and bound are required" in err
+
+    def test_profile_cli(self, capsys):
+        assert main(["profile", "b01_1", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "search" in out
+        assert "total (top-level phases)" in out
+
+
+class TestLogging:
+    def _cleanup(self):
+        import logging
+
+        logger = logging.getLogger("repro")
+        for handler in list(logger.handlers):
+            if getattr(handler, "_repro_cli_handler", False):
+                logger.removeHandler(handler)
+
+    def test_log_level_flag_wires_stderr_handler(self, capsys):
+        try:
+            assert main(["--log-level", "debug", "list"]) == 0
+            err = capsys.readouterr().err
+            assert "predicate learning" not in err  # list solves nothing
+            assert main(["--log-level", "debug", "solve", "b01_1", "5"]) == 0
+            err = capsys.readouterr().err
+            assert "run begin" in err
+        finally:
+            self._cleanup()
+
+    def test_env_var_default(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "info")
+        try:
+            assert main(["solve", "b01_1", "5"]) == 0
+        finally:
+            self._cleanup()
+
+    def test_silent_by_default(self, capsys):
+        import logging
+
+        assert main(["solve", "b01_1", "5"]) == 0
+        err = capsys.readouterr().err
+        assert "run begin" not in err
+        logger = logging.getLogger("repro")
+        assert not any(
+            getattr(h, "_repro_cli_handler", False) for h in logger.handlers
+        )
+
 
 class TestScaling:
     def test_run_scaling_shape(self):

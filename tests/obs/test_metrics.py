@@ -1,0 +1,147 @@
+"""Tests for the metrics registry and its SolverStats facade."""
+
+import pytest
+
+from repro.core import SolverStats
+from repro.harness.runner import RunRecord, apply_stats
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        registry = MetricsRegistry()
+        registry.counter("decisions").inc()
+        registry.counter("decisions").inc(4)
+        registry.gauge("solve_time").set(1.5)
+        histogram = registry.histogram("clause_size")
+        for size in (2, 5, 11):
+            histogram.observe(size)
+        assert registry.value("decisions") == 5
+        assert registry.value("solve_time") == 1.5
+        assert histogram.count == 3
+        assert histogram.min == 2
+        assert histogram.max == 11
+        assert histogram.mean == pytest.approx(6.0)
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("decisions")
+        with pytest.raises(TypeError):
+            registry.gauge("decisions")
+
+    def test_scalar_assignment_to_histogram_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("clause_size")
+        with pytest.raises(TypeError):
+            registry.set_value("clause_size", 3)
+
+    def test_set_value_auto_registers_by_type(self):
+        registry = MetricsRegistry()
+        registry.set_value("total", 3)
+        registry.set_value("rate", 0.5)
+        assert isinstance(registry.get("total"), Counter)
+        assert isinstance(registry.get("rate"), Gauge)
+
+    def test_as_dict_histogram_summary(self):
+        registry = MetricsRegistry()
+        registry.set_value("n", 1)
+        registry.histogram("sizes").observe(7)
+        full = registry.as_dict()
+        assert full["n"] == 1
+        assert full["sizes"]["count"] == 1
+        assert full["sizes"]["mean"] == pytest.approx(7.0)
+        assert "sizes" not in registry.as_dict(include_histograms=False)
+
+    def test_iteration_and_membership(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        assert "a" in registry
+        assert "missing" not in registry
+        assert {metric.name for metric in registry} == {"a", "b"}
+        assert set(registry.names()) == {"a", "b"}
+
+
+class TestSolverStatsFacade:
+    def test_declared_fields_default_to_zero(self):
+        stats = SolverStats()
+        assert stats.decisions == 0
+        assert stats.conflicts == 0
+        assert stats.solve_time == 0.0
+
+    def test_attribute_writes_and_augmented_assignment(self):
+        stats = SolverStats()
+        stats.decisions = 3
+        stats.decisions += 2
+        stats.solve_time = 0.25
+        assert stats.decisions == 5
+        assert stats.solve_time == 0.25
+
+    def test_kwargs_construction(self):
+        stats = SolverStats(decisions=7, learn_time=1.5)
+        assert stats.decisions == 7
+        assert stats.learn_time == 1.5
+
+    def test_unknown_attribute_auto_registers(self):
+        stats = SolverStats()
+        stats.blocking_clauses = 4
+        assert stats.blocking_clauses == 4
+        assert "blocking_clauses" in stats.as_dict()
+
+    def test_unknown_read_raises_attribute_error(self):
+        stats = SolverStats()
+        with pytest.raises(AttributeError):
+            stats.never_assigned
+
+    def test_histogram_attribute_access(self):
+        stats = SolverStats()
+        stats.registry.histogram("learned_clause_size").observe(3)
+        assert isinstance(stats.learned_clause_size, Histogram)
+        assert stats.learned_clause_size.count == 1
+
+    def test_equality_and_as_dict(self):
+        a = SolverStats(decisions=2)
+        b = SolverStats(decisions=2)
+        c = SolverStats(decisions=3)
+        assert a == b
+        assert a != c
+        assert a.as_dict()["decisions"] == 2
+
+
+class TestApplyStats:
+    def test_counters_and_time_aliases_flow_into_record(self):
+        stats = SolverStats(
+            decisions=9,
+            conflicts=4,
+            propagations=100,
+            learn_time=0.5,
+            solve_time=1.25,
+        )
+        record = RunRecord(
+            case="x", bound=1, engine="hdpll", status="S", seconds=2.0
+        )
+        apply_stats(record, stats)
+        assert record.decisions == 9
+        assert record.conflicts == 4
+        assert record.propagations == 100
+        assert record.learn_seconds == 0.5
+        assert record.solve_seconds == 1.25
+
+    def test_unmatched_metrics_are_ignored(self):
+        stats = SolverStats()
+        stats.no_such_record_field = 11
+        record = RunRecord(
+            case="x", bound=1, engine="hdpll", status="S", seconds=0.0
+        )
+        apply_stats(record, stats)  # must not raise
+        assert not hasattr(record, "no_such_record_field")
+
+    def test_plain_dataclass_stats_supported(self):
+        from repro.baselines.dpll_sat import SatStats
+
+        record = RunRecord(
+            case="x", bound=1, engine="bitblast", status="U", seconds=0.0
+        )
+        apply_stats(record, SatStats(decisions=3, conflicts=2))
+        assert record.decisions == 3
+        assert record.conflicts == 2

@@ -1,0 +1,86 @@
+"""Tests for the hierarchical phase profiler."""
+
+import pytest
+
+from repro.core import HDPLL_SP, solve_circuit
+from repro.itc99 import instance
+from repro.obs import Observation, PhaseProfiler, merge_reports
+
+
+class TestPhaseProfiler:
+    def test_nested_phases_derive_paths(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("search"):
+            with profiler.phase("propagate"):
+                pass
+        assert "search" in profiler.totals
+        assert "search/propagate" in profiler.totals
+        assert profiler.counts["search/propagate"] == 1
+
+    def test_add_accrues_pre_measured_deltas(self):
+        profiler = PhaseProfiler()
+        profiler.add("search/fme", 0.25)
+        profiler.add("search/fme", 0.25, count=3)
+        assert profiler.totals["search/fme"] == pytest.approx(0.5)
+        assert profiler.counts["search/fme"] == 4
+
+    def test_self_seconds_subtracts_direct_children(self):
+        profiler = PhaseProfiler()
+        profiler.add("search", 1.0)
+        profiler.add("search/propagate", 0.3)
+        profiler.add("search/propagate/bcp", 0.2)
+        assert profiler.self_seconds("search") == pytest.approx(0.7)
+        # Grandchildren subtract from their parent, not the root.
+        assert profiler.self_seconds("search/propagate") == pytest.approx(0.1)
+
+    def test_top_level_total_sums_roots_only(self):
+        profiler = PhaseProfiler()
+        profiler.add("learn", 2.0)
+        profiler.add("search", 3.0)
+        profiler.add("search/decide", 1.0)
+        assert profiler.top_level() == {"learn": 2.0, "search": 3.0}
+        assert profiler.top_level_total() == pytest.approx(5.0)
+
+    def test_report_shape_and_merge(self):
+        profiler = PhaseProfiler()
+        profiler.add("learn", 1.0)
+        report = profiler.report()
+        assert report["top_level_total"] == pytest.approx(1.0)
+        assert report["phases"][0]["path"] == "learn"
+        merged = merge_reports([report, report])
+        assert merged["top_level_total"] == pytest.approx(2.0)
+
+
+class TestProfiledSolve:
+    def _profiled(self, case, bound):
+        inst = instance(case, bound)
+        profiler = PhaseProfiler()
+        result = solve_circuit(
+            inst.circuit,
+            inst.assumptions,
+            HDPLL_SP,
+            observation=Observation(profiler=profiler),
+        )
+        return result, profiler
+
+    def test_expected_phases_present(self):
+        _result, profiler = self._profiled("b01_1", 10)
+        assert "learn" in profiler.totals
+        assert "search" in profiler.totals
+        assert "search/propagate" in profiler.totals
+
+    def test_phase_sum_tracks_reported_wall_time(self):
+        result, profiler = self._profiled("b13_5", 20)
+        reported = result.stats.solve_time + result.stats.learn_time
+        assert reported > 0
+        drift = abs(profiler.top_level_total() - reported) / reported
+        assert drift < 0.10
+
+    def test_children_do_not_exceed_parents(self):
+        _result, profiler = self._profiled("b13_5", 20)
+        slack = 1e-6  # clock quantisation on near-zero phases
+        for path, seconds in profiler.totals.items():
+            parent, _, _ = path.rpartition("/")
+            if parent:
+                assert seconds <= profiler.totals[parent] + slack, path
+            assert profiler.self_seconds(path) >= -slack, path

@@ -1,0 +1,152 @@
+"""Tests for JSONL solver tracing: emit -> parse -> validate -> narrate."""
+
+import json
+
+from repro.core import HDPLL_SP, Status, solve_circuit
+from repro.itc99 import instance
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    Observation,
+    TraceEmitter,
+    narrate,
+    parse_trace,
+    read_trace,
+    validate_trace,
+)
+
+
+def _traced_solve(case="b01_1", bound=10, emitter=None):
+    inst = instance(case, bound)
+    tracer = emitter if emitter is not None else TraceEmitter.in_memory()
+    result = solve_circuit(
+        inst.circuit,
+        inst.assumptions,
+        HDPLL_SP,
+        observation=Observation(tracer=tracer),
+    )
+    return result, tracer
+
+
+class TestEmitter:
+    def test_event_lines_are_json_with_common_fields(self):
+        tracer = TraceEmitter.in_memory()
+        tracer.event("decision", dl=2, var="x", value=1, kind="activity")
+        record = json.loads(tracer.text())
+        assert record["ev"] == "decision"
+        assert record["dl"] == 2
+        assert record["t"] >= 0
+        assert tracer.events_emitted == 1
+
+    def test_timestamps_monotone(self):
+        tracer = TraceEmitter.in_memory()
+        for _ in range(5):
+            tracer.event("restart", n=1, conflicts=2)
+        times = [event["t"] for event in parse_trace(tracer.text())]
+        assert times == sorted(times)
+
+    def test_file_sink_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceEmitter.open(path) as tracer:
+            tracer.event("restart", n=1, conflicts=10)
+        events = read_trace(path)
+        assert len(events) == 1
+        assert events[0]["ev"] == "restart"
+
+
+class TestTracedSolve:
+    def test_round_trip_and_schema(self):
+        result, tracer = _traced_solve()
+        assert result.status is Status.SAT
+        events = parse_trace(tracer.text())
+        assert validate_trace(events) == []
+        assert events[0]["ev"] == "solve_begin"
+        assert events[0]["schema"] == TRACE_SCHEMA_VERSION
+        assert events[-1]["ev"] == "solve_end"
+        assert events[-1]["status"] == "sat"
+        kinds = {event["ev"] for event in events}
+        assert "propagate" in kinds
+        assert "learn_probe" in kinds  # +P engine probes predicates
+
+    def test_solve_end_matches_stats(self):
+        result, tracer = _traced_solve()
+        end = parse_trace(tracer.text())[-1]
+        assert end["decisions"] == result.stats.decisions
+        assert end["conflicts"] == result.stats.conflicts
+        assert end["solve_time"] == result.stats.solve_time
+
+    def test_narrate_mentions_key_moments(self):
+        result, tracer = _traced_solve()
+        story = narrate(parse_trace(tracer.text()))
+        assert "solve begin" in story
+        assert "result: SAT" in story
+
+    def test_narrate_elides_long_traces(self):
+        events = [
+            {"t": index * 0.001, "ev": "restart", "dl": 0,
+             "n": index, "conflicts": index}
+            for index in range(1000)
+        ]
+        story = narrate(events, limit=100)
+        assert "events elided" in story
+        assert len(story.splitlines()) <= 102
+
+
+class TestDisabledPath:
+    def test_disabled_emitter_writes_nothing_and_stats_match(self):
+        inst = instance("b01_1", 10)
+        baseline = solve_circuit(inst.circuit, inst.assumptions, HDPLL_SP)
+
+        tracer = TraceEmitter.in_memory()
+        tracer.enabled = False
+        observed = solve_circuit(
+            inst.circuit,
+            inst.assumptions,
+            HDPLL_SP,
+            observation=Observation(tracer=tracer),
+        )
+        assert tracer.text() == ""
+        assert tracer.events_emitted == 0
+        for counter in ("decisions", "conflicts", "propagations",
+                        "learned_clauses", "restarts"):
+            assert getattr(observed.stats, counter) == getattr(
+                baseline.stats, counter
+            ), counter
+
+    def test_no_observation_means_no_tracer(self):
+        from repro.core.hdpll import HdpllSolver
+        from repro.itc99 import instance as make_instance
+
+        inst = make_instance("b01_1", 5)
+        solver = HdpllSolver(inst.circuit)
+        assert solver._trace is None
+        assert solver._prof is None
+
+
+class TestValidation:
+    def test_empty_trace(self):
+        assert validate_trace([]) == ["trace is empty"]
+
+    def test_missing_common_and_event_fields(self):
+        errors = validate_trace(
+            [{"ev": "decision", "t": 0.0}], complete=False
+        )
+        assert any("missing common field 'dl'" in error for error in errors)
+        assert any("missing field 'var'" in error for error in errors)
+
+    def test_unknown_kind_and_backwards_time(self):
+        events = [
+            {"t": 1.0, "ev": "frobnicate", "dl": 0},
+            {"t": 0.5, "ev": "restart", "dl": 0, "n": 1, "conflicts": 1},
+        ]
+        errors = validate_trace(events, complete=False)
+        assert any("unknown event kind" in error for error in errors)
+        assert any("goes backwards" in error for error in errors)
+
+    def test_completeness_checks(self):
+        events = [
+            {"t": 0.0, "ev": "restart", "dl": 0, "n": 1, "conflicts": 1}
+        ]
+        errors = validate_trace(events, complete=True)
+        assert any("start with solve_begin" in error for error in errors)
+        assert any("end with solve_end" in error for error in errors)
+        assert validate_trace(events, complete=False) == []
