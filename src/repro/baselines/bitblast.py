@@ -10,6 +10,7 @@ which is precisely what this baseline demonstrates on the benchmarks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
@@ -294,11 +295,19 @@ def solve_by_bitblasting(
 
     Returns ``(satisfiable, model, sat_result)`` where the model maps
     every net name to its value (SAT only).
+
+    ``timeout`` covers the *whole* call: the CNF translation is charged
+    against it and only the remainder goes to the SAT core, so a slow
+    blast cannot stretch the budget.
     """
+    start = time.monotonic()
     blasted = bitblast(circuit)
     assert_assumptions(blasted, assumptions)
+    remaining = (
+        timeout - (time.monotonic() - start) if timeout is not None else None
+    )
     sat_result = solve_cnf(
-        blasted.cnf, timeout=timeout, max_conflicts=max_conflicts
+        blasted.cnf, timeout=remaining, max_conflicts=max_conflicts
     )
     if sat_result.satisfiable is not True:
         return sat_result.satisfiable, None, sat_result

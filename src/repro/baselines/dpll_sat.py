@@ -251,6 +251,10 @@ class CdclSolver:
         deadline = (
             time.monotonic() + self.timeout if self.timeout is not None else None
         )
+        # An already-exhausted budget (e.g. the caller spent the whole
+        # timeout compiling) must not buy a free initial propagation.
+        if self.timeout is not None and self.timeout <= 0:
+            return SatResult(None, stats=self.stats)
         conflict = self._propagate()
         if conflict is not None:
             return SatResult(False, stats=self.stats)

@@ -62,6 +62,12 @@ class EagerCdpSolver:
         start = time.monotonic()
         if self.timeout is not None:
             self._deadline = start + self.timeout
+            if self.timeout <= 0:
+                return SolverResult(
+                    Status.UNKNOWN,
+                    stats=self.stats,
+                    note=f"timeout after {self.timeout}s",
+                )
         for name, value in assumptions.items():
             var = self.system.var_by_name(name)
             interval = (

@@ -122,6 +122,12 @@ class LazySmtSolver:
         start = time.monotonic()
         deadline = start + self.timeout if self.timeout is not None else None
         stats = SolverStats()
+        if self.timeout is not None and self.timeout <= 0:
+            return SolverResult(
+                Status.UNKNOWN,
+                stats=stats,
+                note=f"timeout after {self.timeout}s",
+            )
 
         # Boolean-valued assumptions constrain the abstraction directly.
         for name, value in assumptions.items():
@@ -275,5 +281,14 @@ def solve_lazy_smt(
     assumptions: Mapping[str, AssumptionValue],
     timeout: Optional[float] = None,
 ) -> SolverResult:
-    """One-shot lazy-SMT solve (the UCLID-like comparator)."""
-    return LazySmtSolver(circuit, timeout=timeout).solve(assumptions)
+    """One-shot lazy-SMT solve (the UCLID-like comparator).
+
+    ``timeout`` covers abstraction building and theory-system
+    compilation too, not just the CEGAR loop — construction time is
+    deducted from the loop's budget.
+    """
+    start = time.monotonic()
+    solver = LazySmtSolver(circuit, timeout=timeout)
+    if timeout is not None:
+        solver.timeout = max(0.0, timeout - (time.monotonic() - start))
+    return solver.solve(assumptions)

@@ -34,7 +34,11 @@ from repro.constraints.engine import PropagationEngine
 from repro.constraints.store import Conflict, DomainStore
 from repro.constraints.variable import Variable
 from repro.core.decide import ActivityOrder
-from repro.core.recursive import RecursiveLearner, justification_options
+from repro.core.recursive import (
+    ProbeDeadline,
+    RecursiveLearner,
+    justification_options,
+)
 from repro.rtl.predicates import extract_predicates
 
 logger = logging.getLogger(__name__)
@@ -95,19 +99,92 @@ def run_predicate_learning(
     clauses are installed into ``engine``'s clause database.  A
     :class:`repro.obs.TraceEmitter` in ``tracer`` gets one
     ``learn_probe`` event per recursive-learning probe.  ``deadline`` is
-    a ``time.perf_counter()`` instant (the solver's budget clock).
+    a ``time.perf_counter()`` instant (the solver's budget clock); it is
+    enforced between candidates *and inside each probe's branch
+    enumeration*, so a single pathological probe cannot overrun the
+    solver's budget.
     """
     report = LearnReport()
+    entry_level = store.decision_level
     predicates = extract_predicates(system.circuit)
     candidates = predicates.learning_candidates
     report.candidates = len(candidates)
     if threshold is None:
         threshold = min(len(candidates), DEFAULT_THRESHOLD_CAP)
 
-    learner = RecursiveLearner(system, store, engine)
+    learner = RecursiveLearner(system, store, engine, deadline=deadline)
     seen_clauses: Set[Tuple] = set()
     phase_votes: Dict[int, List[int]] = {}
 
+    try:
+        _probe_candidates(
+            system,
+            store,
+            engine,
+            learner,
+            candidates,
+            threshold,
+            deadline,
+            include_direct_relations,
+            tracer,
+            report,
+            seen_clauses,
+            phase_votes,
+        )
+    except ProbeDeadline:
+        # A probe frame raised mid-recursion; levels it pushed are
+        # still on the store.  Unwind to where learning began and keep
+        # whatever was learned so far — partial learning is sound.
+        store.backtrack_to(entry_level)
+        engine.notify_backtrack()
+        logger.debug(
+            "predicate learning stopped at deadline after %d relations",
+            report.relations_learned,
+        )
+
+    report.probes = learner.probes
+    if report.root_conflict:
+        return report
+    logger.debug(
+        "predicate learning: %d relations from %d probes "
+        "(%d candidates, threshold %d)",
+        report.relations_learned,
+        report.probes,
+        report.candidates,
+        threshold,
+    )
+    if order is not None:
+        # Phase hints (Section 4.4's "pick the value satisfying the most
+        # learned relations") are off by default: on SAT instances they
+        # bias the search towards typical circuit behaviour and away
+        # from counterexamples — the ablation benchmark quantifies this.
+        _export_weights(
+            order, report.clauses, phase_votes if phase_hints else {}
+        )
+    return report
+
+
+def _probe_candidates(
+    system: CompiledSystem,
+    store: DomainStore,
+    engine: PropagationEngine,
+    learner: RecursiveLearner,
+    candidates,
+    threshold: int,
+    deadline: Optional[float],
+    include_direct_relations: bool,
+    tracer,
+    report: LearnReport,
+    seen_clauses: Set[Tuple],
+    phase_votes: Dict[int, List[int]],
+) -> None:
+    """The candidate/probe loop body of :func:`run_predicate_learning`.
+
+    Separated so the deadline can abort it from arbitrarily deep inside
+    a probe (:class:`ProbeDeadline`) with one catch site.  Sets
+    ``report.root_conflict`` and returns early when learning alone
+    refutes the circuit.
+    """
     for net in candidates:
         if report.relations_learned >= threshold:
             break
@@ -122,6 +199,8 @@ def run_predicate_learning(
                 break
             if store.is_assigned(var):
                 break
+            if deadline is not None and time.perf_counter() > deadline:
+                return
             options = justification_options(system, node, probe_value)
             implications = learner.probe(var, probe_value, depth=1)
             probe_results[probe_value] = implications
@@ -150,7 +229,7 @@ def run_predicate_learning(
                 )
                 if conflict is not None:
                     report.root_conflict = True
-                    return report
+                    return
                 continue
             if not options or len(options) < 2:
                 # No branching justification: the per-value implications
@@ -185,7 +264,7 @@ def run_predicate_learning(
                 )
                 if conflict is not None:
                     report.root_conflict = True
-                    return report
+                    return
                 emitted += 1
                 if report.relations_learned >= threshold:
                     break
@@ -213,26 +292,7 @@ def run_predicate_learning(
                 )
                 if conflict is not None:
                     report.root_conflict = True
-                    return report
-
-    report.probes = learner.probes
-    logger.debug(
-        "predicate learning: %d relations from %d probes "
-        "(%d candidates, threshold %d)",
-        report.relations_learned,
-        report.probes,
-        report.candidates,
-        threshold,
-    )
-    if order is not None:
-        # Phase hints (Section 4.4's "pick the value satisfying the most
-        # learned relations") are off by default: on SAT instances they
-        # bias the search towards typical circuit behaviour and away
-        # from counterexamples — the ablation benchmark quantifies this.
-        _export_weights(
-            order, report.clauses, phase_votes if phase_hints else {}
-        )
-    return report
+                    return
 
 
 def _implication_literal(

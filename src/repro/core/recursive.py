@@ -15,6 +15,7 @@ uses it at depth 1.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.intervals import Interval
@@ -32,6 +33,16 @@ RECURSIVE_TAG = "recursive-learning"
 #: A justification option: a set of (variable, value) assignments that is
 #: sufficient (and part of an exhaustive case split) for the probed value.
 Option = List[Tuple[Variable, int]]
+
+
+class ProbeDeadline(Exception):
+    """The learner's wall-clock deadline passed mid-probe.
+
+    Raised only at points where the current probe frame holds no pushed
+    decision level of its own; callers deeper in the recursion may
+    still hold levels, so the catcher must backtrack the store to its
+    own entry level before continuing.
+    """
 
 
 def justification_options(
@@ -78,12 +89,20 @@ class RecursiveLearner:
         system: CompiledSystem,
         store: DomainStore,
         engine: PropagationEngine,
+        deadline: Optional[float] = None,
     ):
         self.system = system
         self.store = store
         self.engine = engine
+        #: ``time.perf_counter()`` instant after which probing raises
+        #: :class:`ProbeDeadline` (the solver's cooperative budget).
+        self.deadline = deadline
         #: Probe statistics.
         self.probes = 0
+
+    def _check_deadline(self) -> None:
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise ProbeDeadline
 
     # ------------------------------------------------------------------
     def _propagate_under(
@@ -131,6 +150,7 @@ class RecursiveLearner:
         justification options of the probed gate and recurses into each
         branch at depth ``d - 1`` (Figure 1 of the paper is depth 1).
         """
+        self._check_deadline()
         self.probes += 1
         if self.store.is_assigned(var):
             current = self.store.value(var)
@@ -158,6 +178,7 @@ class RecursiveLearner:
         common: Optional[Dict[int, Interval]] = None
         viable_branches = 0
         for option in options:
+            self._check_deadline()
             branch = self._probe_branch(var, value, option, depth)
             if branch is None:
                 continue  # impossible branch contributes nothing

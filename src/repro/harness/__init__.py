@@ -9,6 +9,13 @@ from repro.harness.experiments import (
     run_table1,
     run_table2,
 )
+from repro.harness.parallel import (
+    EngineTask,
+    Task,
+    TaskOutcome,
+    run_engine_tasks,
+    run_tasks,
+)
 from repro.harness.runner import (
     ENGINE_NAMES,
     RunRecord,
@@ -25,10 +32,13 @@ from repro.harness.tables import (
 __all__ = [
     "ABLATION_INSTANCES",
     "ENGINE_NAMES",
+    "EngineTask",
     "RunRecord",
     "TABLE1_INSTANCES",
     "TABLE2_INSTANCES",
     "TableRow",
+    "Task",
+    "TaskOutcome",
     "apply_stats",
     "format_profile",
     "format_records",
@@ -36,6 +46,8 @@ __all__ = [
     "format_table2",
     "run_ablation",
     "run_engine",
+    "run_engine_tasks",
     "run_table1",
     "run_table2",
+    "run_tasks",
 ]

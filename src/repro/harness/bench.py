@@ -16,9 +16,21 @@ Workflow::
     python -m repro.harness bench --profile smoke --check
 
 Runs are deterministic, so each (engine, instance) cell is repeated
-``--repeat`` times and the *minimum* wall time is recorded — the standard
-best-of-N discipline for microbenchmarks, which strips scheduler noise
-without averaging in warm-up effects.
+``--repeat`` times and the best *successful* record is kept — minimum
+wall time among ``S``/``U`` repeats, the standard best-of-N discipline
+for microbenchmarks, falling back to ``-to-`` and only then ``-A-``
+when no repeat succeeds.  (Selecting blindly by minimum seconds would
+let a 10 ms abort beat a 2 s solve and record the abort as the cell.)
+
+Gate semantics: geomeans **exclude aborted cells** and **pin timed-out
+cells to the timeout value** — an engine that starts failing fast gets
+*worse*, never better.  ``compare_to_baseline`` fails loudly when a
+gated engine is missing from either report or when a gated cell's
+status differs from the baseline's.
+
+``jobs > 1`` runs the matrix on the crash-isolated worker pool
+(:mod:`repro.harness.parallel`); parallelism is capped at the core
+count so wall-clock cells measure the solver, not scheduler contention.
 """
 
 from __future__ import annotations
@@ -32,13 +44,20 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.harness.runner import RunRecord, run_engine
-from repro.itc99 import instance
+from repro.harness.parallel import (
+    EngineTask,
+    effective_bench_jobs,
+    run_engine_tasks,
+)
+from repro.harness.runner import RunRecord
 
 logger = logging.getLogger(__name__)
 
 #: Report schema version (bump when the JSON layout changes).
-SCHEMA_VERSION = 1
+#: 2: geomeans exclude aborts and pin timeouts to the timeout value;
+#: failed cells (``-to-``/``-A-``) carry no counters (their values
+#: depend on wall-clock progress, not the workload).
+SCHEMA_VERSION = 2
 
 #: Counter fields copied from a :class:`RunRecord` into the report.
 COUNTER_FIELDS = (
@@ -100,16 +119,42 @@ class BenchCell:
 
 
 def _record_counters(record: RunRecord) -> Dict[str, float]:
+    # A timed-out cell's counters measure how much work fit into the
+    # wall-clock budget — machine noise, not the workload — and would
+    # make otherwise-identical reports differ run to run.
+    if record.status not in ("S", "U"):
+        return {}
     counters: Dict[str, float] = {}
     for name in COUNTER_FIELDS:
         counters[name] = getattr(record, name, 0) or 0
     return counters
 
 
+#: Best-of-repeat preference: successful statuses beat timeouts beat
+#: aborts; wall time only breaks ties within a rank.
+_STATUS_RANK = {"S": 0, "U": 0, "-to-": 1, "-A-": 2}
+
+
+def select_best(records: Sequence[RunRecord]) -> RunRecord:
+    """The cell record among ``repeat`` runs of one (engine, instance).
+
+    Prefers successful (``S``/``U``) records and falls back to ``-to-``
+    and then ``-A-`` only when no repeat did better; the fastest record
+    *within* the best status rank wins.
+    """
+    assert records
+    return min(
+        records,
+        key=lambda r: (_STATUS_RANK.get(r.status, 3), r.seconds),
+    )
+
+
 def run_profile(
     profile: str,
     timeout: float = 60.0,
     repeat: int = 2,
+    jobs: int = 1,
+    worker_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run one profile's matrix; returns the report dictionary."""
     if profile not in PROFILES:
@@ -117,34 +162,40 @@ def run_profile(
     spec = PROFILES[profile]
     instances: Sequence[Tuple[str, int]] = spec["instances"]  # type: ignore
     engines: Sequence[str] = spec["engines"]  # type: ignore
+    repeat = max(1, repeat)
+    jobs = effective_bench_jobs(jobs)
+    matrix = [
+        (case, bound, engine)
+        for case, bound in instances
+        for engine in engines
+    ]
+    specs = [
+        EngineTask(case=case, bound=bound, engine=engine, timeout=timeout)
+        for case, bound, engine in matrix
+        for _ in range(repeat)
+    ]
+    records = run_engine_tasks(specs, jobs=jobs, worker_dir=worker_dir)
     cells: List[BenchCell] = []
-    for case, bound in instances:
-        inst = instance(case, bound)
-        for engine in engines:
-            best: Optional[RunRecord] = None
-            for _ in range(max(1, repeat)):
-                record = run_engine(inst, engine, timeout)
-                if best is None or record.seconds < best.seconds:
-                    best = record
-            assert best is not None
-            logger.info(
-                "bench cell: %s(%d) %s %s %.3fs",
-                case,
-                bound,
-                engine,
-                best.status,
-                best.seconds,
+    for slot, (case, bound, engine) in enumerate(matrix):
+        best = select_best(records[slot * repeat:(slot + 1) * repeat])
+        logger.info(
+            "bench cell: %s(%d) %s %s %.3fs",
+            case,
+            bound,
+            engine,
+            best.status,
+            best.seconds,
+        )
+        cells.append(
+            BenchCell(
+                case=case,
+                bound=bound,
+                engine=engine,
+                status=best.status,
+                wall_time=best.seconds,
+                counters=_record_counters(best),
             )
-            cells.append(
-                BenchCell(
-                    case=case,
-                    bound=bound,
-                    engine=engine,
-                    status=best.status,
-                    wall_time=best.seconds,
-                    counters=_record_counters(best),
-                )
-            )
+        )
     report: Dict[str, object] = {
         "schema": SCHEMA_VERSION,
         "profile": profile,
@@ -154,7 +205,8 @@ def run_profile(
         "python": platform.python_version(),
         "runs": [asdict(cell) for cell in cells],
         "geomean": {
-            engine: geomean_wall_time(cells, engine) for engine in engines
+            engine: geomean_wall_time(cells, engine, timeout=timeout)
+            for engine in engines
         },
         "gated_engines": list(spec["gated"]),  # type: ignore[arg-type]
     }
@@ -162,20 +214,39 @@ def run_profile(
         "bench profile %s: %d cells, geomean %s",
         profile,
         len(cells),
-        {e: round(g, 3) for e, g in report["geomean"].items()},  # type: ignore
+        {
+            e: (round(g, 3) if g is not None else None)
+            for e, g in report["geomean"].items()  # type: ignore
+        },
     )
     return report
 
 
-def geomean_wall_time(cells: Sequence[BenchCell], engine: str) -> float:
-    """Geometric mean wall time of one engine across the matrix."""
-    times = [
-        max(cell.wall_time, _GEOMEAN_FLOOR)
-        for cell in cells
-        if cell.engine == engine
-    ]
+def geomean_wall_time(
+    cells: Sequence[BenchCell],
+    engine: str,
+    timeout: Optional[float] = None,
+) -> Optional[float]:
+    """Geometric mean wall time of one engine across the matrix.
+
+    Aborted cells (``-A-``) are excluded — an engine that crashes fast
+    must not *improve* its geomean — and timed-out cells are pinned to
+    the ``timeout`` value rather than their raw wall time.  Returns
+    ``None`` when the engine has no scorable (non-abort) cell, so a
+    fully-failing engine can never produce a passable number.
+    """
+    times: List[float] = []
+    for cell in cells:
+        if cell.engine != engine:
+            continue
+        if cell.status == "-A-":
+            continue
+        wall = cell.wall_time
+        if cell.status == "-to-" and timeout is not None:
+            wall = timeout
+        times.append(max(wall, _GEOMEAN_FLOOR))
     if not times:
-        return 0.0
+        return None
     return math.exp(sum(math.log(t) for t in times) / len(times))
 
 
@@ -187,11 +258,25 @@ class GateResult:
     """Baseline comparison for one gated engine."""
 
     engine: str
-    baseline: float
-    current: float
-    #: current/baseline; < 1 is a speedup.
-    ratio: float
+    baseline: Optional[float]
+    current: Optional[float]
+    #: current/baseline; < 1 is a speedup.  ``None`` when either side
+    #: is missing.
+    ratio: Optional[float]
     passed: bool
+    #: Why the gate failed, when it failed for a structural reason
+    #: (missing engine, status drift) rather than a slow geomean.
+    reason: str = ""
+
+
+def _cell_statuses(
+    report: Dict[str, object], engine: str
+) -> Dict[Tuple[str, int], str]:
+    statuses: Dict[Tuple[str, int], str] = {}
+    for run in report.get("runs", []):  # type: ignore[union-attr]
+        if run["engine"] == engine:
+            statuses[(run["case"], run["bound"])] = run["status"]
+    return statuses
 
 
 def compare_to_baseline(
@@ -204,15 +289,59 @@ def compare_to_baseline(
     ``tolerance`` is the allowed fractional slowdown: 0.25 passes any
     run up to 25% slower than baseline (absorbing machine noise) and
     fails anything beyond it.
+
+    Every gated engine yields a :class:`GateResult` — a gated engine
+    missing from either report's geomeans is a *failure*, not a skip
+    (a renamed or dropped engine must not pass the gate vacuously).
+    A gated cell whose status differs from the baseline's also fails:
+    a wall-time ratio between runs that did not reach the same answer
+    is meaningless.
     """
     results: List[GateResult] = []
-    current_geo: Dict[str, float] = report["geomean"]  # type: ignore
-    baseline_geo: Dict[str, float] = baseline.get("geomean", {})  # type: ignore
+    current_geo: Dict[str, Optional[float]] = report["geomean"]  # type: ignore
+    baseline_geo: Dict[str, Optional[float]] = baseline.get("geomean", {})  # type: ignore
     for engine in report.get("gated_engines", []):  # type: ignore[union-attr]
         base = baseline_geo.get(engine)
         cur = current_geo.get(engine)
-        if base is None or cur is None or base <= 0:
+        problems: List[str] = []
+        if engine not in baseline_geo:
+            problems.append("engine missing from baseline geomeans")
+        elif base is None:
+            problems.append("baseline has no scorable cells (all aborted)")
+        elif base <= 0:
+            problems.append(f"non-positive baseline geomean {base!r}")
+        if engine not in current_geo:
+            problems.append("engine missing from current geomeans")
+        elif cur is None:
+            problems.append("current run has no scorable cells (all aborted)")
+
+        base_statuses = _cell_statuses(baseline, engine)
+        cur_statuses = _cell_statuses(report, engine)
+        for key in sorted(set(base_statuses) | set(cur_statuses)):
+            before = base_statuses.get(key)
+            after = cur_statuses.get(key)
+            if before != after:
+                case, bound = key
+                problems.append(
+                    f"status drift at {case}({bound}): "
+                    f"baseline {before or 'absent'} vs current "
+                    f"{after or 'absent'}"
+                )
+
+        if problems:
+            results.append(
+                GateResult(
+                    engine=engine,
+                    baseline=base,
+                    current=cur,
+                    ratio=None,
+                    passed=False,
+                    reason="; ".join(problems),
+                )
+            )
+            logger.error("bench gate [%s]: %s", engine, "; ".join(problems))
             continue
+        assert base is not None and cur is not None
         ratio = cur / base
         results.append(
             GateResult(
@@ -266,7 +395,10 @@ def format_report(report: Dict[str, object]) -> str:
         )
     lines.append("")
     for engine, value in report["geomean"].items():  # type: ignore[union-attr]
-        lines.append(f"geomean[{engine}] = {value:.3f}s")
+        if value is None:
+            lines.append(f"geomean[{engine}] = n/a (no scorable cells)")
+        else:
+            lines.append(f"geomean[{engine}] = {value:.3f}s")
     return "\n".join(lines)
 
 
@@ -275,6 +407,10 @@ def format_gates(gates: Sequence[GateResult], tolerance: float) -> str:
         return "no baseline comparison (baseline missing or not gated)"
     lines = []
     for gate in gates:
+        if gate.ratio is None:
+            lines.append(f"gate[{gate.engine}]: FAILED — {gate.reason}")
+            continue
+        assert gate.baseline is not None and gate.current is not None
         speedup = gate.baseline / gate.current if gate.current else float("inf")
         verdict = "ok" if gate.passed else "REGRESSION"
         lines.append(

@@ -57,6 +57,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="logging level for the repro logger (name or number; "
         "defaults to $REPRO_LOG, silent when neither is set)",
     )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for multi-instance commands "
+        "(table1/table2/scaling/ablation/bench); 1 = run in-process "
+        "(the historical sequential path)",
+    )
+    parser.add_argument(
+        "--worker-dir",
+        default=None,
+        help="directory for per-worker trace/log files (created on "
+        "demand; only used by commands that run the worker pool)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     solve = sub.add_parser("solve", help="solve one BMC instance")
@@ -322,14 +337,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _profile_command(args)
     if args.command == "table1":
         max_bound = args.max_bound or None
-        rows = run_table1(timeout=args.timeout, max_bound=max_bound)
+        rows = run_table1(
+            timeout=args.timeout,
+            max_bound=max_bound,
+            jobs=args.jobs,
+            worker_dir=args.worker_dir,
+        )
         print(format_table1(rows))
         return 0
     if args.command == "table2":
         max_bound = args.max_bound or None
         engines = tuple(args.engines.split(","))
         rows = run_table2(
-            timeout=args.timeout, max_bound=max_bound, engines=engines
+            timeout=args.timeout,
+            max_bound=max_bound,
+            engines=engines,
+            jobs=args.jobs,
+            worker_dir=args.worker_dir,
         )
         print(format_table2(rows, engines))
         return 0
@@ -377,6 +401,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             bounds=[int(b) for b in args.bounds.split(",")],
             engines=engines,
             timeout=args.timeout,
+            jobs=args.jobs,
+            worker_dir=args.worker_dir,
         )
         print(format_table2(rows, engines))
         return 0
@@ -394,7 +420,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
         report = run_profile(
-            args.profile, timeout=args.timeout, repeat=args.repeat
+            args.profile,
+            timeout=args.timeout,
+            repeat=args.repeat,
+            jobs=args.jobs,
+            worker_dir=args.worker_dir,
         )
         print(format_report(report))
         write_report(report, Path(args.output))
@@ -418,7 +448,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         return 0
     if args.command == "ablation":
-        results = run_ablation(timeout=args.timeout)
+        results = run_ablation(timeout=args.timeout, jobs=args.jobs)
         for name, records in results.items():
             print(f"== {name} ==")
             print(format_records(records))

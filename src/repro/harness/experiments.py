@@ -11,9 +11,17 @@ paper-vs-measured comparison.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.harness.parallel import (
+    EngineTask,
+    Task,
+    outcome_to_record,
+    run_engine_tasks,
+    run_tasks,
+)
 from repro.harness.runner import RunRecord, run_engine
 from repro.itc99 import instance
 
@@ -111,22 +119,58 @@ def _scaled(
     return scaled
 
 
+def _run_matrix(
+    pairs: Sequence[Tuple[str, int]],
+    columns: Sequence[Tuple[str, Optional[int]]],
+    timeout: float,
+    jobs: int,
+    worker_dir: Optional[str],
+) -> List[TableRow]:
+    """Run an (instance x engine) matrix into table rows.
+
+    ``columns`` is ``(engine, learning_threshold)`` per table column.
+    All cells go through the worker pool; ``jobs=1`` is the inline
+    sequential path, so table output is identical either way, cell for
+    cell, in deterministic row order.
+    """
+    specs = [
+        EngineTask(
+            case=case,
+            bound=bound,
+            engine=engine,
+            timeout=timeout,
+            learning_threshold=threshold,
+        )
+        for case, bound in pairs
+        for engine, threshold in columns
+    ]
+    records = run_engine_tasks(specs, jobs=jobs, worker_dir=worker_dir)
+    rows: List[TableRow] = []
+    cursor = 0
+    for case, bound in pairs:
+        row = TableRow(case=case, bound=bound)
+        for engine, _ in columns:
+            row.records[engine] = records[cursor]
+            cursor += 1
+        rows.append(row)
+    return rows
+
+
 def run_table1(
     timeout: float = 120.0,
     max_bound: Optional[int] = 50,
     instances: Optional[Sequence[Tuple[str, int]]] = None,
+    jobs: int = 1,
+    worker_dir: Optional[str] = None,
 ) -> List[TableRow]:
     """Regenerate Table 1: HDPLL with and without predicate learning."""
-    rows: List[TableRow] = []
-    for case, bound in _scaled(instances or TABLE1_INSTANCES, max_bound):
-        inst = instance(case, bound)
-        row = TableRow(case=case, bound=bound)
-        row.records["hdpll"] = run_engine(inst, "hdpll", timeout)
-        row.records["hdpll+p"] = run_engine(
-            inst, "hdpll+p", timeout, learning_threshold=TABLE1_THRESHOLD
-        )
-        rows.append(row)
-    return rows
+    return _run_matrix(
+        _scaled(instances or TABLE1_INSTANCES, max_bound),
+        (("hdpll", None), ("hdpll+p", TABLE1_THRESHOLD)),
+        timeout,
+        jobs,
+        worker_dir,
+    )
 
 
 def run_table2(
@@ -134,16 +178,17 @@ def run_table2(
     max_bound: Optional[int] = 50,
     instances: Optional[Sequence[Tuple[str, int]]] = None,
     engines: Sequence[str] = ("hdpll", "hdpll+s", "hdpll+sp", "uclid", "ics"),
+    jobs: int = 1,
+    worker_dir: Optional[str] = None,
 ) -> List[TableRow]:
     """Regenerate Table 2: the structural decision strategy comparison."""
-    rows: List[TableRow] = []
-    for case, bound in _scaled(instances or TABLE2_INSTANCES, max_bound):
-        inst = instance(case, bound)
-        row = TableRow(case=case, bound=bound)
-        for engine in engines:
-            row.records[engine] = run_engine(inst, engine, timeout)
-        rows.append(row)
-    return rows
+    return _run_matrix(
+        _scaled(instances or TABLE2_INSTANCES, max_bound),
+        tuple((engine, None) for engine in engines),
+        timeout,
+        jobs,
+        worker_dir,
+    )
 
 
 def run_scaling(
@@ -151,6 +196,8 @@ def run_scaling(
     bounds: Sequence[int] = (10, 20, 30, 40, 50),
     engines: Sequence[str] = ("hdpll", "hdpll+s", "hdpll+sp"),
     timeout: float = 120.0,
+    jobs: int = 1,
+    worker_dir: Optional[str] = None,
 ) -> List[TableRow]:
     """Run-time as a function of unrolling depth for one family.
 
@@ -158,14 +205,13 @@ def run_scaling(
     paper reports spot depths, the sweep shows each configuration's
     scaling trend and where the separations open up.
     """
-    rows: List[TableRow] = []
-    for bound in bounds:
-        inst = instance(case, bound)
-        row = TableRow(case=case, bound=bound)
-        for engine in engines:
-            row.records[engine] = run_engine(inst, engine, timeout)
-        rows.append(row)
-    return rows
+    return _run_matrix(
+        [(case, bound) for bound in bounds],
+        tuple((engine, None) for engine in engines),
+        timeout,
+        jobs,
+        worker_dir,
+    )
 
 
 #: Ablation axes: config override -> instances that expose the effect.
@@ -176,16 +222,41 @@ ABLATION_INSTANCES: Tuple[Tuple[str, int], ...] = (
 )
 
 
+def _ablation_cell(name: str, config, case: str, bound: int) -> RunRecord:
+    """One ablation solve — module-level so pool workers can import it."""
+    from repro.core import solve_circuit
+    from repro.intervals import reset_interval_cache
+
+    reset_interval_cache()
+    inst = instance(case, bound)
+    start = _time.monotonic()
+    result = solve_circuit(inst.circuit, inst.assumptions, config)
+    elapsed = _time.monotonic() - start
+    return RunRecord(
+        case=case,
+        bound=bound,
+        engine=name,
+        status={"sat": "S", "unsat": "U"}.get(result.status.value, "-to-"),
+        seconds=elapsed,
+        conflicts=result.stats.conflicts,
+        decisions=result.stats.decisions,
+        learned_relations=result.stats.learned_relations,
+    )
+
+
 def run_ablation(
     timeout: float = 120.0,
+    jobs: int = 1,
 ) -> Dict[str, List[RunRecord]]:
     """Ablation study over the design choices DESIGN.md calls out.
 
     Axes: hybrid learned clauses off (Boolean-only learning), the
     strengthened mux backward rule on, and Section 4.4 phase hints on.
+    Each (variant, instance) cell is an independent pool task — the
+    ablation exercises the pool's generic ``(engine, instance, config)``
+    form, with the config pickled into the worker.
     """
-    from repro.core import SolverConfig, solve_circuit
-    import time as _time
+    from repro.core import SolverConfig
 
     variants: Dict[str, SolverConfig] = {
         "hdpll+sp": SolverConfig(
@@ -210,27 +281,27 @@ def run_ablation(
             timeout=timeout,
         ),
     }
-    results: Dict[str, List[RunRecord]] = {}
-    for name, config in variants.items():
-        records: List[RunRecord] = []
-        for case, bound in ABLATION_INSTANCES:
-            inst = instance(case, bound)
-            start = _time.monotonic()
-            result = solve_circuit(inst.circuit, inst.assumptions, config)
-            elapsed = _time.monotonic() - start
-            records.append(
-                RunRecord(
-                    case=case,
-                    bound=bound,
-                    engine=name,
-                    status={"sat": "S", "unsat": "U"}.get(
-                        result.status.value, "-to-"
-                    ),
-                    seconds=elapsed,
-                    conflicts=result.stats.conflicts,
-                    decisions=result.stats.decisions,
-                    learned_relations=result.stats.learned_relations,
-                )
+    cells = [
+        (name, config, case, bound)
+        for name, config in variants.items()
+        for case, bound in ABLATION_INSTANCES
+    ]
+    tasks = [
+        Task(
+            fn=_ablation_cell,
+            args=cell,
+            timeout=timeout,
+            label=f"{cell[2]}({cell[3]})/{cell[0]}",
+        )
+        for cell in cells
+    ]
+    outcomes = run_tasks(tasks, jobs=jobs)
+    results: Dict[str, List[RunRecord]] = {name: [] for name in variants}
+    for (name, _config, case, bound), outcome in zip(cells, outcomes):
+        if outcome.ok:
+            results[name].append(outcome.value)
+        else:
+            results[name].append(
+                outcome_to_record(outcome, case, bound, name)
             )
-        results[name] = records
     return results

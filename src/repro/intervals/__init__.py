@@ -22,6 +22,7 @@ from repro.intervals.interval import (
     hull,
     interval_cache_stats,
     interval_for_width,
+    reset_interval_cache,
 )
 from repro.intervals.narrowing import (
     narrow_add,
@@ -44,6 +45,7 @@ __all__ = [
     "hull",
     "interval_cache_stats",
     "interval_for_width",
+    "reset_interval_cache",
     "narrow_add",
     "narrow_concat",
     "narrow_eq",

@@ -191,6 +191,20 @@ def interval_cache_stats() -> Tuple[int, int]:
     return _CACHE_COUNTS[0], _CACHE_COUNTS[1]
 
 
+def reset_interval_cache() -> None:
+    """Empty the interning cache and zero its counters.
+
+    Harness runs call this once per task so the reported hit rate is a
+    function of the task alone, not of which solves happened to warm
+    the cache earlier in the same process — a pool worker (fresh
+    process, cold cache) and a sequential run must report the same
+    number.
+    """
+    _CACHE.clear()
+    _CACHE_COUNTS[0] = 0
+    _CACHE_COUNTS[1] = 0
+
+
 #: Domain of a Boolean variable, per Section 2.1 of the paper.
 BOOL_DOMAIN = Interval.make(0, 1)
 

@@ -139,3 +139,28 @@ def test_shift_beyond_width():
     assert satisfiable is True
     satisfiable, _, _ = solve_by_bitblasting(b.build(), {"s": 4})
     assert satisfiable is False
+
+
+class TestCooperativeTimeout:
+    def test_zero_timeout_returns_unknown(self):
+        # The whole-call budget covers blasting too: nothing left for
+        # the SAT core means UNKNOWN, not a free solve.
+        b = CircuitBuilder()
+        a = b.input("a", 3)
+        p = b.lt(a, 5, name="p")
+        b.output("p", p)
+        satisfiable, model, _ = solve_by_bitblasting(
+            b.build(), {"p": 1}, timeout=0.0
+        )
+        assert satisfiable is None
+        assert model is None
+
+    def test_zero_conflict_budget_cnf(self):
+        from repro.baselines.cnf import Cnf
+
+        cnf = Cnf()
+        x, y = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([x, y])
+        cnf.add_clause([-x, y])
+        result = solve_cnf(cnf, timeout=0.0)
+        assert result.satisfiable is None

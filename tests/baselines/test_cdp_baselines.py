@@ -167,3 +167,24 @@ class TestEagerCdp:
         result = solver.solve({"p": 1})
         assert result.is_sat
         assert result.stats.fme_checks >= 1
+
+
+class TestCooperativeTimeouts:
+    """An exhausted budget returns UNKNOWN promptly, never free work."""
+
+    def test_lazy_smt_zero_timeout(self):
+        import time
+
+        start = time.monotonic()
+        result = solve_lazy_smt(figure2_circuit(), {"w5": 5}, timeout=0.0)
+        assert result.status is Status.UNKNOWN
+        assert time.monotonic() - start < 5.0
+
+    def test_eager_cdp_zero_timeout(self):
+        import time
+
+        start = time.monotonic()
+        result = solve_eager_cdp(figure2_circuit(), {"w5": 5}, timeout=0.0)
+        assert result.status is Status.UNKNOWN
+        assert "timeout" in result.note
+        assert time.monotonic() - start < 5.0

@@ -14,9 +14,10 @@ hundreds of randomized circuits:
 
 from __future__ import annotations
 
+import os
 import random
 from itertools import product
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.constraints import (
     Clause,
@@ -28,6 +29,7 @@ from repro.constraints import (
     make_bool_lit,
 )
 from repro.core import SolverConfig, Status, solve_circuit
+from repro.harness.parallel import Task, run_tasks
 from repro.intervals import Interval
 from repro.itc99.generator import random_combinational_circuit
 from repro.rtl.simulate import simulate_combinational
@@ -37,6 +39,38 @@ _PARAM_SETS = (
     dict(num_word_inputs=2, width=3, operations=8),
     dict(num_word_inputs=2, width=4, operations=12),
 )
+
+#: Seeds per oracle; REPRO_TEST_JOBS>1 fans the chunks out over the
+#: worker pool (defaults to the inline sequential path).
+_NUM_SEEDS = 200
+_CHUNK = 25
+
+
+def _test_jobs() -> int:
+    return int(os.environ.get("REPRO_TEST_JOBS", "1"))
+
+
+def _run_chunked(worker, label: str) -> List[str]:
+    """Fan seed chunks over the pool; merge per-chunk failure lists."""
+    chunks = [
+        range(start, min(start + _CHUNK, _NUM_SEEDS))
+        for start in range(0, _NUM_SEEDS, _CHUNK)
+    ]
+    tasks = [
+        Task(
+            fn=worker,
+            args=(tuple(chunk),),
+            label=f"{label}[{chunk[0]}:{chunk[-1] + 1}]",
+        )
+        for chunk in chunks
+    ]
+    failures: List[str] = []
+    for outcome in run_tasks(tasks, jobs=_test_jobs()):
+        if outcome.ok:
+            failures.extend(outcome.value)
+        else:
+            failures.append(f"{outcome.label}: worker failed: {outcome.error}")
+    return failures
 
 
 def _reference_fixpoint(store, propagators, clause_db) -> Optional[Conflict]:
@@ -130,22 +164,33 @@ def _fixpoint_pair(seed: int):
     return run_optimized(), run_reference()
 
 
-def test_level0_fixpoint_matches_reference():
-    """Optimized and naive engines reach identical level-0 fixpoints."""
-    for seed in range(200):
+def _fixpoint_chunk(seeds: Sequence[int]) -> List[str]:
+    """Compare engines over a seed range; return failure messages."""
+    failures: List[str] = []
+    for seed in seeds:
         (opt_store, opt_conflict), (ref_store, ref_conflict) = (
             _fixpoint_pair(seed)
         )
-        assert (opt_conflict is None) == (ref_conflict is None), (
-            f"seed {seed}: optimized conflict {opt_conflict!r} vs "
-            f"reference {ref_conflict!r}"
-        )
-        if opt_conflict is None:
-            assert opt_store.lo == ref_store.lo, f"seed {seed}: lo differs"
-            assert opt_store.hi == ref_store.hi, f"seed {seed}: hi differs"
-            assert opt_store.domains == ref_store.domains, (
-                f"seed {seed}: interned domains differ"
+        if (opt_conflict is None) != (ref_conflict is None):
+            failures.append(
+                f"seed {seed}: optimized conflict {opt_conflict!r} vs "
+                f"reference {ref_conflict!r}"
             )
+            continue
+        if opt_conflict is None:
+            if opt_store.lo != ref_store.lo:
+                failures.append(f"seed {seed}: lo differs")
+            if opt_store.hi != ref_store.hi:
+                failures.append(f"seed {seed}: hi differs")
+            if opt_store.domains != ref_store.domains:
+                failures.append(f"seed {seed}: interned domains differ")
+    return failures
+
+
+def test_level0_fixpoint_matches_reference():
+    """Optimized and naive engines reach identical level-0 fixpoints."""
+    failures = _run_chunked(_fixpoint_chunk, "fixpoint")
+    assert not failures, "\n".join(failures)
 
 
 def _brute_force_sat(circuit, width: int) -> bool:
@@ -170,8 +215,8 @@ def _brute_force_sat(circuit, width: int) -> bool:
     return False
 
 
-def test_solve_matches_bruteforce():
-    """HDPLL status and model validity match input-space enumeration."""
+def _bruteforce_chunk(seeds: Sequence[int]) -> List[str]:
+    """Solver-vs-enumeration oracle over a seed range."""
     configs = {
         "hdpll": SolverConfig(),
         "hdpll+sp": SolverConfig(
@@ -179,26 +224,41 @@ def test_solve_matches_bruteforce():
         ),
     }
     width = 3
-    for seed in range(200):
+    failures: List[str] = []
+    for seed in seeds:
         circuit = random_combinational_circuit(
             seed, num_word_inputs=2, width=width, operations=8
         )
         expected = _brute_force_sat(circuit, width)
         for label, config in configs.items():
             result = solve_circuit(circuit, {"flag": 1}, config)
-            assert result.status is not Status.UNKNOWN, (
-                f"seed {seed} [{label}]: unexpected UNKNOWN ({result.note})"
-            )
-            assert result.is_sat == expected, (
-                f"seed {seed} [{label}]: solver says {result.status.value}, "
-                f"brute force says {'sat' if expected else 'unsat'}"
-            )
+            if result.status is Status.UNKNOWN:
+                failures.append(
+                    f"seed {seed} [{label}]: unexpected UNKNOWN "
+                    f"({result.note})"
+                )
+                continue
+            if result.is_sat != expected:
+                failures.append(
+                    f"seed {seed} [{label}]: solver says "
+                    f"{result.status.value}, brute force says "
+                    f"{'sat' if expected else 'unsat'}"
+                )
+                continue
             if result.is_sat:
                 inputs = {
                     net.name: result.model[net.name]
                     for net in circuit.inputs
                 }
                 replay = simulate_combinational(circuit, inputs)
-                assert replay["flag"] == 1, (
-                    f"seed {seed} [{label}]: model fails simulation"
-                )
+                if replay["flag"] != 1:
+                    failures.append(
+                        f"seed {seed} [{label}]: model fails simulation"
+                    )
+    return failures
+
+
+def test_solve_matches_bruteforce():
+    """HDPLL status and model validity match input-space enumeration."""
+    failures = _run_chunked(_bruteforce_chunk, "bruteforce")
+    assert not failures, "\n".join(failures)

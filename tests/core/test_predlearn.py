@@ -178,3 +178,45 @@ class TestEndToEndWithLearning:
         )
         assert result.stats.learned_relations >= 4
         assert result.stats.learn_time >= 0
+
+
+class TestProbeDeadline:
+    """The learning pass honours the solver's cooperative deadline."""
+
+    def test_expired_deadline_learns_nothing(self):
+        import time
+
+        system, store, engine, order, report = setup(
+            figure2_circuit(), deadline=time.perf_counter() - 1.0
+        )
+        assert report.relations_learned == 0
+        # The store is back at the entry level: learning is abortable.
+        assert store.decision_level == 0
+
+    def test_learner_probe_raises_past_deadline(self):
+        import time
+
+        from repro.constraints import Conflict
+        from repro.core.recursive import ProbeDeadline, RecursiveLearner
+
+        circuit = figure2_circuit()
+        system = compile_circuit(circuit)
+        store = DomainStore(system.variables)
+        engine = PropagationEngine(store, system.propagators)
+        engine.enqueue_all()
+        assert engine.propagate() is None
+        learner = RecursiveLearner(
+            system, store, engine, deadline=time.perf_counter() - 1.0
+        )
+        target = next(v for v in system.variables if v.is_bool)
+        with pytest.raises(ProbeDeadline):
+            learner.probe(target, 1)
+
+    def test_far_deadline_matches_unbounded_learning(self):
+        import time
+
+        _, _, _, _, bounded = setup(
+            figure2_circuit(), deadline=time.perf_counter() + 3600.0
+        )
+        _, _, _, _, unbounded = setup(figure2_circuit())
+        assert bounded.relations_learned == unbounded.relations_learned

@@ -1,0 +1,225 @@
+"""Regression tests for the bench harness's gating semantics.
+
+Each test pins one of the bugs this PR fixed: abort records winning
+best-of-repeat on wall time, aborts/timeouts flattering the geomean,
+and ``compare_to_baseline`` silently skipping missing gated engines or
+status drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.bench import (
+    PROFILES,
+    BenchCell,
+    compare_to_baseline,
+    format_gates,
+    format_report,
+    geomean_wall_time,
+    run_profile,
+    select_best,
+)
+from repro.harness.runner import RunRecord
+
+
+def _record(status: str, seconds: float, engine: str = "hdpll+sp"):
+    return RunRecord(
+        case="b01_1", bound=20, engine=engine, status=status, seconds=seconds
+    )
+
+
+def _cell(
+    case: str,
+    status: str,
+    wall: float,
+    engine: str = "hdpll+sp",
+    bound: int = 20,
+):
+    return BenchCell(
+        case=case, bound=bound, engine=engine, status=status, wall_time=wall
+    )
+
+
+def _report(cells, geomean, gated=("hdpll+sp",), timeout=60.0):
+    return {
+        "schema": 2,
+        "profile": "smoke",
+        "timeout": timeout,
+        "runs": [
+            {
+                "case": cell.case,
+                "bound": cell.bound,
+                "engine": cell.engine,
+                "status": cell.status,
+                "wall_time": cell.wall_time,
+                "counters": {},
+            }
+            for cell in cells
+        ],
+        "geomean": geomean,
+        "gated_engines": list(gated),
+    }
+
+
+# ----------------------------------------------------------------------
+# Bug 1: best-of-repeat must not let a fast abort beat a real solve
+# ----------------------------------------------------------------------
+def test_select_best_prefers_success_over_fast_abort():
+    fast_abort = _record("-A-", 0.01)
+    slow_solve = _record("U", 2.0)
+    assert select_best([fast_abort, slow_solve]) is slow_solve
+    assert select_best([slow_solve, fast_abort]) is slow_solve
+
+
+def test_select_best_prefers_timeout_over_abort():
+    assert select_best([_record("-A-", 0.01), _record("-to-", 60.0)]).status == "-to-"
+
+
+def test_select_best_fastest_within_rank():
+    quick = _record("S", 0.5)
+    assert select_best([_record("S", 1.5), quick, _record("U", 2.0)]) is quick
+
+
+def test_select_best_falls_back_when_nothing_succeeds():
+    assert select_best([_record("-A-", 0.1), _record("-A-", 0.2)]).status == "-A-"
+
+
+# ----------------------------------------------------------------------
+# Bug 2: geomean must not reward failing cells
+# ----------------------------------------------------------------------
+def test_geomean_excludes_aborts():
+    cells = [
+        _cell("b01_1", "U", 4.0),
+        _cell("b02_1", "-A-", 0.001),  # would drag the geomean way down
+    ]
+    assert geomean_wall_time(cells, "hdpll+sp", timeout=60.0) == pytest.approx(4.0)
+
+
+def test_geomean_pins_timeouts_to_timeout_value():
+    cells = [
+        _cell("b01_1", "U", 1.0),
+        # Raw wall time lies well under the budget (cooperative check
+        # fired late); the geomean must charge the full budget.
+        _cell("b02_1", "-to-", 10.0),
+    ]
+    value = geomean_wall_time(cells, "hdpll+sp", timeout=60.0)
+    assert value == pytest.approx((1.0 * 60.0) ** 0.5)
+
+
+def test_geomean_none_when_all_cells_abort():
+    cells = [_cell("b01_1", "-A-", 0.01), _cell("b02_1", "-A-", 0.02)]
+    assert geomean_wall_time(cells, "hdpll+sp", timeout=60.0) is None
+
+
+# ----------------------------------------------------------------------
+# Bug 3: baseline comparison must fail loudly, never skip silently
+# ----------------------------------------------------------------------
+def test_gate_fails_when_engine_missing_from_baseline():
+    cells = [_cell("b01_1", "U", 1.0)]
+    report = _report(cells, {"hdpll+sp": 1.0})
+    baseline = _report([], {"hdpll": 1.0})  # gated engine absent
+    gates = compare_to_baseline(report, baseline)
+    assert len(gates) == 1
+    assert not gates[0].passed
+    assert gates[0].ratio is None
+    assert "missing from baseline" in gates[0].reason
+    assert "FAILED" in format_gates(gates, 0.25)
+
+
+def test_gate_fails_on_status_drift():
+    report = _report([_cell("b01_1", "-to-", 60.0)], {"hdpll+sp": 60.0})
+    baseline = _report([_cell("b01_1", "U", 1.0)], {"hdpll+sp": 1.0})
+    gates = compare_to_baseline(report, baseline)
+    assert not gates[0].passed
+    assert "status drift at b01_1(20)" in gates[0].reason
+    assert "baseline U vs current -to-" in gates[0].reason
+
+
+def test_gate_fails_for_always_aborting_engine():
+    """A synthetic always-aborting run cannot pass the gate."""
+    cells = [_cell("b01_1", "-A-", 0.01), _cell("b02_1", "-A-", 0.01)]
+    report = _report(cells, {"hdpll+sp": geomean_wall_time(cells, "hdpll+sp")})
+    baseline = _report(
+        [_cell("b01_1", "U", 1.0), _cell("b02_1", "U", 1.0)],
+        {"hdpll+sp": 1.0},
+    )
+    gates = compare_to_baseline(report, baseline)
+    assert not gates[0].passed
+    assert "no scorable cells" in gates[0].reason
+
+
+def test_gate_passes_within_tolerance():
+    cells = [_cell("b01_1", "U", 1.1)]
+    report = _report(cells, {"hdpll+sp": 1.1})
+    baseline = _report([_cell("b01_1", "U", 1.0)], {"hdpll+sp": 1.0})
+    gates = compare_to_baseline(report, baseline, tolerance=0.25)
+    assert gates[0].passed
+    assert gates[0].ratio == pytest.approx(1.1)
+
+
+def test_gate_fails_past_tolerance():
+    cells = [_cell("b01_1", "U", 2.0)]
+    report = _report(cells, {"hdpll+sp": 2.0})
+    baseline = _report([_cell("b01_1", "U", 1.0)], {"hdpll+sp": 1.0})
+    gates = compare_to_baseline(report, baseline, tolerance=0.25)
+    assert not gates[0].passed
+
+
+# ----------------------------------------------------------------------
+# run_profile end to end on a tiny synthetic profile
+# ----------------------------------------------------------------------
+def test_run_profile_report_shape(monkeypatch):
+    monkeypatch.setitem(
+        PROFILES,
+        "tiny",
+        {
+            "instances": (("b01_1", 5),),
+            "engines": ("hdpll", "hdpll+sp"),
+            "gated": ("hdpll+sp",),
+        },
+    )
+    report = run_profile("tiny", timeout=60.0, repeat=1)
+    assert report["schema"] == 2
+    assert len(report["runs"]) == 2
+    assert set(report["geomean"]) == {"hdpll", "hdpll+sp"}
+    assert all(v is not None for v in report["geomean"].values())
+    assert "jobs" not in report  # parallel runs stay byte-identical
+    assert "geomean[hdpll+sp]" in format_report(report)
+
+
+def test_run_profile_format_handles_unscorable_engine():
+    report = _report([_cell("b01_1", "-A-", 0.01)], {"hdpll+sp": None})
+    assert "n/a (no scorable cells)" in format_report(report)
+
+
+def _normalize(report):
+    """Strip the fields allowed to differ: timestamps and wall times."""
+    out = dict(report)
+    out.pop("generated_at", None)
+    out.pop("geomean", None)  # derived from wall times
+    out["runs"] = [
+        {k: v for k, v in run.items() if k != "wall_time"}
+        for run in report["runs"]
+    ]
+    return out
+
+
+def test_run_profile_parallel_report_matches_sequential(monkeypatch):
+    """`-j 4` and `-j 1` reports are identical modulo timestamps/times."""
+    monkeypatch.setitem(
+        PROFILES,
+        "tiny2",
+        {
+            "instances": (("b01_1", 5), ("b02_1", 5)),
+            "engines": ("hdpll", "hdpll+sp"),
+            "gated": ("hdpll+sp",),
+        },
+    )
+    sequential = run_profile("tiny2", timeout=60.0, repeat=1, jobs=1)
+    parallel = run_profile("tiny2", timeout=60.0, repeat=1, jobs=4)
+    assert _normalize(parallel) == _normalize(sequential)
+    # Statuses identical means the geomeans differ only by wall noise.
+    assert [r["status"] for r in parallel["runs"]] == [
+        r["status"] for r in sequential["runs"]
+    ]
