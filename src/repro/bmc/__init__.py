@@ -1,13 +1,27 @@
-"""Bounded model checking: time-frame expansion, safety properties and
-k-induction for unbounded proofs."""
+"""Bounded model checking: time-frame expansion, safety properties,
+incremental BMC sessions and k-induction for unbounded proofs."""
 
 from repro.bmc.induction import (
     InductionResult,
     InductionStatus,
     prove_by_induction,
 )
-from repro.bmc.property import BmcInstance, SafetyProperty, make_bmc_instance
+from repro.bmc.property import (
+    BmcInstance,
+    SafetyProperty,
+    check_property,
+    initial_register_assumptions,
+    make_bmc_instance,
+)
+from repro.bmc.session import (
+    BmcSession,
+    ProbeCache,
+    bmc_sweep_oneshot,
+    bmc_sweep_session,
+    cone_signature,
+)
 from repro.bmc.unroll import (
+    IncrementalUnroller,
     frame_name,
     input_trace_from_model,
     unroll,
@@ -16,10 +30,18 @@ from repro.bmc.unroll import (
 
 __all__ = [
     "BmcInstance",
+    "BmcSession",
+    "IncrementalUnroller",
     "InductionResult",
     "InductionStatus",
+    "ProbeCache",
     "SafetyProperty",
+    "bmc_sweep_oneshot",
+    "bmc_sweep_session",
+    "check_property",
+    "cone_signature",
     "frame_name",
+    "initial_register_assumptions",
     "input_trace_from_model",
     "make_bmc_instance",
     "prove_by_induction",

@@ -16,6 +16,7 @@ from typing import Dict, Union
 from repro.errors import CircuitError
 from repro.intervals import Interval
 from repro.rtl.circuit import Circuit
+from repro.rtl.types import OpKind
 from repro.bmc.unroll import frame_name, unroll
 
 
@@ -44,10 +45,8 @@ class BmcInstance:
         return frame_name(self.prop.ok_signal, self.bound - 1)
 
 
-def make_bmc_instance(
-    circuit: Circuit, prop: SafetyProperty, bound: int
-) -> BmcInstance:
-    """Unroll and constrain: "the monitor is 0 at frame bound-1"."""
+def check_property(circuit: Circuit, prop: SafetyProperty) -> None:
+    """Validate that ``prop`` names a 1-bit output of ``circuit``."""
     if prop.ok_signal not in circuit.outputs:
         raise CircuitError(
             f"property signal {prop.ok_signal!r} is not a circuit output"
@@ -56,6 +55,29 @@ def make_bmc_instance(
         raise CircuitError(
             f"property signal {prop.ok_signal!r} must be 1 bit"
         )
+
+
+def initial_register_assumptions(circuit: Circuit) -> Dict[str, int]:
+    """Reset values as frame-0 assumptions on a *free-initial* unrolling.
+
+    An incremental base-case session unrolls with free starting
+    registers and pins them to their reset values with retractable
+    assumptions instead of constants — the free-initial system is
+    time-invariant, which is what makes learned-clause shifting sound
+    (see docs/performance.md).
+    """
+    return {
+        frame_name(node.output.name, 0): node.init_value or 0
+        for node in circuit.nodes
+        if node.kind is OpKind.REG
+    }
+
+
+def make_bmc_instance(
+    circuit: Circuit, prop: SafetyProperty, bound: int
+) -> BmcInstance:
+    """Unroll and constrain: "the monitor is 0 at frame bound-1"."""
+    check_property(circuit, prop)
     unrolled = unroll(circuit, bound)
     target = frame_name(prop.ok_signal, bound - 1)
     return BmcInstance(

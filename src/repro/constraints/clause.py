@@ -15,7 +15,7 @@ hybrid clauses exactly as for Boolean ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import SolverError
 from repro.intervals import Interval
@@ -189,6 +189,8 @@ class ClauseDatabase:
         #: Perf counters: watch-list entries inspected / watches moved.
         self.clause_visits = 0
         self.watch_moves = 0
+        #: Learned clauses dropped by reduction/cap eviction.
+        self.clauses_evicted = 0
 
     # ------------------------------------------------------------------
     # Literal status against the flat domain arrays
@@ -429,30 +431,81 @@ class ClauseDatabase:
         except ValueError:  # pragma: no cover - defensive
             pass
 
-    def reduce_learned(self, keep_fraction: float = 0.5) -> int:
-        """Drop the least active disposable learned clauses.
+    #: Learned-clause origins eligible for eviction.  Problem clauses,
+    #: static-learning relations and their shifted copies stay.
+    _DISPOSABLE_ORIGINS = (
+        "conflict",
+        "fme-conflict",
+        "j-conflict",
+        "conflict-shifted",
+    )
 
-        Only multi-literal conflict-learned clauses are candidates:
-        problem clauses, static-learning relations and unit facts stay.
-        Deletion is always sound (learned clauses are consequences), and
-        safe mid-search — conflict analysis references trail events, not
-        clause objects, so a deleted clause serving as a ``reason`` tag
-        is simply garbage-collected later.  Returns the number removed.
+    def _reason_clauses(self) -> Set[int]:
+        """Ids of clauses currently serving as a trail-event reason.
+
+        These are never evicted: while deletion would still be sound
+        (conflict analysis references trail events, not clause objects),
+        keeping the reason alive preserves the invariant that every
+        implied event's justification is inspectable for the lifetime of
+        the assignment — long incremental sessions rely on it.
         """
-        candidates = [
+        return {
+            id(event.reason)
+            for event in self.store.trail
+            if isinstance(event.reason, Clause)
+        }
+
+    def _disposable(self) -> List[Clause]:
+        protected = self._reason_clauses()
+        return [
             clause
             for clause in self.clauses
             if clause.learned
             and len(clause.literals) > 1
-            and clause.origin in ("conflict", "fme-conflict", "j-conflict")
+            and clause.origin in self._DISPOSABLE_ORIGINS
+            and id(clause) not in protected
         ]
-        if len(candidates) < 8:
+
+    def _evict(self, candidates: List[Clause], drop_count: int) -> int:
+        if drop_count <= 0:
             return 0
         candidates.sort(key=lambda clause: clause.activity)
-        drop_count = int(len(candidates) * (1.0 - keep_fraction))
         for clause in candidates[:drop_count]:
             self.remove_clause(clause)
+        self.clauses_evicted += drop_count
         return drop_count
+
+    def reduce_learned(self, keep_fraction: float = 0.5) -> int:
+        """Drop the least active disposable learned clauses.
+
+        Only multi-literal conflict-learned clauses are candidates:
+        problem clauses, static-learning relations and unit facts stay,
+        as does any clause currently justifying a trail event.  Deletion
+        is always sound (learned clauses are consequences).  Returns the
+        number removed.
+        """
+        candidates = self._disposable()
+        if len(candidates) < 8:
+            return 0
+        drop_count = int(len(candidates) * (1.0 - keep_fraction))
+        return self._evict(candidates, drop_count)
+
+    def enforce_cap(self, max_learned: int) -> int:
+        """Activity-based eviction down to ``max_learned`` disposable
+        clauses (0 disables).  Used by long-lived sessions so the clause
+        database cannot drown in dead lemmas as frames accumulate.
+        Returns the number removed."""
+        if max_learned <= 0:
+            return 0
+        candidates = self._disposable()
+        overshoot = len(candidates) - max_learned
+        if overshoot <= 0:
+            return 0
+        # Drop down to half the cap so the cap is not re-hit immediately.
+        drop_count = min(
+            len(candidates), overshoot + max_learned // 2
+        )
+        return self._evict(candidates, drop_count)
 
     def __len__(self) -> int:
         return len(self.clauses)

@@ -62,17 +62,33 @@ class CompiledSystem:
         ]
 
 
+@dataclass
+class CompiledExtension:
+    """Variables and propagators appended by :func:`extend_compiled`."""
+
+    variables: List[Variable]
+    propagators: List[Propagator]
+
+
 class _Compiler:
-    def __init__(self, circuit: Circuit, mux_select_implication: bool = False):
-        circuit.validate()
-        if not circuit.is_combinational:
-            raise UnsupportedOperationError(
-                "only combinational circuits can be compiled; unroll "
-                "sequential circuits with repro.bmc first"
-            )
+    def __init__(
+        self,
+        circuit: Circuit,
+        mux_select_implication: bool = False,
+        system: Optional[CompiledSystem] = None,
+    ):
+        if system is None:
+            circuit.validate()
+            if not circuit.is_combinational:
+                raise UnsupportedOperationError(
+                    "only combinational circuits can be compiled; unroll "
+                    "sequential circuits with repro.bmc first"
+                )
         self.circuit = circuit
         self.mux_select_implication = mux_select_implication
-        self.system = CompiledSystem(circuit=circuit)
+        self.system = (
+            system if system is not None else CompiledSystem(circuit=circuit)
+        )
 
     # ------------------------------------------------------------------
     def _new_var(
@@ -277,3 +293,34 @@ def compile_circuit(
     (see :class:`repro.constraints.propagators.MuxProp`).
     """
     return _Compiler(circuit, mux_select_implication).compile()
+
+
+def extend_compiled(
+    system: CompiledSystem,
+    nodes: List[Node],
+    mux_select_implication: bool = False,
+) -> CompiledExtension:
+    """Compile a node suffix into an existing system (frame extension).
+
+    ``nodes`` must be new nodes of ``system.circuit`` in dependency order
+    whose operands are either earlier nodes in the list or nets already
+    compiled — exactly what the incremental unroller hands back.  The
+    appended variables keep the system's dense index space, so the
+    existing domain store / engine / activity order can absorb them via
+    their own ``add``/``extend`` hooks without recompiling frames 0..t.
+    """
+    compiler = _Compiler(
+        system.circuit, mux_select_implication, system=system
+    )
+    var_mark = len(system.variables)
+    prop_mark = len(system.propagators)
+    for node in nodes:
+        if node.output.index in system.var_of_net:
+            raise UnsupportedOperationError(
+                f"node {node.index} ({node.output.name}) is already compiled"
+            )
+        compiler._compile_node(node)
+    return CompiledExtension(
+        variables=system.variables[var_mark:],
+        propagators=system.propagators[prop_mark:],
+    )

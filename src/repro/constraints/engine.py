@@ -92,6 +92,23 @@ class PropagationEngine:
         for position in range(len(self.propagators)):
             self._enqueue(position)
 
+    def extend(self, propagators: Sequence[Propagator]) -> None:
+        """Register freshly compiled propagators (frame-extension path).
+
+        The new propagators are scheduled immediately so the next
+        :meth:`propagate` folds the appended frame into the fixpoint.
+        """
+        base = len(self.propagators)
+        for offset, propagator in enumerate(propagators):
+            position = base + offset
+            self.propagators.append(propagator)
+            self._tier.append(propagator.priority)
+            for var in propagator.variables:
+                self._watchers.setdefault(var.index, []).append(
+                    (position, propagator.wake_mask(var))
+                )
+            self._enqueue(position)
+
     def notify_backtrack(self) -> None:
         """Reset dispatch bookkeeping after the trail shrank."""
         self._dispatched = min(self._dispatched, len(self.store.trail))

@@ -282,6 +282,29 @@ class DomainStore:
             raise SolverError("assumptions must be made at level 0")
         return self.narrow(var, domain, ASSUMPTION)
 
+    def add_variables(self, variables: Sequence[Variable]) -> None:
+        """Append freshly compiled variables (frame-extension path).
+
+        Only legal at level 0: extension must not interleave with an open
+        search, and the new variables start at their initial domains with
+        no trail history.
+        """
+        if self.decision_level != 0:
+            raise SolverError("variables can only be added at level 0")
+        for var in variables:
+            if var.index != len(self.variables):
+                raise SolverError(
+                    f"extension variable {var.name} has index {var.index}, "
+                    f"expected {len(self.variables)}"
+                )
+            self.variables.append(var)
+            domain = var.initial_domain
+            self.domains.append(domain)
+            self.lo.append(domain.lo)
+            self.hi.append(domain.hi)
+            self._is_bool.append(var.is_bool)
+            self.latest_event.append(None)
+
     # ------------------------------------------------------------------
     # Levels and backtracking
     # ------------------------------------------------------------------

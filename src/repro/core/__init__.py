@@ -22,6 +22,7 @@ from repro.core.hdpll import HdpllSolver, solve_circuit
 from repro.core.predlearn import LearnReport, run_predicate_learning
 from repro.core.recursive import RecursiveLearner, justification_options
 from repro.core.result import SolverResult, SolverStats, Status
+from repro.core.session import SolverSession, frame_span, shift_name
 
 __all__ = [
     "AbstractionResult",
@@ -34,11 +35,14 @@ __all__ = [
     "RecursiveLearner",
     "SolverConfig",
     "SolverResult",
+    "SolverSession",
     "SolverStats",
     "Status",
+    "frame_span",
     "justification_options",
     "predicate_abstraction_check",
     "run_predicate_learning",
+    "shift_name",
     "solve_circuit",
     "state_predicates",
 ]

@@ -58,6 +58,10 @@ class SolverConfig:
     #: Reduce the learned-clause database (drop the less active half)
     #: every this many learned clauses; 0 disables reduction.
     clause_db_reduce_interval: int = 4000
+    #: Hard cap on disposable learned clauses kept by long-lived solver
+    #: sessions; activity-based eviction (reason clauses are never
+    #: evicted) kicks in above it.  0 disables the cap.
+    clause_db_max_learned: int = 8000
 
     def with_overrides(self, **kwargs) -> "SolverConfig":
         """A copy of this config with the given fields replaced."""

@@ -101,9 +101,14 @@ def analyze_conflict(
                 lit = _negate_event_literal(event)
                 lits_by_var[event.var.index] = lit
                 lit_levels[event.var.index] = event.level
-            elif hybrid_word_literals:
+            elif hybrid_word_literals or not event.antecedents:
                 # Keep the narrowing itself as a (negative) word literal:
-                # "not (var in event.new)".
+                # "not (var in event.new)".  Events with no antecedents
+                # (word decisions and retractable assumptions) MUST be
+                # kept even when hybrid literals are disabled — dropping
+                # them would make the clause depend on an assumption it
+                # does not mention, which is unsound once the assumption
+                # is retracted.
                 if event.var.index not in lits_by_var:
                     lits_by_var[event.var.index] = WordLit(
                         event.var, event.new, positive=False
@@ -127,9 +132,17 @@ def analyze_conflict(
         if not event.antecedents:
             # A decision at the conflict level that is not the UIP (this
             # happens when several decisions share a level, e.g. the
-            # lazy-SMT theory check): keep it as a clause literal.
+            # lazy-SMT theory check): keep it as a clause literal.  A
+            # word-valued event with no antecedents (an interval
+            # assumption) becomes a negative word literal — it has no
+            # causes to expand into, so eliding it would be unsound.
             if _is_bool_point(event):
                 lits_by_var[event.var.index] = _negate_event_literal(event)
+                lit_levels[event.var.index] = event.level
+            elif event.var.index not in lits_by_var:
+                lits_by_var[event.var.index] = WordLit(
+                    event.var, event.new, positive=False
+                )
                 lit_levels[event.var.index] = event.level
             continue
         for antecedent in event.antecedents:
@@ -174,8 +187,17 @@ def decision_cut_clause(store: DomainStore) -> Optional[Clause]:
     """
     literals: List[Literal] = []
     for event in store.trail:
-        if event.is_decision:
-            literals.append(_negate_event_literal(event))
+        # Level-0 assumptions (the single-shot path) are part of the
+        # problem itself; retractable assumption *levels* (persistent
+        # sessions) must enter the cut like decisions or the clause
+        # would claim validity beyond the current query.
+        if event.is_decision or (event.is_assumption and event.level > 0):
+            if _is_bool_point(event):
+                literals.append(_negate_event_literal(event))
+            else:
+                literals.append(
+                    WordLit(event.var, event.new, positive=False)
+                )
     if not literals:
         return None
     return Clause(literals=tuple(literals), learned=True, origin="fme-conflict")

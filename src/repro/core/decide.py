@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.constraints.clause import Clause
 from repro.constraints.compile import CompiledSystem
 from repro.constraints.store import DomainStore
-from repro.constraints.variable import Variable
+from repro.constraints.variable import Variable, VarOrigin
 from repro.rtl.levelize import transitive_fanout_count
 
 
@@ -42,6 +42,7 @@ class ActivityOrder:
         self._rebuild_heap()
         self._bump_amount = 1.0
         self._decay = decay
+        self._default_phase = default_phase
         self.phase: Dict[int, int] = {
             var.index: default_phase for var in self.candidates
         }
@@ -59,6 +60,29 @@ class ActivityOrder:
             (-self.activity[var.index], var.index) for var in self.candidates
         ]
         heapq.heapify(self._heap)
+
+    def add_candidates(
+        self, system: CompiledSystem, variables: List[Variable]
+    ) -> None:
+        """Absorb freshly compiled variables (frame-extension path).
+
+        Boolean net variables join the candidate pool with the usual
+        structural fanout seed; existing activities, phases and bump
+        scaling are untouched, so learned search guidance carries over
+        to the extended problem.
+        """
+        for var in variables:
+            if not (var.is_bool and var.origin is VarOrigin.NET):
+                continue
+            assert var.net_index is not None
+            net = system.circuit.nets[var.net_index]
+            activity = float(transitive_fanout_count(net))
+            activity += self.static_weight.get(var.index, 0.0)
+            self.activity[var.index] = activity
+            self._var_by_index[var.index] = var
+            self.candidates.append(var)
+            self.phase.setdefault(var.index, self._default_phase)
+            heapq.heappush(self._heap, (-activity, var.index))
 
     # ------------------------------------------------------------------
     # Activity maintenance

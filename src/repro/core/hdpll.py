@@ -32,9 +32,14 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 from repro.errors import ResourceLimitError, SolverError
 from repro.intervals import Interval, interval_cache_stats
 from repro.constraints.clause import Clause
-from repro.constraints.compile import CompiledSystem, compile_circuit
+from repro.constraints.compile import (
+    CompiledExtension,
+    CompiledSystem,
+    compile_circuit,
+    extend_compiled,
+)
 from repro.constraints.engine import PropagationEngine
-from repro.constraints.store import Conflict, DomainStore
+from repro.constraints.store import ASSUMPTION, Conflict, DomainStore
 from repro.core.config import SolverConfig
 from repro.core.conflict import analyze_conflict, decision_cut_clause
 from repro.core.decide import ActivityOrder
@@ -54,6 +59,11 @@ _EARLY_LEAF = object()
 #: Sentinel result: early certification inconclusive; resume decisions.
 _FALLBACK = object()
 
+#: Returned by ``_assert_assumption_prefix`` when an assumption directly
+#: contradicts the accumulated domain: UNSAT under the current
+#: assumptions, with no clause to learn.
+_ASSUMPTION_REFUTED = object()
+
 
 class HdpllSolver:
     """Satisfiability of a combinational RTL circuit under assumptions."""
@@ -63,9 +73,16 @@ class HdpllSolver:
         circuit: Circuit,
         config: Optional[SolverConfig] = None,
         observation: Optional[Observation] = None,
+        persistent: bool = False,
     ):
         self.circuit = circuit
         self.config = config or SolverConfig()
+        #: Persistent (session) mode: the solver answers repeated
+        #: ``solve`` calls, asserting assumptions at retractable decision
+        #: levels and undoing them afterwards, and its constraint system
+        #: can grow via :meth:`extend_system`.  Predicate learning is
+        #: then driven externally (see :class:`repro.core.session.SolverSession`).
+        self.persistent = persistent
         tracer = observation.tracer if observation is not None else None
         #: Trace emitter, or None when tracing is off (the common case);
         #: every emission site guards on this being non-None.
@@ -94,8 +111,20 @@ class HdpllSolver:
                 self.system, self.store, self.order, tracer=self._trace
             )
         self._deadline: Optional[float] = None
-        #: A solver instance answers exactly one query.
+        #: A solver instance answers exactly one query (unless persistent).
         self._consumed = False
+        #: Pending interval assumptions, one per retractable decision
+        #: level (persistent mode); the search loop re-asserts the prefix
+        #: lazily after every backjump or restart, MiniSat-style.
+        self._assumption_plan: Optional[
+            List[Tuple["Variable", Interval]]
+        ] = None
+        #: Level 0 still needs an initial/extension fixpoint pass.
+        self._pending_saturation = True
+        #: Cumulative engine/order counters at the start of the current
+        #: solve; ``_finish`` reports deltas so persistent sessions get
+        #: per-query stats.  All zero in single-shot mode.
+        self._counter_marks: Dict[str, int] = {}
         #: (hits, misses) of the interval interning cache at solve start,
         #: so the reported hit rate covers only this solve.
         self._cache_mark = interval_cache_stats()
@@ -120,15 +149,19 @@ class HdpllSolver:
         """Check satisfiability under net-name assumptions.
 
         ``assumptions`` maps net names to required values (ints) or
-        intervals.  The solver instance is single-shot: construct a new
-        one for each query.
+        intervals.  The solver instance is single-shot unless constructed
+        with ``persistent=True``, in which case assumptions are asserted
+        at retractable decision levels and fully undone before returning,
+        keeping learned clauses and activities for the next query.
         """
-        if self._consumed:
+        if self._consumed and not self.persistent:
             raise SolverError(
                 "HdpllSolver is single-shot; construct a new instance "
                 "per query"
             )
         self._consumed = True
+        if self.persistent:
+            self._begin_persistent_solve()
         self._cache_mark = interval_cache_stats()
         tracer = self._trace
         start = time.perf_counter()
@@ -149,7 +182,14 @@ class HdpllSolver:
             len(self.system.propagators),
         )
 
-        result = self._solve(assumptions, start)
+        try:
+            result = self._solve(assumptions, start)
+        finally:
+            if self.persistent:
+                # Retract every assumption level so the session is back
+                # at the shared level-0 state for the next query.
+                self._backtrack(0)
+                self._assumption_plan = None
 
         if self._prof is not None:
             self._attribute_engine_phases()
@@ -183,7 +223,7 @@ class HdpllSolver:
         self, assumptions: Mapping[str, AssumptionValue], start: float
     ) -> SolverResult:
         prof = self._prof
-        if self.config.predicate_learning:
+        if self.config.predicate_learning and not self.persistent:
             learn_start = time.perf_counter()
             if prof is not None:
                 with prof.phase("learn"):
@@ -228,6 +268,27 @@ class HdpllSolver:
     def _search(
         self, assumptions: Mapping[str, AssumptionValue], start: float
     ) -> SolverResult:
+        if self.persistent:
+            conflict = self._saturate_level0()
+            if conflict is not None:
+                self.stats.solve_time = (
+                    time.perf_counter() - start - self.stats.learn_time
+                )
+                return self._finish(Status.UNSAT)
+            self._assumption_plan = [
+                (
+                    self.system.var_by_name(name),
+                    value
+                    if isinstance(value, Interval)
+                    else Interval.point(value),
+                )
+                for name, value in assumptions.items()
+            ]
+            result = self._search_loop(assumptions)
+            self.stats.solve_time = (
+                time.perf_counter() - start - self.stats.learn_time
+            )
+            return result
         conflict = self._apply_assumptions(assumptions)
         if conflict is not None:
             self.stats.solve_time = (
@@ -268,6 +329,109 @@ class HdpllSolver:
         return self._propagate()
 
     # ------------------------------------------------------------------
+    # Persistent-session support
+    # ------------------------------------------------------------------
+    def _begin_persistent_solve(self) -> None:
+        """Per-query reset: fresh stats, delta marks, budget, search state."""
+        if self.store.decision_level != 0:
+            raise SolverError(
+                "persistent solve must start at level 0 (previous query "
+                "not fully retracted)"
+            )
+        self.stats = SolverStats()
+        self._counter_marks = {
+            "propagations": self.engine.propagation_count,
+            "propagator_wakeups": self.engine.wakeup_count,
+            "clause_visits": self.engine.clause_db.clause_visits,
+            "watch_moves": self.engine.clause_db.watch_moves,
+            "heap_picks": self.order.picks,
+            "heap_stale_pops": self.order.stale_pops,
+        }
+        # Engine clock snapshot so profiler attribution stays per-query;
+        # session-level learning accounts for its own propagation time.
+        self._learn_bcp = self.engine.bcp_time
+        self._learn_icp = self.engine.icp_time
+        self._early_leaf_pending = True
+        self._decision_kind = "activity"
+        self._deadline = None
+
+    def _saturate_level0(self) -> Optional[Conflict]:
+        """Bring level 0 to the circuit fixpoint after creation/extension."""
+        if not self._pending_saturation:
+            return None
+        self.engine.enqueue_all()
+        conflict = self._propagate()
+        if conflict is not None:
+            return conflict
+        self._pending_saturation = False
+        if self._structural is not None:
+            self._structural.snapshot_baseline()
+        return None
+
+    def extend_system(self, nodes) -> CompiledExtension:
+        """Compile appended circuit nodes into the live constraint system.
+
+        The frame-extension path: new variables join the store at their
+        initial domains, new propagators are registered and scheduled,
+        Boolean net variables join the decision order.  The level-0
+        fixpoint and the structural-decision baseline are refreshed
+        lazily on the next solve.
+        """
+        if self.store.decision_level != 0:
+            raise SolverError("extension is only legal at level 0")
+        extension = extend_compiled(
+            self.system,
+            nodes,
+            mux_select_implication=self.config.mux_select_implication,
+        )
+        self.store.add_variables(extension.variables)
+        self.engine.extend(extension.propagators)
+        self.order.add_candidates(self.system, extension.variables)
+        if self._structural is not None:
+            from repro.core.justify import StructuralDecide
+
+            # The justification frontier is levelization-based; rebuild
+            # it over the grown circuit (O(circuit), amortised by the
+            # recompilation it replaces).
+            self._structural = StructuralDecide(
+                self.system, self.store, self.order, tracer=self._trace
+            )
+        self._pending_saturation = True
+        return extension
+
+    def _assert_assumption_prefix(self):
+        """Assert pending assumptions, one retractable level each.
+
+        Called whenever the current decision level is inside the
+        assumption prefix (query start, after backjumps, after
+        restarts).  A level is pushed even when the assumption is
+        already entailed, keeping level k <=> assumption k-1 alignment.
+
+        Returns ``None`` when the whole prefix is asserted, a
+        :class:`Conflict` from propagation (the caller analyses it — the
+        learned clause is globally valid because assumption events enter
+        it as literals), or :data:`_ASSUMPTION_REFUTED` when an
+        assumption directly contradicts the accumulated domain.  The
+        refutation case must NOT go through conflict analysis: the
+        failed ``narrow`` leaves no event for the assumption side, so
+        any clause built from the remaining antecedents would elide the
+        assumption and claim unconditional validity (MiniSat likewise
+        answers final-conflict analysis without learning).
+        """
+        plan = self._assumption_plan
+        store = self.store
+        while store.decision_level < len(plan):
+            var, interval = plan[store.decision_level]
+            store.push_level()
+            outcome = store.narrow(var, interval, ASSUMPTION)
+            if isinstance(outcome, Conflict):
+                return _ASSUMPTION_REFUTED
+            conflict = self._propagate()
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def _search_loop(
@@ -281,6 +445,25 @@ class HdpllSolver:
         while True:
             if self._out_of_budget():
                 return self._finish(Status.UNKNOWN, note=self._budget_note())
+
+            if (
+                self._assumption_plan
+                and self.store.decision_level < len(self._assumption_plan)
+            ):
+                conflict = self._assert_assumption_prefix()
+                if conflict is _ASSUMPTION_REFUTED:
+                    return self._finish(
+                        Status.UNSAT,
+                        note="assumption contradicts implied domain",
+                    )
+                if conflict is not None:
+                    final, resolved = self._resolve_conflicts(
+                        conflict, bump_source=True
+                    )
+                    if final is not None:
+                        return final
+                    conflicts_since_restart += resolved
+                    continue
 
             if prof is not None:
                 begin = prof.now()
@@ -470,11 +653,17 @@ class HdpllSolver:
         interval = self.config.clause_db_reduce_interval
         if interval and self.stats.learned_clauses % interval == 0:
             self.engine.clause_db.reduce_learned()
+        cap = self.config.clause_db_max_learned
+        if cap and self.stats.learned_clauses % 512 == 0:
+            self.engine.clause_db.enforce_cap(cap)
         conflict = self.engine.add_clause(clause)
         if conflict is not None:
             return conflict
         conflict = self._propagate()
-        self.stats.propagations = self.engine.propagation_count
+        self.stats.propagations = (
+            self.engine.propagation_count
+            - self._counter_marks.get("propagations", 0)
+        )
         return conflict
 
     # ------------------------------------------------------------------
@@ -629,7 +818,9 @@ class HdpllSolver:
         """
         prof = self._prof
         assert prof is not None
-        if self._learn_bcp or self._learn_icp:
+        if not self.persistent and (self._learn_bcp or self._learn_icp):
+            # In persistent mode the marks are per-query engine-clock
+            # snapshots, not learning time (sessions learn externally).
             prof.add("learn/bcp", self._learn_bcp)
             prof.add("learn/icp", self._learn_icp)
         prof.add(
@@ -645,14 +836,27 @@ class HdpllSolver:
         model: Optional[Dict[str, int]] = None,
         note: str = "",
     ) -> SolverResult:
-        self.stats.propagations = self.engine.propagation_count
-        self.stats.propagator_wakeups = self.engine.wakeup_count
-        self.stats.clause_visits = self.engine.clause_db.clause_visits
-        self.stats.watch_moves = self.engine.clause_db.watch_moves
+        marks = self._counter_marks
+        self.stats.propagations = (
+            self.engine.propagation_count - marks.get("propagations", 0)
+        )
+        self.stats.propagator_wakeups = (
+            self.engine.wakeup_count - marks.get("propagator_wakeups", 0)
+        )
+        self.stats.clause_visits = (
+            self.engine.clause_db.clause_visits
+            - marks.get("clause_visits", 0)
+        )
+        self.stats.watch_moves = (
+            self.engine.clause_db.watch_moves - marks.get("watch_moves", 0)
+        )
         # Decision-heap health counters (auto-registered extensions —
         # the metrics registry is the one place they need declaring).
-        self.stats.heap_picks = self.order.picks
-        self.stats.heap_stale_pops = self.order.stale_pops
+        self.stats.heap_picks = self.order.picks - marks.get("heap_picks", 0)
+        self.stats.heap_stale_pops = (
+            self.order.stale_pops - marks.get("heap_stale_pops", 0)
+        )
+        self.stats.clauses_evicted = self.engine.clause_db.clauses_evicted
         hits, misses = interval_cache_stats()
         delta_hits = hits - self._cache_mark[0]
         delta_total = delta_hits + misses - self._cache_mark[1]

@@ -67,6 +67,13 @@ class LearnReport:
     root_conflict: bool = False
     #: The learned clauses, in learning order (for tests/diagnostics).
     clauses: List[Clause] = field(default_factory=list)
+    #: net index -> clauses learned while probing that candidate.  A key
+    #: is present only for candidates the loop actually processed, so
+    #: probe caches can distinguish "probed, nothing learned" from
+    #: "skipped by threshold/deadline".
+    clauses_by_candidate: Dict[int, List[Clause]] = field(
+        default_factory=dict
+    )
 
 
 def _clause_key(literals: Tuple[Literal, ...]) -> Tuple:
@@ -92,6 +99,7 @@ def run_predicate_learning(
     phase_hints: bool = False,
     include_direct_relations: bool = False,
     tracer=None,
+    candidates=None,
 ) -> LearnReport:
     """Run the Section 3 pre-processing pass on a live solver state.
 
@@ -103,11 +111,16 @@ def run_predicate_learning(
     enforced between candidates *and inside each probe's branch
     enumeration*, so a single pathological probe cannot overrun the
     solver's budget.
+
+    ``candidates`` restricts probing to an explicit net list (the
+    frame-extension path probes only the appended frame); by default the
+    candidates are extracted from the whole circuit.
     """
     report = LearnReport()
     entry_level = store.decision_level
-    predicates = extract_predicates(system.circuit)
-    candidates = predicates.learning_candidates
+    if candidates is None:
+        predicates = extract_predicates(system.circuit)
+        candidates = predicates.learning_candidates
     report.candidates = len(candidates)
     if threshold is None:
         threshold = min(len(candidates), DEFAULT_THRESHOLD_CAP)
@@ -193,6 +206,7 @@ def _probe_candidates(
         var = system.var(net)
         node = net.driver
         assert node is not None
+        clause_mark = len(report.clauses)
         probe_results: Dict[int, Optional[Dict[int, Interval]]] = {}
         for probe_value in (0, 1):
             if report.relations_learned >= threshold:
@@ -293,6 +307,11 @@ def _probe_candidates(
                 if conflict is not None:
                     report.root_conflict = True
                     return
+
+        # Candidate fully processed: attribute its clauses (early exits
+        # above deliberately skip this, so partially probed candidates
+        # are never cached as complete).
+        report.clauses_by_candidate[net.index] = report.clauses[clause_mark:]
 
 
 def _implication_literal(

@@ -56,6 +56,15 @@ STAT_SPEC = {
     "clause_visits": ("counter", 0),
     #: Watched-literal relocations (replacement watch found).
     "watch_moves": ("counter", 0),
+    #: Queries answered by the owning persistent session so far.
+    "session_solves": ("counter", 0),
+    #: Learned clauses re-instantiated at a new time frame (sessions).
+    "clauses_shifted": ("counter", 0),
+    #: Predicate-probe cone-cache hits / misses (sessions).
+    "probe_cache_hits": ("counter", 0),
+    "probe_cache_misses": ("counter", 0),
+    #: Learned clauses dropped by activity-based DB reduction/cap.
+    "clauses_evicted": ("counter", 0),
     #: Wall-clock seconds spent in predicate learning pre-processing.
     "learn_time": ("gauge", 0.0),
     #: Wall-clock seconds spent in search (excludes learn_time).
@@ -65,6 +74,8 @@ STAT_SPEC = {
     #: Interval interning cache hit rate over this solve (0.0 when the
     #: solve performed no interval constructions).
     "interval_cache_hit_rate": ("gauge", 0.0),
+    #: hits / (hits + misses) of the probe cone cache (sessions).
+    "probe_cache_hit_rate": ("gauge", 0.0),
 }
 
 

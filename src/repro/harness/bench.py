@@ -68,6 +68,12 @@ COUNTER_FIELDS = (
     "clause_visits",
     "watch_moves",
     "interval_cache_hit_rate",
+    "session_solves",
+    "clauses_shifted",
+    "probe_cache_hits",
+    "probe_cache_misses",
+    "probe_cache_hit_rate",
+    "clauses_evicted",
 )
 
 #: Workload matrices.  ``smoke`` is the CI gate (seconds-scale); ``full``
@@ -98,6 +104,24 @@ PROFILES: Dict[str, Dict[str, object]] = {
         ),
         "engines": ("hdpll", "hdpll+s", "hdpll+sp"),
         "gated": ("hdpll+sp",),
+    },
+    #: Incremental-solving comparison: each cell sweeps bounds
+    #: 1..bound; ``bmc-session`` reuses one persistent solver and
+    #: ``bmc-oneshot`` restarts per bound.  Besides the baseline gate on
+    #: the session engine, a *speedup gate* requires the session sweep's
+    #: geomean to beat the one-shot sweep's by ``min_ratio``.
+    "bmc": {
+        "instances": (
+            ("b01_1", 15),
+            ("b02_1", 15),
+            ("b06_1", 10),
+            ("b13_1", 15),
+        ),
+        "engines": ("bmc-oneshot", "bmc-session"),
+        "gated": ("bmc-session",),
+        "speedup_gates": (
+            {"fast": "bmc-session", "slow": "bmc-oneshot", "min_ratio": 2.0},
+        ),
     },
 }
 
@@ -209,6 +233,9 @@ def run_profile(
             for engine in engines
         },
         "gated_engines": list(spec["gated"]),  # type: ignore[arg-type]
+        "speedup_gates": [
+            dict(gate) for gate in spec.get("speedup_gates", ())  # type: ignore[attr-defined]
+        ],
     }
     logger.info(
         "bench profile %s: %d cells, geomean %s",
@@ -353,6 +380,109 @@ def compare_to_baseline(
             )
         )
     return results
+
+
+@dataclass
+class SpeedupGateResult:
+    """In-report comparison of a fast engine against a slow one."""
+
+    fast: str
+    slow: str
+    fast_geomean: Optional[float]
+    slow_geomean: Optional[float]
+    #: slow/fast; >= min_ratio passes.  ``None`` when either side is
+    #: missing or unscorable.
+    ratio: Optional[float]
+    min_ratio: float
+    passed: bool
+    reason: str = ""
+
+
+def evaluate_speedup_gates(
+    report: Dict[str, object]
+) -> List[SpeedupGateResult]:
+    """Check the report's fast-vs-slow speedup requirements.
+
+    Unlike the baseline gate (this run vs a committed past run), a
+    speedup gate compares two engines *within* the report — the bmc
+    profile uses it to require the incremental session sweep to stay a
+    ``min_ratio`` geomean factor ahead of the one-shot sweep.  A fast
+    cell whose status differs from the slow engine's on the same
+    instance fails the gate (a speedup between different answers is
+    meaningless).
+    """
+    results: List[SpeedupGateResult] = []
+    geomeans: Dict[str, Optional[float]] = report.get("geomean", {})  # type: ignore[assignment]
+    for gate in report.get("speedup_gates", []):  # type: ignore[union-attr]
+        fast = gate["fast"]
+        slow = gate["slow"]
+        min_ratio = float(gate.get("min_ratio", 1.0))
+        fast_geo = geomeans.get(fast)
+        slow_geo = geomeans.get(slow)
+        problems: List[str] = []
+        if fast_geo is None:
+            problems.append(f"engine {fast!r} has no scorable geomean")
+        if slow_geo is None:
+            problems.append(f"engine {slow!r} has no scorable geomean")
+        fast_statuses = _cell_statuses(report, fast)
+        slow_statuses = _cell_statuses(report, slow)
+        for key in sorted(set(fast_statuses) | set(slow_statuses)):
+            a = fast_statuses.get(key)
+            b = slow_statuses.get(key)
+            if a != b:
+                case, bound = key
+                problems.append(
+                    f"status mismatch at {case}({bound}): "
+                    f"{fast} {a or 'absent'} vs {slow} {b or 'absent'}"
+                )
+        if problems:
+            results.append(
+                SpeedupGateResult(
+                    fast=fast,
+                    slow=slow,
+                    fast_geomean=fast_geo,
+                    slow_geomean=slow_geo,
+                    ratio=None,
+                    min_ratio=min_ratio,
+                    passed=False,
+                    reason="; ".join(problems),
+                )
+            )
+            logger.error(
+                "speedup gate [%s vs %s]: %s", fast, slow, "; ".join(problems)
+            )
+            continue
+        assert fast_geo is not None and slow_geo is not None
+        ratio = slow_geo / max(fast_geo, _GEOMEAN_FLOOR)
+        results.append(
+            SpeedupGateResult(
+                fast=fast,
+                slow=slow,
+                fast_geomean=fast_geo,
+                slow_geomean=slow_geo,
+                ratio=ratio,
+                min_ratio=min_ratio,
+                passed=ratio >= min_ratio,
+            )
+        )
+    return results
+
+
+def format_speedup_gates(gates: Sequence[SpeedupGateResult]) -> str:
+    lines = []
+    for gate in gates:
+        if gate.ratio is None:
+            lines.append(
+                f"speedup[{gate.fast} vs {gate.slow}]: FAILED — {gate.reason}"
+            )
+            continue
+        verdict = "ok" if gate.passed else "TOO SLOW"
+        lines.append(
+            f"speedup[{gate.fast} vs {gate.slow}]: "
+            f"{gate.slow_geomean:.3f}s / {gate.fast_geomean:.3f}s = "
+            f"{gate.ratio:.2f}x (required >= {gate.min_ratio:.1f}x) {verdict}"
+        )
+    return "\n".join(lines)
 
 
 def default_baseline_path(profile: str) -> Path:

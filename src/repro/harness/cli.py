@@ -32,6 +32,11 @@ TRACEABLE_ENGINES = tuple(
     name for name in ENGINE_NAMES if name.startswith("hdpll")
 )
 
+#: Engines the ``profile`` command accepts: the traceable solvers plus
+#: the incremental session sweep (phase profile + session counters; its
+#: trace interleaves several solves, so it stays out of ``trace``).
+PROFILED_ENGINES = TRACEABLE_ENGINES + ("bmc-session",)
+
 #: Flag a profile whose phase sum drifts more than this fraction from
 #: the solver-reported wall time (clock accounting has gone wrong).
 PROFILE_DRIFT_TOLERANCE = 0.10
@@ -113,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("case", help="e.g. b13_5")
     profile.add_argument("bound", type=int, help="time frames")
     profile.add_argument(
-        "--engine", choices=TRACEABLE_ENGINES, default="hdpll+sp"
+        "--engine", choices=PROFILED_ENGINES, default="hdpll+sp"
     )
     _add_common(profile)
 
@@ -168,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the perf benchmark matrix and emit BENCH_1.json"
     )
     bench.add_argument(
-        "--profile", choices=("smoke", "full"), default="smoke"
+        "--profile", choices=("smoke", "full", "bmc"), default="smoke"
     )
     bench.add_argument(
         "--output", default="BENCH_1.json", help="report output path"
@@ -302,6 +307,21 @@ def _profile_command(args) -> int:
     print()
     reported = record.solve_seconds + record.learn_seconds
     print(format_profile(profiler.report(), reference=reported))
+    if record.session_solves:
+        rate = record.probe_cache_hit_rate
+        print()
+        print(
+            f"session: {record.session_solves} solves, "
+            f"{record.clauses_shifted} clauses shifted, "
+            f"probe cache {record.probe_cache_hits} hits / "
+            f"{record.probe_cache_misses} misses ({rate:.0%}), "
+            f"{record.clauses_evicted} clauses evicted"
+        )
+    if not args.engine.startswith("hdpll"):
+        # The drift check compares one solve's phase sum to one solve's
+        # reported time; a session sweep interleaves many solves with
+        # session-level work, so the accounting identity does not apply.
+        return 0
     drift_error = _check_profile_drift(profiler.report(), reported)
     if drift_error:
         print(f"profile error: {drift_error}", file=sys.stderr)
@@ -374,10 +394,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                 max_k=args.max_k,
                 config=HDPLL_SP,
                 timeout=args.timeout,
+                jobs=args.jobs,
+                case=args.case,
             )
             print(f"{args.case}: {outcome.status.value} (k = {outcome.k})")
             if outcome.note:
                 print(f"note: {outcome.note}")
+            for depth in outcome.depth_stats:
+                k = depth["k"]
+                index = int(k) - 1  # type: ignore[call-overload]
+                base_s = (
+                    f"{outcome.base_seconds[index]:.2f}s"
+                    if index < len(outcome.base_seconds)
+                    else "-"
+                )
+                step_s = (
+                    f"{outcome.step_seconds[index]:.2f}s"
+                    if index < len(outcome.step_seconds)
+                    else "-"
+                )
+                print(
+                    f"  k={k}: base {depth['base_decisions']}d/"
+                    f"{depth['base_conflicts']}c {base_s}, "
+                    f"step {depth['step_decisions']}d/"
+                    f"{depth['step_conflicts']}c {step_s}, "
+                    f"probe-cache {depth['probe_cache_hit_rate']:.0%}"
+                )
         else:
             from repro.core import predicate_abstraction_check
 
@@ -412,8 +454,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.harness.bench import (
             compare_to_baseline,
             default_baseline_path,
+            evaluate_speedup_gates,
             format_gates,
             format_report,
+            format_speedup_gates,
             load_report,
             run_profile,
             write_report,
@@ -429,6 +473,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_report(report))
         write_report(report, Path(args.output))
         print(f"report written to {args.output}")
+        speedups = evaluate_speedup_gates(report)
+        if speedups:
+            print(format_speedup_gates(speedups))
+        failed = args.check and any(not gate.passed for gate in speedups)
         baseline_path = (
             Path(args.baseline)
             if args.baseline
@@ -437,14 +485,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.update_baseline:
             write_report(report, baseline_path)
             print(f"baseline updated at {baseline_path}")
-            return 0
+            return 1 if failed else 0
         baseline = load_report(baseline_path)
         if baseline is None:
             print(f"no baseline at {baseline_path}; skipping gate")
-            return 0
+            return 1 if failed else 0
         gates = compare_to_baseline(report, baseline, args.tolerance)
         print(format_gates(gates, args.tolerance))
-        if args.check and any(not gate.passed for gate in gates):
+        if args.check and (failed or any(not g.passed for g in gates)):
             return 1
         return 0
     if args.command == "ablation":

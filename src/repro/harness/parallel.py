@@ -146,7 +146,19 @@ class _Running:
         return self.task.label or self.task.fn.__name__
 
 
-def _run_inline(tasks: Sequence[Task]) -> List[TaskOutcome]:
+def _cancelled_outcome(index: int, task: Task) -> TaskOutcome:
+    return TaskOutcome(
+        index=index,
+        label=task.label,
+        ok=False,
+        error="cancelled: another task already decided the outcome",
+    )
+
+
+def _run_inline(
+    tasks: Sequence[Task],
+    stop_when: Optional[Callable[[TaskOutcome], bool]] = None,
+) -> List[TaskOutcome]:
     """jobs=1: the historical sequential path, no subprocesses.
 
     Hard timeouts cannot be enforced inline (there is nothing to kill);
@@ -154,7 +166,11 @@ def _run_inline(tasks: Sequence[Task]) -> List[TaskOutcome]:
     exactly as before this module existed.
     """
     outcomes: List[TaskOutcome] = []
+    stopped = False
     for index, task in enumerate(tasks):
+        if stopped:
+            outcomes.append(_cancelled_outcome(index, task))
+            continue
         start = time.monotonic()
         try:
             value = task.fn(*task.args, **task.kwargs)
@@ -170,21 +186,34 @@ def _run_inline(tasks: Sequence[Task]) -> List[TaskOutcome]:
             )
         outcome.seconds = time.monotonic() - start
         outcomes.append(outcome)
+        if stop_when is not None and outcome.ok and stop_when(outcome):
+            stopped = True
     return outcomes
 
 
-def run_tasks(tasks: Sequence[Task], jobs: int = 1) -> List[TaskOutcome]:
+def run_tasks(
+    tasks: Sequence[Task],
+    jobs: int = 1,
+    stop_when: Optional[Callable[[TaskOutcome], bool]] = None,
+) -> List[TaskOutcome]:
     """Run tasks with up to ``jobs`` concurrent spawn workers.
 
     Returns one :class:`TaskOutcome` per task **in submission order**
     regardless of completion order.  ``jobs <= 1`` runs inline.
+
+    ``stop_when`` makes the pool *first-finisher-decides*: as soon as a
+    successful outcome satisfies the predicate, every other running
+    worker is killed and every not-yet-finished task is recorded as a
+    cancelled outcome (``ok=False``, error mentioning cancellation).
+    The deciding outcome itself is always kept.
     """
     tasks = list(tasks)
     if jobs <= 1 or not tasks:
-        return _run_inline(tasks)
+        return _run_inline(tasks, stop_when=stop_when)
 
     ctx = multiprocessing.get_context("spawn")
     outcomes: Dict[int, TaskOutcome] = {}
+    decided = False
     #: (index, task, attempt, not_before) — crashed tasks awaiting retry.
     retries: List[Tuple[int, Task, int, float]] = []
     pending: List[Tuple[int, Task]] = list(enumerate(tasks))
@@ -275,7 +304,7 @@ def run_tasks(tasks: Sequence[Task], jobs: int = 1) -> List[TaskOutcome]:
                 else:
                     entry.process.join()
                     if kind == "ok":
-                        outcomes[entry.index] = TaskOutcome(
+                        outcome = TaskOutcome(
                             index=entry.index,
                             label=entry.task.label,
                             ok=True,
@@ -283,12 +312,33 @@ def run_tasks(tasks: Sequence[Task], jobs: int = 1) -> List[TaskOutcome]:
                             attempts=entry.attempt,
                             seconds=time.monotonic() - entry.started,
                         )
+                        outcomes[entry.index] = outcome
+                        if stop_when is not None and stop_when(outcome):
+                            decided = True
                     else:
                         finish_crash(entry, payload)
                 entry.conn.close()
                 completed.append(entry)
             for entry in completed:
                 running.remove(entry)
+
+            if decided:
+                # First-finisher-decides: cancel everything unfinished.
+                for entry in running:
+                    entry.process.kill()
+                    entry.process.join()
+                    entry.conn.close()
+                    outcomes[entry.index] = _cancelled_outcome(
+                        entry.index, entry.task
+                    )
+                running.clear()
+                for index, task in pending:
+                    outcomes[index] = _cancelled_outcome(index, task)
+                pending.clear()
+                for index, task, _attempt, _when in retries:
+                    outcomes[index] = _cancelled_outcome(index, task)
+                retries.clear()
+                break
 
             # Hard-deadline enforcement: kill overrunning workers.
             now = time.monotonic()

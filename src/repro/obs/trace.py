@@ -45,6 +45,12 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "leaf": ("mode", "feasible", "components", "constraints", "seconds"),
     "profile": ("phases",),
     "solve_end": ("status", "decisions", "conflicts", "solve_time"),
+    # Incremental-session events (PR 4): one query answered by a
+    # persistent session, a batch of learned clauses re-instantiated at
+    # a new time frame, and one probe-cone cache lookup.
+    "session-solve": ("n", "status", "assumptions", "seconds"),
+    "clause-shift": ("delta", "shifted", "installed"),
+    "probe-cache": ("outcome", "candidate", "clauses"),
 }
 
 _COMMON_FIELDS = ("t", "ev", "dl")
@@ -240,6 +246,23 @@ def _narrate_event(event: dict) -> Optional[str]:
             f"{event.get('decisions')} decisions, "
             f"{event.get('conflicts')} conflicts, "
             f"solve time {event.get('solve_time'):.3f}s"
+        )
+    if kind == "session-solve":
+        return (
+            f"{prefix}session solve #{event.get('n')}: "
+            f"{str(event.get('status')).upper()} under "
+            f"{event.get('assumptions')} assumptions "
+            f"in {event.get('seconds'):.3f}s"
+        )
+    if kind == "clause-shift":
+        return (
+            f"{prefix}clause shift (+{event.get('delta')} frame): "
+            f"{event.get('installed')}/{event.get('shifted')} re-instantiated"
+        )
+    if kind == "probe-cache":
+        return (
+            f"{prefix}probe cache {event.get('outcome')}: "
+            f"{event.get('candidate')} ({event.get('clauses')} clauses)"
         )
     if kind == "profile":
         return None  # rendered by the profiler table, not the narrative
