@@ -100,9 +100,13 @@ class Clause:
 
     literals: Tuple[Literal, ...]
     learned: bool = False
-    #: Provenance tag: "predicate-learning", "conflict", "j-conflict", ...
+    #: Provenance tag: "predicate-learning", "conflict", "j-conflict",
+    #: "shared" (imported from a portfolio peer), ...
     origin: str = "problem"
     activity: float = 0.0
+    #: Literal-block distance at learning time (0 = not computed);
+    #: the portfolio export filter caps on it.
+    lbd: int = 0
 
     def __post_init__(self) -> None:
         if not self.literals:
@@ -438,6 +442,7 @@ class ClauseDatabase:
         "fme-conflict",
         "j-conflict",
         "conflict-shifted",
+        "shared",
     )
 
     def _reason_clauses(self) -> Set[int]:

@@ -41,6 +41,12 @@ class SolverConfig:
     restart_interval: int = 256
     #: Geometric growth factor of the restart interval.
     restart_multiplier: float = 1.5
+    #: Restart schedule: ``"geometric"`` grows the interval by
+    #: ``restart_multiplier`` after every restart; ``"luby"`` follows the
+    #: Luby et al. sequence (1,1,2,1,1,2,4,...) scaled by
+    #: ``restart_interval`` — the portfolio layer diversifies workers
+    #: across both.
+    restart_strategy: str = "geometric"
     #: Value tried first on a fresh decision variable.
     default_phase: int = 1
     #: Activity decay applied after each conflict (VSIDS-style).

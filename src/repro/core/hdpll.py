@@ -64,6 +64,30 @@ _FALLBACK = object()
 #: assumptions, with no clause to learn.
 _ASSUMPTION_REFUTED = object()
 
+#: Recognised ``SolverConfig.restart_strategy`` values.
+RESTART_STRATEGIES = ("geometric", "luby")
+
+
+def luby(index: int) -> int:
+    """The ``index``-th term (1-based) of the Luby restart sequence.
+
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ... — the universally
+    optimal schedule of Luby, Sinclair and Zuckerman, used by MiniSat's
+    descendants.  Multiplied by ``restart_interval`` to get a budget.
+    """
+    if index < 1:
+        raise ValueError(f"luby index must be >= 1, got {index}")
+    size = 1
+    sequence = 0
+    while size < index:
+        sequence += 1
+        size = 2 * size + 1
+    while size - 1 != index - 1:
+        size = (size - 1) // 2
+        sequence -= 1
+        index = ((index - 1) % size) + 1
+    return 1 << sequence
+
 
 class HdpllSolver:
     """Satisfiability of a combinational RTL circuit under assumptions."""
@@ -77,6 +101,12 @@ class HdpllSolver:
     ):
         self.circuit = circuit
         self.config = config or SolverConfig()
+        if self.config.restart_strategy not in RESTART_STRATEGIES:
+            raise SolverError(
+                f"unknown restart strategy "
+                f"{self.config.restart_strategy!r}; "
+                f"expected one of {RESTART_STRATEGIES}"
+            )
         #: Persistent (session) mode: the solver answers repeated
         #: ``solve`` calls, asserting assumptions at retractable decision
         #: levels and undoing them afterwards, and its constraint system
@@ -139,6 +169,13 @@ class HdpllSolver:
         #: profiler can split propagation time between learn and search.
         self._learn_bcp = 0.0
         self._learn_icp = 0.0
+        #: Optional clause-sharing channel (the portfolio layer): an
+        #: object with ``export(clause)`` — called with every learned
+        #: clause — and ``poll() -> list[Clause]`` — drained at the top
+        #: of the search loop; returned clauses are installed against
+        #: the *current* trail (re-watched, re-checked) as learned
+        #: clauses.  ``None`` keeps the hot path a single attribute test.
+        self.share = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -446,6 +483,17 @@ class HdpllSolver:
             if self._out_of_budget():
                 return self._finish(Status.UNKNOWN, note=self._budget_note())
 
+            if self.share is not None:
+                conflict = self._absorb_shared()
+                if conflict is not None:
+                    final, resolved = self._resolve_conflicts(
+                        conflict, bump_source=True
+                    )
+                    if final is not None:
+                        return final
+                    conflicts_since_restart += resolved
+                    continue
+
             if (
                 self._assumption_plan
                 and self.store.decision_level < len(self._assumption_plan)
@@ -522,15 +570,21 @@ class HdpllSolver:
             ):
                 self.stats.restarts += 1
                 conflicts_since_restart = 0
-                restart_budget = int(
-                    restart_budget * self.config.restart_multiplier
-                )
+                if self.config.restart_strategy == "luby":
+                    restart_budget = self.config.restart_interval * luby(
+                        self.stats.restarts + 1
+                    )
+                else:
+                    restart_budget = int(
+                        restart_budget * self.config.restart_multiplier
+                    )
                 if tracer is not None:
                     tracer.event(
                         "restart",
                         dl=self.store.decision_level,
                         n=self.stats.restarts,
                         conflicts=self.stats.conflicts,
+                        strategy=self.config.restart_strategy,
                     )
                 self._backtrack(0)
 
@@ -581,6 +635,40 @@ class HdpllSolver:
             )
         return conflict
 
+    def _absorb_shared(self) -> Optional[Conflict]:
+        """Install clauses arriving on the sharing channel.
+
+        Installation happens against the *current* trail:
+        :meth:`ClauseDatabase.add_clause` re-watches the literals and
+        detects unit/false clauses, so an imported clause may propagate
+        immediately or surface a conflict — the caller resolves it like
+        any other.  Sound because every shared clause is globally valid
+        (conflict analysis keeps assumption events as literals).
+        """
+        clauses = self.share.poll()
+        if not clauses:
+            return None
+        for clause in clauses:
+            self.stats.clauses_imported += 1
+            conflict = self.engine.add_clause(clause)
+            if conflict is None:
+                conflict = self._propagate()
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _clause_lbd(self, clause: Clause) -> int:
+        """Literal-block distance: distinct decision levels in the clause
+        (computed before backtracking, while the literals' levels are
+        still on the trail)."""
+        levels = set()
+        level_of = self.store.level_of_var
+        for literal in clause.literals:
+            level = level_of(literal.var)
+            if level:
+                levels.add(level)
+        return len(levels)
+
     def _resolve_conflicts(
         self, conflict: Optional[Conflict], bump_source: bool
     ) -> Tuple[Optional[SolverResult], int]:
@@ -629,6 +717,9 @@ class HdpllSolver:
                     words=analysis.word_literal_count,
                     backtrack=analysis.backtrack_level,
                 )
+            analysis.clause.lbd = self._clause_lbd(analysis.clause)
+            if self.share is not None:
+                self.share.export(analysis.clause)
             self.order.bump_clause(analysis.clause)
             self.order.decay()
             conflict = self._install_learned(

@@ -65,6 +65,21 @@ STAT_SPEC = {
     "probe_cache_misses": ("counter", 0),
     #: Learned clauses dropped by activity-based DB reduction/cap.
     "clauses_evicted": ("counter", 0),
+    #: Decision-heap health: successful selections vs lazily discarded
+    #: stale entries (see :class:`repro.core.decide.ActivityOrder`).
+    "heap_picks": ("counter", 0),
+    "heap_stale_pops": ("counter", 0),
+    #: Portfolio solving (cube-and-conquer, PR 5): cubes emitted by the
+    #: lookahead splitter / solved to a verdict / refuted at generation.
+    "cubes_generated": ("counter", 0),
+    "cubes_solved": ("counter", 0),
+    "cubes_refuted": ("counter", 0),
+    #: Learned clauses shipped to / installed from portfolio peers.
+    "clauses_exported": ("counter", 0),
+    "clauses_imported": ("counter", 0),
+    #: Node counts around the optional ``rtl.optimize`` pre-pass.
+    "optimize_nodes_before": ("counter", 0),
+    "optimize_nodes_after": ("counter", 0),
     #: Wall-clock seconds spent in predicate learning pre-processing.
     "learn_time": ("gauge", 0.0),
     #: Wall-clock seconds spent in search (excludes learn_time).
@@ -76,6 +91,8 @@ STAT_SPEC = {
     "interval_cache_hit_rate": ("gauge", 0.0),
     #: hits / (hits + misses) of the probe cone cache (sessions).
     "probe_cache_hit_rate": ("gauge", 0.0),
+    #: installed / received for shared-clause import (portfolio).
+    "share_import_hit_rate": ("gauge", 0.0),
 }
 
 

@@ -74,6 +74,16 @@ COUNTER_FIELDS = (
     "probe_cache_misses",
     "probe_cache_hit_rate",
     "clauses_evicted",
+    "heap_picks",
+    "heap_stale_pops",
+    "cubes_generated",
+    "cubes_solved",
+    "cubes_refuted",
+    "clauses_exported",
+    "clauses_imported",
+    "share_import_hit_rate",
+    "optimize_nodes_before",
+    "optimize_nodes_after",
 )
 
 #: Workload matrices.  ``smoke`` is the CI gate (seconds-scale); ``full``
@@ -122,6 +132,29 @@ PROFILES: Dict[str, Dict[str, object]] = {
         "speedup_gates": (
             {"fast": "bmc-session", "slow": "bmc-oneshot", "min_ratio": 2.0},
         ),
+    },
+    #: Single-query parallelism: the cube-and-conquer portfolio against
+    #: the sequential paper configuration (and its ``rtl.optimize``
+    #: variant) on deep unrollings where one strategy stalls.  The
+    #: portfolio cells spawn their *own* worker processes, so the bench
+    #: pool runs this profile inline (``single_query_jobs``) and ``-j``
+    #: sets the portfolio width instead of the matrix parallelism; the
+    #: speedup gate is the issue's acceptance bar: >= 1.5x geomean at
+    #: ``-j 4`` with per-instance status parity.
+    "portfolio": {
+        "instances": (
+            ("b01_1", 50),
+            ("b04_1", 150),
+            ("b13_3", 100),
+            ("b13_5", 150),
+            ("b13_8", 100),
+        ),
+        "engines": ("hdpll+sp", "hdpll+sp-opt", "portfolio"),
+        "gated": ("portfolio",),
+        "speedup_gates": (
+            {"fast": "portfolio", "slow": "hdpll+sp", "min_ratio": 1.5},
+        ),
+        "single_query_jobs": True,
     },
 }
 
@@ -187,18 +220,30 @@ def run_profile(
     instances: Sequence[Tuple[str, int]] = spec["instances"]  # type: ignore
     engines: Sequence[str] = spec["engines"]  # type: ignore
     repeat = max(1, repeat)
-    jobs = effective_bench_jobs(jobs)
+    # Single-query-parallel profiles hand ``jobs`` to the engine (the
+    # portfolio spawns its own diversified workers) and run the matrix
+    # inline — nesting the portfolio inside bench pool workers would
+    # fail (daemonic processes cannot spawn) and oversubscribe cores.
+    single_query = bool(spec.get("single_query_jobs", False))
+    engine_jobs = max(1, jobs) if single_query else 1
+    pool_jobs = 1 if single_query else effective_bench_jobs(jobs)
     matrix = [
         (case, bound, engine)
         for case, bound in instances
         for engine in engines
     ]
     specs = [
-        EngineTask(case=case, bound=bound, engine=engine, timeout=timeout)
+        EngineTask(
+            case=case,
+            bound=bound,
+            engine=engine,
+            timeout=timeout,
+            jobs=engine_jobs if engine == "portfolio" else 1,
+        )
         for case, bound, engine in matrix
         for _ in range(repeat)
     ]
-    records = run_engine_tasks(specs, jobs=jobs, worker_dir=worker_dir)
+    records = run_engine_tasks(specs, jobs=pool_jobs, worker_dir=worker_dir)
     cells: List[BenchCell] = []
     for slot, (case, bound, engine) in enumerate(matrix):
         best = select_best(records[slot * repeat:(slot + 1) * repeat])
@@ -233,6 +278,12 @@ def run_profile(
             for engine in engines
         },
         "gated_engines": list(spec["gated"]),  # type: ignore[arg-type]
+        # Parallel pool runs stay byte-identical to sequential ones, so
+        # ordinary profiles never record a width; single-query profiles
+        # do — there ``jobs`` is the portfolio width and part of the
+        # measurement's identity (a -j 2 run is not comparable to the
+        # -j 4 baseline).
+        **({"jobs": engine_jobs} if single_query else {}),
         "speedup_gates": [
             dict(gate) for gate in spec.get("speedup_gates", ())  # type: ignore[attr-defined]
         ],

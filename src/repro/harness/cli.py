@@ -85,6 +85,18 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--engine", choices=ENGINE_NAMES, default="hdpll+sp"
     )
+    solve.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="cube-and-conquer portfolio solve (-j sets the width; "
+        "overrides --engine)",
+    )
+    solve.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the rtl.optimize pre-pass before compiling "
+        "(default off)",
+    )
     _add_common(solve)
 
     trace = sub.add_parser(
@@ -167,13 +179,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="induction",
     )
     prove.add_argument("--max-k", type=int, default=8)
+    prove.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="answer every base/step query with the cube-and-conquer "
+        "portfolio (-j sets the width; induction method only)",
+    )
     _add_common(prove)
 
     bench = sub.add_parser(
         "bench", help="run the perf benchmark matrix and emit BENCH_1.json"
     )
     bench.add_argument(
-        "--profile", choices=("smoke", "full", "bmc"), default="smoke"
+        "--profile",
+        choices=("smoke", "full", "bmc", "portfolio"),
+        default="smoke",
     )
     bench.add_argument(
         "--output", default="BENCH_1.json", help="report output path"
@@ -317,6 +337,14 @@ def _profile_command(args) -> int:
             f"{record.probe_cache_misses} misses ({rate:.0%}), "
             f"{record.clauses_evicted} clauses evicted"
         )
+    heap_total = record.heap_picks + record.heap_stale_pops
+    if heap_total:
+        stale = record.heap_stale_pops / heap_total
+        print()
+        print(
+            f"decision heap: {record.heap_picks} picks, "
+            f"{record.heap_stale_pops} stale pops ({stale:.0%} stale)"
+        )
     if not args.engine.startswith("hdpll"):
         # The drift check compares one solve's phase sum to one solve's
         # reported time; a session sweep interleaves many solves with
@@ -342,12 +370,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "solve":
         inst = instance(args.case, args.bound)
-        record = run_engine(inst, args.engine, args.timeout)
+        engine = "portfolio" if args.portfolio else args.engine
+        record = run_engine(
+            inst,
+            engine,
+            args.timeout,
+            jobs=args.jobs,
+            optimize=args.optimize,
+        )
         print(
-            f"{inst.name} [{args.engine}]: {record.status} in "
+            f"{inst.name} [{engine}]: {record.status} in "
             f"{record.seconds:.2f}s (decisions={record.decisions}, "
             f"conflicts={record.conflicts})"
         )
+        if engine == "portfolio":
+            print(
+                f"cubes: {record.cubes_generated} generated, "
+                f"{record.cubes_solved} solved, "
+                f"{record.cubes_refuted} refuted; clauses shared: "
+                f"{record.clauses_exported} exported, "
+                f"{record.clauses_imported} imported "
+                f"(hit rate {record.share_import_hit_rate:.0%})"
+            )
+        if args.optimize:
+            print(
+                f"optimize: {record.optimize_nodes_before} -> "
+                f"{record.optimize_nodes_after} nodes"
+            )
         if record.note:
             print(f"note: {record.note}")
         return 0
@@ -386,17 +435,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         prop = properties[property_name]
         sequential = get_circuit(circuit_name)
         if args.method == "induction":
-            from repro.bmc import prove_by_induction
+            if args.portfolio:
+                from repro.portfolio import prove_by_induction_portfolio
 
-            outcome = prove_by_induction(
-                sequential,
-                prop,
-                max_k=args.max_k,
-                config=HDPLL_SP,
-                timeout=args.timeout,
-                jobs=args.jobs,
-                case=args.case,
-            )
+                outcome = prove_by_induction_portfolio(
+                    args.case,
+                    max_k=args.max_k,
+                    jobs=max(1, args.jobs),
+                    timeout=args.timeout,
+                    base_config=HDPLL_SP,
+                )
+            else:
+                from repro.bmc import prove_by_induction
+
+                outcome = prove_by_induction(
+                    sequential,
+                    prop,
+                    max_k=args.max_k,
+                    config=HDPLL_SP,
+                    timeout=args.timeout,
+                    jobs=args.jobs,
+                    case=args.case,
+                )
             print(f"{args.case}: {outcome.status.value} (k = {outcome.k})")
             if outcome.note:
                 print(f"note: {outcome.note}")

@@ -397,6 +397,10 @@ class EngineTask:
     #: Per-task log file for the worker's ``repro`` logger.
     log_path: Optional[str] = None
     log_level: str = "info"
+    #: Portfolio width forwarded to ``run_engine`` (``portfolio`` engine
+    #: only; the bench pool runs such cells inline with ``jobs=1`` so
+    #: the portfolio owns the process budget).
+    jobs: int = 1
 
 
 def _engine_worker(task: EngineTask) -> RunRecord:
@@ -430,6 +434,7 @@ def _engine_worker(task: EngineTask) -> RunRecord:
             task.timeout,
             learning_threshold=task.learning_threshold,
             observation=observation,
+            jobs=task.jobs,
         )
     finally:
         if tracer is not None:

@@ -13,7 +13,13 @@ hdpll+sp  HDPLL + both (Table 2, "+S+P")
 uclid     lazy-SMT comparator substitute (Table 2, UCLID)
 ics       eager-CDP comparator substitute (Table 2, ICS)
 bitblast  CNF translation + CDCL (the introduction's baseline)
+portfolio cube-and-conquer portfolio with clause sharing (PR 5)
 ========  ====================================================
+
+Any HDPLL engine name may carry an ``-opt`` suffix (``hdpll+sp-opt``):
+the instance's circuit is rewritten by :func:`repro.rtl.optimize`
+before compiling, and the node counts around the pass land in
+``optimize_nodes_before`` / ``optimize_nodes_after``.
 
 Counter fields on :class:`RunRecord` are filled from the solver's
 :meth:`~repro.core.SolverStats.as_dict` snapshot — any stats metric
@@ -59,6 +65,8 @@ ENGINE_NAMES = (
     #: one persistent session vs a fresh solver per bound.
     "bmc-session",
     "bmc-oneshot",
+    #: Single-query cube-and-conquer portfolio (``jobs`` sets its width).
+    "portfolio",
 )
 
 
@@ -89,6 +97,19 @@ class RunRecord:
     probe_cache_misses: int = 0
     probe_cache_hit_rate: float = 0.0
     clauses_evicted: int = 0
+    #: Decision-heap health (all HDPLL engines).
+    heap_picks: int = 0
+    heap_stale_pops: int = 0
+    #: Portfolio counters (portfolio engine; zero elsewhere).
+    cubes_generated: int = 0
+    cubes_solved: int = 0
+    cubes_refuted: int = 0
+    clauses_exported: int = 0
+    clauses_imported: int = 0
+    share_import_hit_rate: float = 0.0
+    #: Node counts around the optional ``rtl.optimize`` pre-pass.
+    optimize_nodes_before: int = 0
+    optimize_nodes_after: int = 0
     arith_ops: int = 0
     bool_ops: int = 0
     note: str = ""
@@ -156,11 +177,15 @@ def run_engine(
     timeout: Optional[float] = None,
     learning_threshold: Optional[int] = None,
     observation: Optional[Observation] = None,
+    jobs: int = 1,
+    optimize: bool = False,
 ) -> RunRecord:
     """Run one engine on a BMC instance, catching aborts.
 
     ``observation`` (tracing / profiling) applies to the HDPLL engines
-    only; baseline engines ignore it.
+    only; baseline engines ignore it.  ``jobs`` is the portfolio width
+    (``portfolio`` engine only); ``optimize`` (or an ``-opt`` engine
+    suffix) runs the ``rtl.optimize`` pre-pass.
     """
     stats = instance.circuit.stats()
     record = RunRecord(
@@ -172,18 +197,55 @@ def run_engine(
         arith_ops=stats.arith_ops,
         bool_ops=stats.bool_ops,
     )
+    base_engine = engine[:-4] if engine.endswith("-opt") else engine
+    optimize = optimize or engine.endswith("-opt")
     logger.debug("run begin: %s engine=%s", instance.name, engine)
     start = time.perf_counter()
     try:
-        if engine.startswith("hdpll"):
-            result = solve_circuit(
+        if base_engine == "portfolio":
+            from repro.itc99 import available_cases
+            from repro.portfolio import ProblemSpec, solve_portfolio
+
+            spec = (
+                ProblemSpec("instance", record.case, instance.bound)
+                if record.case in available_cases()
+                else None
+            )
+            result = solve_portfolio(
                 instance.circuit,
                 instance.assumptions,
-                _hdpll_config(engine, timeout, learning_threshold),
+                spec=spec,
+                jobs=jobs,
+                timeout=timeout,
+                base_config=SolverConfig(
+                    learning_threshold=learning_threshold
+                ),
+                optimize=optimize,
                 observation=observation,
             )
             record.status = _status_letter(result)
             apply_stats(record, result.stats)
+            record.note = result.note
+        elif base_engine.startswith("hdpll"):
+            circuit = instance.circuit
+            if optimize:
+                from repro.rtl.optimize import optimize as optimize_circuit
+
+                record.optimize_nodes_before = len(circuit.nodes)
+                circuit = optimize_circuit(circuit)
+                record.optimize_nodes_after = len(circuit.nodes)
+            result = solve_circuit(
+                circuit,
+                instance.assumptions,
+                _hdpll_config(base_engine, timeout, learning_threshold),
+                observation=observation,
+            )
+            record.status = _status_letter(result)
+            optimize_before = record.optimize_nodes_before
+            optimize_after = record.optimize_nodes_after
+            apply_stats(record, result.stats)
+            record.optimize_nodes_before = optimize_before
+            record.optimize_nodes_after = optimize_after
             record.note = result.note
         elif engine == "uclid":
             result = solve_lazy_smt(

@@ -40,7 +40,7 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "decision": ("var", "value", "kind"),
     "propagate": ("props", "events", "conflict"),
     "conflict": ("n", "size", "backtrack"),
-    "restart": ("n", "conflicts"),
+    "restart": ("n", "conflicts", "strategy"),
     "jfrontier": ("action", "node", "level"),
     "leaf": ("mode", "feasible", "components", "constraints", "seconds"),
     "profile": ("phases",),
@@ -51,6 +51,11 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "session-solve": ("n", "status", "assumptions", "seconds"),
     "clause-shift": ("delta", "shifted", "installed"),
     "probe-cache": ("outcome", "candidate", "clauses"),
+    # Portfolio events (PR 5): one cube emitted (or refuted) by the
+    # lookahead splitter, and one batch of learned clauses crossing the
+    # sharing channel in either direction.
+    "cube": ("n", "size", "outcome"),
+    "share": ("action", "clauses"),
 }
 
 _COMMON_FIELDS = ("t", "ev", "dl")
@@ -225,6 +230,7 @@ def _narrate_event(event: dict) -> Optional[str]:
     if kind == "restart":
         return (
             f"{prefix}restart #{event.get('n')} "
+            f"[{event.get('strategy', 'geometric')}] "
             f"(after {event.get('conflicts')} total conflicts)"
         )
     if kind == "jfrontier":
@@ -263,6 +269,16 @@ def _narrate_event(event: dict) -> Optional[str]:
         return (
             f"{prefix}probe cache {event.get('outcome')}: "
             f"{event.get('candidate')} ({event.get('clauses')} clauses)"
+        )
+    if kind == "cube":
+        return (
+            f"{prefix}cube #{event.get('n')}: {event.get('outcome')} "
+            f"({event.get('size')} assumption(s))"
+        )
+    if kind == "share":
+        return (
+            f"{prefix}share {event.get('action')}: "
+            f"{event.get('clauses')} clause(s)"
         )
     if kind == "profile":
         return None  # rendered by the profiler table, not the narrative

@@ -1,0 +1,201 @@
+"""Bounded lookahead cube generation (the "cube" in cube-and-conquer).
+
+A *cube* is a conjunction of variable-range assumptions that carves out
+one branch of a shallow decision tree over the problem; the set of kept
+cubes is pairwise disjoint and — together with the branches refuted
+during generation — covers every assignment consistent with the
+problem's constraints, so
+
+* SAT under any cube  ⇒  the problem is SAT, and
+* UNSAT under *all* kept cubes  ⇒  the problem is UNSAT
+  (refuted branches were killed by sound propagation at generation).
+
+The splitter drives a throwaway solver's propagation machinery
+directly: it saturates level 0, asserts the query's base assumptions,
+then does a depth-``depth`` DFS.  At each node it branches on the
+highest-activity unassigned Boolean variable (the fanout-seeded VSIDS
+ranking — the same signal the J-frontier strategy keys on), falling
+back to a midpoint interval split of the widest-domain word *input*
+when every Boolean candidate is already implied.  Each branch is
+propagated; refuted branches are recorded and pruned, everything else
+recurses.  Cubes travel as ``(name, lo, hi)`` tuples so they pickle
+trivially across worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.constraints.store import DECISION, Conflict
+from repro.core.config import SolverConfig
+from repro.core.hdpll import AssumptionValue, HdpllSolver
+from repro.core.result import Status
+from repro.intervals import Interval
+from repro.obs.trace import TraceEmitter
+from repro.rtl.circuit import Circuit
+from repro.rtl.levelize import transitive_fanout_count
+
+#: Splitting uses the cheapest solver configuration: propagation only,
+#: no learning, no structural machinery.
+_SPLIT_CONFIG = SolverConfig()
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A conjunction of range assumptions, as picklable plain data."""
+
+    assumptions: Tuple[Tuple[str, int, int], ...] = ()
+
+    @property
+    def size(self) -> int:
+        return len(self.assumptions)
+
+    def names(self) -> frozenset:
+        return frozenset(name for name, _, _ in self.assumptions)
+
+    def as_assumptions(self) -> Dict[str, Interval]:
+        return {
+            name: Interval.make(lo, hi)
+            for name, lo, hi in self.assumptions
+        }
+
+    def admits(self, values: Mapping[str, int]) -> bool:
+        """True when ``values`` (name -> concrete value) satisfies every
+        range of the cube — the membership test the exhaustiveness
+        tests sample."""
+        return all(
+            lo <= values[name] <= hi
+            for name, lo, hi in self.assumptions
+        )
+
+
+@dataclass
+class CubeReport:
+    """Everything the splitter produced for one query."""
+
+    #: Kept cubes: pairwise disjoint, jointly covering (with
+    #: :attr:`refuted`) the consistent assignment space.
+    cubes: List[Cube] = field(default_factory=list)
+    #: Branches refuted by propagation during generation.
+    refuted: List[Cube] = field(default_factory=list)
+    #: Variable names branched on, in first-use order.
+    split_names: List[str] = field(default_factory=list)
+    #: ``Status.UNSAT`` when generation itself settled the query (base
+    #: assumptions refuted, or every branch refuted); ``None`` otherwise.
+    status: Optional[Status] = None
+    note: str = ""
+
+
+def generate_cubes(
+    circuit: Circuit,
+    assumptions: Mapping[str, AssumptionValue],
+    depth: int,
+    max_cubes: Optional[int] = None,
+    tracer: Optional[TraceEmitter] = None,
+) -> CubeReport:
+    """Split ``circuit`` under ``assumptions`` into at most ``2**depth``
+    cubes (``max_cubes`` caps the kept count; branches past the cap are
+    emitted unsplit, so coverage is preserved)."""
+    report = CubeReport()
+    solver = HdpllSolver(circuit, _SPLIT_CONFIG)
+    store, engine = solver.store, solver.engine
+
+    def settle_unsat(note: str) -> CubeReport:
+        report.status = Status.UNSAT
+        report.note = note
+        return report
+
+    engine.enqueue_all()
+    if engine.propagate() is not None:
+        return settle_unsat("level-0 refutation during cube generation")
+    for name, value in assumptions.items():
+        var = solver.system.var_by_name(name)
+        interval = (
+            value if isinstance(value, Interval) else Interval.point(value)
+        )
+        outcome = store.assume(var, interval)
+        if isinstance(outcome, Conflict):
+            return settle_unsat(
+                f"assumption {name!r} refuted during cube generation"
+            )
+    engine.enqueue_all()
+    if engine.propagate() is not None:
+        return settle_unsat("assumptions refuted during cube generation")
+
+    order = solver.order
+    ranked_bool = sorted(
+        order.candidates,
+        key=lambda var: (-order.activity[var.index], var.index),
+    )
+    word_inputs = [
+        solver.system.var(net)
+        for net in sorted(
+            (net for net in circuit.inputs if net.width > 1),
+            key=lambda net: -transitive_fanout_count(net),
+        )
+    ]
+
+    def next_split() -> Tuple[Optional[object], Tuple[Tuple[int, int], ...]]:
+        for var in ranked_bool:
+            if not store.is_assigned(var):
+                phase = order.phase.get(var.index, 1)
+                return var, ((phase, phase), (1 - phase, 1 - phase))
+        for var in word_inputs:
+            domain = store.domain(var)
+            if domain.lo < domain.hi:
+                mid = (domain.lo + domain.hi) // 2
+                return var, ((domain.lo, mid), (mid + 1, domain.hi))
+        return None, ()
+
+    prefix: List[Tuple[str, int, int]] = []
+    emitted = 0
+
+    def emit(bucket: List[Cube], outcome: str) -> None:
+        nonlocal emitted
+        emitted += 1
+        cube = Cube(tuple(prefix))
+        bucket.append(cube)
+        if tracer is not None:
+            tracer.event(
+                "cube",
+                dl=store.decision_level,
+                n=emitted,
+                size=cube.size,
+                outcome=outcome,
+            )
+
+    def descend(remaining: int) -> None:
+        if remaining == 0 or (
+            max_cubes is not None and len(report.cubes) >= max_cubes
+        ):
+            emit(report.cubes, "kept")
+            return
+        var, branches = next_split()
+        if var is None:  # everything implied — nothing left to split
+            emit(report.cubes, "kept")
+            return
+        if var.name not in report.split_names:
+            report.split_names.append(var.name)
+        for lo, hi in branches:
+            level_before = store.decision_level
+            store.push_level()
+            outcome = store.narrow_bounds(var, lo, hi, DECISION)
+            conflict = (
+                outcome
+                if isinstance(outcome, Conflict)
+                else engine.propagate()
+            )
+            prefix.append((var.name, lo, hi))
+            if conflict is not None:
+                emit(report.refuted, "refuted")
+            else:
+                descend(remaining - 1)
+            prefix.pop()
+            store.backtrack_to(level_before)
+            engine.notify_backtrack()
+
+    descend(max(0, depth))
+    if not report.cubes:
+        return settle_unsat("every cube refuted during generation")
+    return report

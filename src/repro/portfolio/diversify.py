@@ -1,0 +1,88 @@
+"""Worker diversification for the solving portfolio.
+
+On a single-query parallel solve every worker attacks (a share of) the
+same problem, so the portfolio wins by making the workers *different*,
+not by making them many: different decision strategies, restart
+schedules, phases and activity decays explore disjoint parts of the
+search tree, and the first worker whose strategy happens to fit the
+instance decides the race (SAT anywhere wins; UNSAT accumulates per
+cube).
+
+The rotation below is ordered deliberately: index 0 — which the pool
+hands the *root cube* (the whole, unsplit problem) — is the cheapest
+configuration (plain activity decisions, no predicate learning), so a
+quickly-solvable instance is never taxed by the heavier strategies'
+setup cost.  Predicate learning only enters the rotation from index 4
+on, where its pre-processing cost is paid by workers that would
+otherwise duplicate cheaper strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.config import SolverConfig
+
+#: Per-worker config overrides, applied cyclically by worker index.
+#: Every entry pins the three diversification axes the issue names:
+#: decision strategy (structural vs. activity), predicate learning
+#: on/off, and the restart schedule (geometric vs. Luby) — plus phase
+#: and decay variation so same-strategy workers still diverge.
+_ROTATION: Tuple[dict, ...] = (
+    # 0 — the root-cube racer: cheapest possible strategy.
+    dict(
+        structural_decisions=False,
+        predicate_learning=False,
+        restart_strategy="geometric",
+    ),
+    # 1 — structural decisions, Luby restarts, zero-first phase.
+    dict(
+        structural_decisions=True,
+        predicate_learning=False,
+        restart_strategy="luby",
+        default_phase=0,
+    ),
+    # 2 — structural decisions, aggressive short geometric restarts.
+    dict(
+        structural_decisions=True,
+        predicate_learning=False,
+        restart_strategy="geometric",
+        restart_interval=128,
+        activity_decay=0.90,
+    ),
+    # 3 — activity decisions, Luby restarts, slow decay, zero phase.
+    dict(
+        structural_decisions=False,
+        predicate_learning=False,
+        restart_strategy="luby",
+        default_phase=0,
+        activity_decay=0.99,
+    ),
+    # 4 — the paper's full HDPLL+S+P strategy.
+    dict(
+        structural_decisions=True,
+        predicate_learning=True,
+        restart_strategy="geometric",
+    ),
+    # 5 — predicate learning without structural decisions, Luby.
+    dict(
+        structural_decisions=False,
+        predicate_learning=True,
+        restart_strategy="luby",
+    ),
+)
+
+
+def worker_config(base: SolverConfig, index: int) -> SolverConfig:
+    """The diversified configuration for worker ``index``.
+
+    ``base`` supplies everything the rotation does not override
+    (timeouts, clause-DB limits, verification, ...), so harness-level
+    settings still reach every worker.
+    """
+    return base.with_overrides(**_ROTATION[index % len(_ROTATION)])
+
+
+def rotation_size() -> int:
+    """Number of distinct configurations before the rotation repeats."""
+    return len(_ROTATION)

@@ -1,0 +1,259 @@
+"""Portfolio worker process: one diversified session, many cubes.
+
+Workers never receive a circuit over the pipe — unrolled circuits are
+deeply recursive object graphs that pickle badly — they receive a tiny
+:class:`ProblemSpec` and rebuild the problem from the ITC99 registry
+(exactly like the crash-isolated bench pool in
+:mod:`repro.harness.parallel`).  Each worker owns one persistent
+:class:`~repro.core.session.SolverSession` configured by the
+diversification rotation, solves cube after cube against it (cube
+assumptions ride on the session's retractable assumption levels, so
+learned clauses survive from cube to cube), and exchanges learned
+clauses with its peers through the master over its duplex pipe.
+
+Wire protocol (all tuples, first element is the kind):
+
+master -> worker   ("cube", index, assumptions, timeout)
+                   ("clauses", payload_batch)
+                   ("stop",)
+worker -> master   ("ready", worker_index)
+                   ("clauses", worker_index, payload_batch)
+                   ("result", worker_index, cube_index, status,
+                    model, stats, share_totals)
+                   ("fatal", worker_index, message)
+
+``stop`` is honoured *mid-solve*: the share hook the solver polls every
+few search iterations also drains the pipe, and raises
+:class:`WorkerStopped` when a stop arrives — unwinding cleanly through
+the solver (whose persistent mode backtracks in a ``finally``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import SolverConfig
+from repro.core.session import SolverSession
+from repro.intervals import Interval, reset_interval_cache
+from repro.portfolio.diversify import worker_config
+from repro.portfolio.share import (
+    ClauseExporter,
+    ClauseImporter,
+    DEFAULT_MAX_LBD,
+    DEFAULT_MAX_SIZE,
+)
+from repro.rtl.circuit import Circuit
+
+#: How often (in share-hook polls, i.e. search-loop iterations) a
+#: worker checks its pipe for stop/clauses messages.  Power of two; the
+#: check is a cheap ``Connection.poll(0)`` but not free.
+POLL_STRIDE = 16
+
+
+class WorkerStopped(BaseException):
+    """Raised inside the search loop when the master cancels a worker.
+
+    Deliberately a ``BaseException``: broad ``except Exception`` result
+    handling (e.g. the harness runner's abort guard) must not swallow a
+    cancellation.
+    """
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """Picklable recipe for rebuilding a problem in a worker.
+
+    ``kind`` selects the construction:
+
+    * ``"instance"`` — the registry BMC instance ``case`` at ``bound``,
+    * ``"base"``     — the k-induction base case at depth ``bound``,
+    * ``"step"``     — the k-induction inductive step at depth ``bound``.
+    """
+
+    kind: str
+    case: str
+    bound: int
+
+
+def build_problem(spec: ProblemSpec) -> Tuple[Circuit, Dict[str, int]]:
+    """(circuit, base assumptions) for a problem spec."""
+    if spec.kind == "instance":
+        from repro.itc99 import instance
+
+        built = instance(spec.case, spec.bound)
+        return built.circuit, dict(built.assumptions)
+
+    from repro.bmc.property import make_bmc_instance
+    from repro.bmc.unroll import frame_name, unroll_free_initial
+    from repro.itc99 import CIRCUITS, circuit as get_circuit
+
+    circuit_name, _, property_name = spec.case.partition("_")
+    sequential = get_circuit(circuit_name)
+    prop = CIRCUITS[circuit_name][1][property_name]
+    if spec.kind == "base":
+        built = make_bmc_instance(sequential, prop, spec.bound)
+        return built.circuit, dict(built.assumptions)
+    if spec.kind == "step":
+        k = spec.bound
+        step_circuit = unroll_free_initial(sequential, k + 1)
+        assumptions: Dict[str, int] = {
+            frame_name(prop.ok_signal, frame): 1 for frame in range(k)
+        }
+        assumptions[frame_name(prop.ok_signal, k)] = 0
+        return step_circuit, assumptions
+    raise ValueError(f"unknown problem kind {spec.kind!r}")
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one worker process needs, shipped at spawn."""
+
+    problem: ProblemSpec
+    worker_index: int
+    base_config: SolverConfig
+    #: Run ``rtl.optimize`` on the rebuilt circuit before compiling.
+    optimize: bool = False
+    share_max_size: int = DEFAULT_MAX_SIZE
+    share_max_lbd: int = DEFAULT_MAX_LBD
+    #: Test hook: hard-exit (simulating a crash) when assigned any of
+    #: these cube indices — exercises the master's requeue path.
+    crash_cubes: Tuple[int, ...] = ()
+
+
+class _WorkerChannel:
+    """The share hook a worker plugs into its solver.
+
+    ``poll`` (called once per search-loop iteration) drains the pipe
+    every :data:`POLL_STRIDE` calls — delivering peer clauses mid-solve
+    and honouring mid-solve cancellation — then hands any pending
+    imported clauses to the solver.
+    """
+
+    def __init__(self, conn, exporter: ClauseExporter,
+                 importer: ClauseImporter):
+        self._conn = conn
+        self.exporter = exporter
+        self.importer = importer
+        self._pending = []
+        self._tick = 0
+
+    def export(self, clause) -> None:
+        self.exporter.export(clause)
+
+    def enqueue(self, payloads) -> None:
+        self._pending.extend(self.importer.accept(payloads))
+
+    def drain_pipe(self) -> None:
+        while self._conn.poll():
+            message = self._conn.recv()
+            if message[0] == "stop":
+                raise WorkerStopped()
+            if message[0] == "clauses":
+                self.enqueue(message[1])
+            # "cube" cannot arrive mid-solve: the master assigns one
+            # cube at a time and waits for its result.
+
+    def poll(self):
+        self._tick += 1
+        if self._tick % POLL_STRIDE == 0:
+            self.drain_pipe()
+        if not self._pending:
+            return ()
+        pending = self._pending
+        self._pending = []
+        return pending
+
+
+def _stats_payload(stats) -> Dict[str, object]:
+    """Plain-dict snapshot of a query's stats (pipe-friendly)."""
+    return stats.as_dict(include_histograms=False)
+
+
+def _worker_body(conn, spec: WorkerSpec) -> None:
+    reset_interval_cache()  # per-process interning state
+    circuit, base_assumptions = build_problem(spec.problem)
+    if spec.optimize:
+        from repro.rtl.optimize import optimize
+
+        circuit = optimize(circuit)
+    config = worker_config(spec.base_config, spec.worker_index)
+    session = SolverSession(circuit, config)
+    if config.predicate_learning and not session.root_conflict:
+        session.learn(None)
+
+    exporter = ClauseExporter(
+        sink=lambda batch: conn.send(
+            ("clauses", spec.worker_index, batch)
+        ),
+        max_size=spec.share_max_size,
+        max_lbd=spec.share_max_lbd,
+    )
+    importer = ClauseImporter(session._var_by_name)
+    channel = _WorkerChannel(conn, exporter, importer)
+    session.solver.share = channel
+
+    conn.send(("ready", spec.worker_index))
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "clauses":
+            channel.enqueue(message[1])
+            continue
+        if kind != "cube":  # pragma: no cover - protocol guard
+            raise ValueError(f"unexpected message {kind!r}")
+        _, cube_index, cube_assumptions, timeout = message
+        if cube_index in spec.crash_cubes:
+            os._exit(23)  # test hook: simulated hard crash
+        merged: Dict[str, object] = dict(base_assumptions)
+        for name, lo, hi in cube_assumptions:
+            merged[name] = Interval.make(lo, hi)
+        exporter.cube_names = frozenset(
+            name for name, _, _ in cube_assumptions
+        )
+        result = session.solve(merged, timeout=timeout)
+        exporter.cube_names = frozenset()
+        exporter.flush()
+        conn.send(
+            (
+                "result",
+                spec.worker_index,
+                cube_index,
+                result.status.value,
+                result.model if result.is_sat else None,
+                _stats_payload(result.stats),
+                {
+                    "exported": exporter.exported,
+                    "suppressed": exporter.suppressed,
+                    "received": importer.received,
+                    "installed": importer.installed,
+                },
+            )
+        )
+
+
+def portfolio_worker(conn, spec: WorkerSpec) -> None:
+    """Process entry point: run the worker body, report fatal errors."""
+    try:
+        _worker_body(conn, spec)
+    except (WorkerStopped, EOFError, KeyboardInterrupt):
+        pass  # master went away or cancelled us: silent exit
+    except BaseException as error:  # noqa: BLE001 - crash reporting
+        try:
+            conn.send(
+                (
+                    "fatal",
+                    spec.worker_index,
+                    f"{type(error).__name__}: {error}",
+                )
+            )
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass

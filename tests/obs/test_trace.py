@@ -144,7 +144,8 @@ class TestValidation:
 
     def test_completeness_checks(self):
         events = [
-            {"t": 0.0, "ev": "restart", "dl": 0, "n": 1, "conflicts": 1}
+            {"t": 0.0, "ev": "restart", "dl": 0, "n": 1, "conflicts": 1,
+             "strategy": "geometric"}
         ]
         errors = validate_trace(events, complete=True)
         assert any("start with solve_begin" in error for error in errors)

@@ -1,0 +1,151 @@
+"""Cube-splitter soundness: the kept cubes (plus the branches refuted
+during generation) must partition the consistent assignment space.
+
+The oracle is sampling: simulate random input vectors through the
+unrolled circuit — every such valuation is circuit-consistent by
+construction — and check that each one satisfying the base assumptions
+is admitted by *exactly one* emitted cube, and that this cube is a kept
+one (a refuted branch admitting a real model would mean the splitter
+pruned a satisfiable region, the one unsound thing it could do).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bmc import make_bmc_instance
+from repro.core import Status
+from repro.intervals import Interval
+from repro.itc99.generator import (
+    random_safety_property,
+    random_sequential_circuit,
+)
+from repro.portfolio import Cube, generate_cubes
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.simulate import simulate_combinational
+
+_SHAPE = dict(width=3, num_registers=2, operations=8)
+_SEEDS = range(6)
+_SAMPLES = 50
+
+
+def _sample(circuit, rng):
+    """One circuit-consistent full valuation (every net name -> value)."""
+    inputs = {
+        net.name: rng.randrange(1 << net.width) for net in circuit.inputs
+    }
+    return simulate_combinational(circuit, inputs)
+
+
+def _satisfies(assumptions, values) -> bool:
+    for name, value in assumptions.items():
+        interval = (
+            value if isinstance(value, Interval) else Interval.point(value)
+        )
+        if not interval.lo <= values[name] <= interval.hi:
+            return False
+    return True
+
+
+def _partition_check(circuit, assumptions, report, rng, samples=_SAMPLES):
+    """Count samples proving exactly-one-cube membership."""
+    cubes = list(report.cubes) + list(report.refuted)
+    checked = 0
+    for _ in range(samples):
+        values = _sample(circuit, rng)
+        if not _satisfies(assumptions, values):
+            continue
+        admitting = [cube for cube in cubes if cube.admits(values)]
+        assert len(admitting) == 1, (
+            f"sample admitted by {len(admitting)} cubes: {admitting}"
+        )
+        assert admitting[0] in report.cubes, (
+            f"consistent sample lands in refuted branch {admitting[0]}"
+        )
+        checked += 1
+    return checked
+
+
+def test_cubes_partition_unconstrained_space():
+    """With no base assumptions every sample must land in one cube."""
+    rng = random.Random(2026)
+    prop = random_safety_property()
+    for seed in _SEEDS:
+        sequential = random_sequential_circuit(seed, **_SHAPE)
+        instance = make_bmc_instance(sequential, prop, 2)
+        report = generate_cubes(instance.circuit, {}, depth=3)
+        assert report.status is None
+        assert report.cubes
+        checked = _partition_check(instance.circuit, {}, report, rng)
+        assert checked == _SAMPLES
+
+
+def test_cubes_partition_under_assumptions():
+    """Samples satisfying the BMC assumptions land in exactly one kept
+    cube; samples violating them are out of scope (and skipped)."""
+    rng = random.Random(99)
+    prop = random_safety_property()
+    total = 0
+    for seed in _SEEDS:
+        sequential = random_sequential_circuit(seed, **_SHAPE)
+        instance = make_bmc_instance(sequential, prop, 2)
+        report = generate_cubes(
+            instance.circuit, instance.assumptions, depth=3
+        )
+        if report.status is not None:
+            # Generation settled the query; per the contract that is
+            # only ever UNSAT, never a silent SAT claim.
+            assert report.status is Status.UNSAT
+            continue
+        total += _partition_check(
+            instance.circuit, instance.assumptions, report, rng, samples=80
+        )
+    # At least some seed/sample pairs must actually exercise the check.
+    assert total > 0
+
+
+def test_depth_zero_is_single_empty_cube():
+    sequential = random_sequential_circuit(3, **_SHAPE)
+    instance = make_bmc_instance(sequential, random_safety_property(), 2)
+    report = generate_cubes(instance.circuit, {}, depth=0)
+    assert report.cubes == [Cube(())]
+    assert not report.refuted
+    assert Cube(()).admits({}) and Cube(()).size == 0
+
+
+def test_cube_counts_respect_depth():
+    sequential = random_sequential_circuit(4, **_SHAPE)
+    instance = make_bmc_instance(sequential, random_safety_property(), 2)
+    depth = 3
+    report = generate_cubes(instance.circuit, {}, depth=depth)
+    assert 1 <= len(report.cubes) <= 2**depth
+    assert all(cube.size <= depth for cube in report.cubes)
+    assert all(cube.size <= depth for cube in report.refuted)
+    # Split variables are reported in first-use order, no duplicates.
+    assert len(report.split_names) == len(set(report.split_names))
+
+
+def test_generation_detects_refuted_assumptions():
+    """x AND NOT x assumed true is killed by propagation before any
+    cube exists, settling the query UNSAT at generation time."""
+    b = CircuitBuilder("contradiction")
+    x = b.input("x")
+    never = b.and_(x, b.not_(x), name="never")
+    b.output("never_out", never)
+    circuit = b.build()
+    report = generate_cubes(circuit, {"never": 1}, depth=2)
+    assert report.status is Status.UNSAT
+    assert not report.cubes
+    assert "refuted" in report.note
+
+
+def test_cube_round_trips_as_assumptions():
+    cube = Cube((("a", 1, 1), ("w", 0, 7)))
+    assumptions = cube.as_assumptions()
+    assert assumptions == {
+        "a": Interval.point(1),
+        "w": Interval.make(0, 7),
+    }
+    assert cube.names() == frozenset({"a", "w"})
+    assert cube.admits({"a": 1, "w": 3, "other": 9})
+    assert not cube.admits({"a": 0, "w": 3})

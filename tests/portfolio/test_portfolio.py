@@ -1,0 +1,280 @@
+"""Portfolio end-to-end tests.
+
+The load-bearing check is the randomized differential sweep: the
+deterministic in-process portfolio must report exactly the same
+statuses as a fresh sequential ``solve_circuit`` per instance, and
+every SAT model must replay on the sequential simulator with the
+monitor low at the violating frame — cube splitting, diversification
+and clause sharing are all behaviourally invisible or they are bugs.
+
+The multi-process pool is exercised separately through its crash
+semantics (requeue once, then fail loudly), which also covers worker
+spawn, the pipe protocol, and result assembly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+import pytest
+
+from repro.bmc import input_trace_from_model, make_bmc_instance
+from repro.core import SolverConfig, Status, solve_circuit
+from repro.core.hdpll import HdpllSolver, luby
+from repro.errors import SolverError
+from repro.harness.parallel import Task, run_tasks
+from repro.itc99.generator import (
+    random_safety_property,
+    random_sequential_circuit,
+)
+from repro.portfolio import (
+    Cube,
+    PortfolioError,
+    ProblemSpec,
+    build_problem,
+    default_cube_depth,
+    generate_cubes,
+    prove_by_induction_portfolio,
+    replay_model,
+    rotation_size,
+    run_pool,
+    solve_portfolio,
+    worker_config,
+)
+from repro.rtl.simulate import SequentialSimulator
+
+_NUM_SEEDS = 40
+_CHUNK = 10
+_MAX_BOUND = 3
+
+#: Same generator shape (and pathological-seed skip list) as the BMC
+#: session sweep — see tests/bmc/test_session.py for the rationale.
+_SWEEP_SHAPE = dict(width=3, num_registers=2, operations=8)
+_PATHOLOGICAL_SEEDS = frozenset({31})
+
+
+def _test_jobs() -> int:
+    return int(os.environ.get("REPRO_TEST_JOBS", "1"))
+
+
+# ----------------------------------------------------------------------
+# Diversification and restart schedules
+# ----------------------------------------------------------------------
+
+
+def test_luby_sequence():
+    assert [luby(i) for i in range(1, 16)] == [
+        1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+    ]
+
+
+def test_unknown_restart_strategy_rejected():
+    circuit = random_sequential_circuit(1, **_SWEEP_SHAPE)
+    with pytest.raises(SolverError, match="restart strategy"):
+        HdpllSolver(circuit, SolverConfig(restart_strategy="fibonacci"))
+
+
+def test_worker_rotation_is_diverse_and_cyclic():
+    base = SolverConfig(learning_threshold=7)
+    configs = [worker_config(base, i) for i in range(rotation_size())]
+    # All distinct, cycle wraps, base settings survive the overrides.
+    assert len({repr(c) for c in configs}) == rotation_size()
+    assert worker_config(base, rotation_size()) == configs[0]
+    assert all(c.learning_threshold == 7 for c in configs)
+    # Index 0 (the root-cube racer) is the cheapest strategy.
+    assert not configs[0].structural_decisions
+    assert not configs[0].predicate_learning
+    # Both restart schedules and both learning modes are represented.
+    assert {c.restart_strategy for c in configs} == {"geometric", "luby"}
+    assert {c.predicate_learning for c in configs} == {True, False}
+    assert {c.structural_decisions for c in configs} == {True, False}
+
+
+def test_default_cube_depth():
+    assert default_cube_depth(1) == 1
+    assert default_cube_depth(2) == 2
+    assert default_cube_depth(4) == 3
+    assert default_cube_depth(8) == 4
+
+
+# ----------------------------------------------------------------------
+# Randomized differential sweep: portfolio vs sequential
+# ----------------------------------------------------------------------
+
+
+def _sweep_chunk(seeds: Sequence[int]) -> List[str]:
+    """Portfolio-vs-sequential oracle over a seed range."""
+    prop = random_safety_property()
+    failures: List[str] = []
+    for seed in seeds:
+        if seed in _PATHOLOGICAL_SEEDS:
+            continue
+        circuit = random_sequential_circuit(seed, **_SWEEP_SHAPE)
+        for bound in range(1, _MAX_BOUND + 1):
+            instance = make_bmc_instance(circuit, prop, bound)
+            sequential = solve_circuit(
+                instance.circuit, instance.assumptions, SolverConfig()
+            )
+            if sequential.status is Status.UNKNOWN:
+                failures.append(
+                    f"seed {seed} bound {bound}: sequential UNKNOWN"
+                )
+                continue
+            portfolio = solve_portfolio(
+                instance.circuit,
+                instance.assumptions,
+                jobs=3,
+                deterministic=True,
+            )
+            if portfolio.status is not sequential.status:
+                failures.append(
+                    f"seed {seed} bound {bound}: portfolio says "
+                    f"{portfolio.status.value}, sequential says "
+                    f"{sequential.status.value}"
+                )
+                continue
+            if portfolio.is_sat:
+                trace = input_trace_from_model(
+                    circuit, portfolio.model, bound
+                )
+                frames = SequentialSimulator(circuit).run(trace)
+                if frames[bound - 1]["ok"] != 0:
+                    failures.append(
+                        f"seed {seed} bound {bound}: portfolio model "
+                        "fails simulation replay"
+                    )
+    return failures
+
+
+def test_portfolio_sweep_matches_sequential():
+    """Deterministic portfolio statuses and models match one-shot
+    sequential solves across 40 random circuits."""
+    chunks = [
+        range(start, min(start + _CHUNK, _NUM_SEEDS))
+        for start in range(0, _NUM_SEEDS, _CHUNK)
+    ]
+    tasks = [
+        Task(
+            fn=_sweep_chunk,
+            args=(tuple(chunk),),
+            label=f"sweep[{chunk[0]}:{chunk[-1] + 1}]",
+        )
+        for chunk in chunks
+    ]
+    failures: List[str] = []
+    for outcome in run_tasks(tasks, jobs=_test_jobs()):
+        if outcome.ok:
+            failures.extend(outcome.value)
+        else:
+            failures.append(
+                f"{outcome.label}: worker failed: {outcome.error}"
+            )
+    assert not failures, "\n".join(failures)
+
+
+def test_deterministic_mode_is_reproducible():
+    """Two identical deterministic runs agree bit-for-bit on status and
+    search counters (the property the tests lean on)."""
+    circuit = random_sequential_circuit(7, **_SWEEP_SHAPE)
+    instance = make_bmc_instance(circuit, random_safety_property(), 3)
+
+    def run():
+        return solve_portfolio(
+            instance.circuit,
+            instance.assumptions,
+            jobs=3,
+            deterministic=True,
+        )
+
+    first, second = run(), run()
+    assert first.status is second.status
+    assert first.stats.decisions == second.stats.decisions
+    assert first.stats.conflicts == second.stats.conflicts
+    assert first.stats.cubes_solved == second.stats.cubes_solved
+    assert first.stats.clauses_exported == second.stats.clauses_exported
+
+
+def test_portfolio_stats_and_note_surface():
+    circuit = random_sequential_circuit(9, **_SWEEP_SHAPE)
+    instance = make_bmc_instance(circuit, random_safety_property(), 2)
+    result = solve_portfolio(
+        instance.circuit,
+        instance.assumptions,
+        jobs=2,
+        deterministic=True,
+    )
+    stats = result.stats
+    assert result.status is not Status.UNKNOWN
+    assert stats.cubes_generated >= 1
+    assert stats.cubes_refuted <= stats.cubes_generated
+    assert stats.cubes_solved >= 1
+    assert result.note.startswith("portfolio:")
+    assert stats.solve_time > 0.0
+    if result.is_sat:
+        assert replay_model(
+            instance.circuit, result.model, instance.assumptions
+        )
+
+
+# ----------------------------------------------------------------------
+# Multi-process pool: crash requeue semantics
+# ----------------------------------------------------------------------
+
+
+def _crash_problem():
+    spec = ProblemSpec("instance", "b01_1", 10)
+    circuit, assumptions = build_problem(spec)
+    report = generate_cubes(circuit, assumptions, depth=1)
+    assert report.status is None
+    return spec, [Cube(())] + list(report.cubes)
+
+
+def test_crashed_worker_requeues_cube_once():
+    """Worker 0 dies on its first assignment; the cube is requeued and
+    the surviving worker still settles the query."""
+    spec, cubes = _crash_problem()
+    result = run_pool(
+        spec,
+        cubes,
+        jobs=2,
+        base_config=SolverConfig(),
+        timeout=120.0,
+        crash_cubes={0: tuple(range(len(cubes)))},
+    )
+    assert result.requeues == 1
+    assert result.status == "sat"  # b01_1 is violated by bound 10
+    assert result.model is not None
+    circuit, assumptions = build_problem(spec)
+    assert replay_model(circuit, result.model, assumptions)
+
+
+def test_all_workers_crashing_fails_loudly():
+    spec, cubes = _crash_problem()
+    with pytest.raises(PortfolioError):
+        run_pool(
+            spec,
+            cubes,
+            jobs=2,
+            base_config=SolverConfig(),
+            timeout=120.0,
+            crash_cubes={
+                0: tuple(range(len(cubes))),
+                1: tuple(range(len(cubes))),
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Portfolio induction
+# ----------------------------------------------------------------------
+
+
+def test_portfolio_induction_proves_b13_counter():
+    result = prove_by_induction_portfolio(
+        "b13_1", max_k=6, jobs=2, deterministic=True
+    )
+    from repro.bmc.induction import InductionStatus
+
+    assert result.status is InductionStatus.PROVED
+    assert result.depth_stats
