@@ -1,4 +1,8 @@
-"""Legacy setup shim: metadata lives in pyproject.toml."""
+"""Legacy setup shim: metadata lives in pyproject.toml.
+
+Extras are declared there too — ``pip install .[fast]`` pulls NumPy
+for the vectorized propagation engine.
+"""
 
 from setuptools import setup
 

@@ -17,8 +17,18 @@ from repro.constraints.clause import (
     WordLit,
     make_bool_lit,
 )
-from repro.constraints.compile import CompiledSystem, compile_circuit
+from repro.constraints.compile import (
+    CompiledSystem,
+    build_kernels,
+    compile_circuit,
+    netlist_signature,
+)
 from repro.constraints.engine import PropagationEngine
+from repro.constraints.fastpath import (
+    ENGINE_IMPLS,
+    numpy_available,
+    resolve_engine_impl,
+)
 from repro.constraints.propagators import (
     BoolGateProp,
     ComparatorProp,
@@ -43,6 +53,7 @@ from repro.constraints.variable import Variable, VarOrigin
 __all__ = [
     "ASSUMPTION",
     "BoolGateProp",
+    "ENGINE_IMPLS",
     "BoolLit",
     "Clause",
     "ClauseDatabase",
@@ -68,6 +79,10 @@ __all__ = [
     "Variable",
     "VarOrigin",
     "WordLit",
+    "build_kernels",
     "compile_circuit",
     "make_bool_lit",
+    "netlist_signature",
+    "numpy_available",
+    "resolve_engine_impl",
 ]

@@ -308,12 +308,28 @@ class ClauseDatabase:
             return None
         i = 0
         visits = 0
+        lo_arr = self.store.lo
+        hi_arr = self.store.hi
         while i < len(entries):
             entry = entries[i]
             clause: Clause = entry[0]  # type: ignore[assignment]
             position: int = entry[1]  # type: ignore[assignment]
             visits += 1
-            if self._lit_status(clause.literals[position]) != FALSE:
+            # Inlined ``_lit_status(...) == FALSE`` — the overwhelmingly
+            # common skip must not pay a method call per entry.
+            literal = clause.literals[position]
+            index = literal.var.index
+            vlo = lo_arr[index]
+            vhi = hi_arr[index]
+            if type(literal) is BoolLit:
+                falsified = vlo == vhi and bool(vlo) != literal.positive
+            else:
+                interval = literal.interval
+                if literal.positive:
+                    falsified = interval.hi < vlo or vhi < interval.lo
+                else:
+                    falsified = interval.lo <= vlo and vhi <= interval.hi
+            if not falsified:
                 i += 1
                 continue
             outcome = self._on_watch_falsified(clause, position, entries, i)

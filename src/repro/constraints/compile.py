@@ -11,11 +11,13 @@ variables").
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import UnsupportedOperationError
-from repro.intervals import Interval
+from repro.intervals import Interval, register_cache_reset
+from repro.intervals import interval as _interval_mod
 from repro.constraints.propagators import (
     BoolGateProp,
     ComparatorProp,
@@ -23,6 +25,7 @@ from repro.constraints.propagators import (
     MuxProp,
     Propagator,
 )
+from repro.constraints.store import Conflict, Event
 from repro.constraints.variable import Variable, VarOrigin
 from repro.rtl.circuit import Circuit, Net, Node
 from repro.rtl.types import BOOLEAN_KINDS, PREDICATE_KINDS, OpKind
@@ -293,6 +296,859 @@ def compile_circuit(
     (see :class:`repro.constraints.propagators.MuxProp`).
     """
     return _Compiler(circuit, mux_select_implication).compile()
+
+
+# ---------------------------------------------------------------------------
+# Specialized propagator kernels (engine_impl="specialized"/"vectorized")
+# ---------------------------------------------------------------------------
+# A kernel is a closure ``kernel(store) -> Optional[Conflict]`` that is a
+# *bit-for-bit transcription* of one propagator family's ``propagate``:
+# same narrow_bounds calls in the same order with the same reason and
+# involved tuple, same conflict objects with the same antecedent
+# ordering.  What the kernels eliminate is pure interpretation overhead —
+# bound-method dispatch, Interval object churn, per-call attribute
+# lookups — never behaviour.  The reference ``propagate`` methods in
+# :mod:`repro.constraints.propagators` (and the narrowing rules in
+# :mod:`repro.intervals.narrowing`) are the source of truth: any change
+# there must be mirrored here, and the differential engine sweep in
+# ``tests/constraints/test_differential.py`` enforces the equivalence.
+
+#: Largest linear-constraint arity that gets an unrolled kernel.
+_LINEAR_MAX_ARITY = 4
+
+_CMP_CODES = {OpKind.EQ: 0, OpKind.NE: 1, OpKind.LT: 2, OpKind.LE: 3}
+
+#: Classification plans cached by netlist signature: signature -> plan.
+#: A plan is index-free (family + cohort key per position), so identical
+#: node shapes — a re-unrolled BMC frame, a portfolio ProblemSpec
+#: rebuild — share one classification pass.
+_KERNEL_PLAN_CACHE: Dict[str, Tuple] = {}
+_KERNEL_PLAN_STATS = [0, 0]  # [hits, misses]
+#: exec()-generated kernel factories keyed by plan entry.
+_KERNEL_FACTORIES: Dict[Tuple, Callable] = {}
+
+
+def kernel_plan_stats() -> Tuple[int, int]:
+    """Plan-cache counters as ``(hits, misses)`` since the last reset."""
+    return _KERNEL_PLAN_STATS[0], _KERNEL_PLAN_STATS[1]
+
+
+def clear_kernel_caches() -> None:
+    """Empty the plan cache, codegen memo and counters.
+
+    Registered with :func:`repro.intervals.reset_interval_cache` so
+    cache-hit statistics are execution-mode independent: a warm inline
+    process and a fresh pool worker report the same numbers.
+    """
+    _KERNEL_PLAN_CACHE.clear()
+    _KERNEL_PLAN_STATS[0] = 0
+    _KERNEL_PLAN_STATS[1] = 0
+    _KERNEL_FACTORIES.clear()
+
+
+register_cache_reset(clear_kernel_caches)
+
+
+def netlist_signature(nodes: Sequence[Node], variant: str = "") -> str:
+    """Index-normalized structural hash of a node list (plan-cache key).
+
+    Net indices are taken relative to the first node's output so that
+    identically shaped node lists at different index offsets — the
+    successive frames appended by the incremental BMC unroller — hash
+    equal and share one kernel plan.  The signature captures everything
+    classification depends on (operator kind, widths, constants, factor
+    and shift parameters, operand aliasing pattern): equal signatures
+    imply equal plans by construction.  ``variant`` folds in compilation
+    flags that change classification (``mux_select_implication``).
+    """
+    digest = hashlib.sha1(variant.encode())
+    base: Optional[int] = None
+    for node in nodes:
+        if base is None:
+            base = node.output.index
+        digest.update(
+            repr(
+                (
+                    node.kind.value,
+                    node.output.index - base,
+                    node.output.width,
+                    tuple(
+                        (op.index - base, op.width) for op in node.operands
+                    ),
+                    node.const_value,
+                    node.factor,
+                    node.shift_amount,
+                    node.extract_lo,
+                    node.extract_hi,
+                )
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+def classify_propagator(prop: Propagator) -> Optional[Tuple]:
+    """The kernel-plan entry for one propagator (None = no kernel).
+
+    Exact-type checks, not isinstance: a subclass overriding
+    ``propagate`` must keep its own implementation.
+    """
+    cls = type(prop)
+    if cls is LinearEqProp:
+        count = len(prop.coeffs)
+        if 1 <= count <= _LINEAR_MAX_ARITY:
+            return (
+                "lin",
+                count,
+                tuple(1 if c > 0 else -1 for c in prop.coeffs),
+            )
+        return None
+    if cls is ComparatorProp:
+        return ("cmp", _CMP_CODES[prop.kind])
+    if cls is MuxProp:
+        if prop.imply_select:
+            # The recursive strengthened backward rule stays on the
+            # reference path (ablation configuration, never hot).
+            return None
+        return ("mux",)
+    if cls is BoolGateProp:
+        kind = prop.kind
+        if kind is OpKind.NOT or kind is OpKind.BUF:
+            return ("g1",)
+        if kind is OpKind.XOR or kind is OpKind.XNOR:
+            return ("gx",)
+        return ("gao",)
+    return None
+
+
+# -- generated-source building blocks ---------------------------------------
+#
+# Every kernel family below is exec()-generated from a source template.
+# The template inlines the body of :meth:`DomainStore.narrow_bounds`
+# (meet, antecedent collection, conflict build, event-kind bits, trail
+# append) directly at each narrowing site, with the reason and involved
+# tuple pre-resolved to index tuples at factory time and the store's
+# bound arrays captured in the closure.  This removes the per-narrowing
+# call chain (narrow_bounds -> _antecedents_for -> Event(**kwargs))
+# while producing the exact same trail: same Event field values in the
+# same order, same Conflict objects with the same antecedent ordering,
+# same interval-cache and narrowing counters.
+
+
+def _narrow_block(
+    ind: str, var: str, vi: str, oth: str, kb: str, nlo: str, nhi: str
+) -> str:
+    """Source lines inlining ``store.narrow_bounds(var, nlo, nhi, prop,
+    variables)`` plus the caller's conflict check.
+
+    A statement-for-statement transcription of
+    :meth:`~repro.constraints.store.DomainStore.narrow_bounds` with
+    ``reason=prop`` and ``involved=prop.variables`` pre-resolved:
+    ``oth`` names the tuple of the *other* involved variables' indices
+    (``prop.variables`` order, identity-skipping the target exactly like
+    ``_antecedents_for``) and ``kb`` the EVENT_FIXED|EVENT_BOOL bits of
+    the target.  ``nlo``/``nhi`` must be plain local names — they are
+    evaluated twice.
+    """
+    return f"""\
+{ind}cl = lo[{vi}]
+{ind}ch = hi[{vi}]
+{ind}ml = {nlo} if {nlo} > cl else cl
+{ind}mh = {nhi} if {nhi} < ch else ch
+{ind}if ml != cl or mh != ch:
+{ind}    prev = latest[{vi}]
+{ind}    ante = [] if prev is None else [prev]
+{ind}    for _j in {oth}:
+{ind}        _a = latest[_j]
+{ind}        if _a is not None:
+{ind}            ante.append(_a)
+{ind}    ante = tuple(ante)
+{ind}    if ml > mh:
+{ind}        return Conflict(prop, ante, {var})
+{ind}    kinds = 1 if ml > cl else 0
+{ind}    if mh < ch:
+{ind}        kinds |= 2
+{ind}    if ml == mh:
+{ind}        kinds |= {kb}
+{ind}    iv = _cget((ml, mh))
+{ind}    if iv is None:
+{ind}        iv = _make(ml, mh)
+{ind}    else:
+{ind}        _chits[0] += 1
+{ind}    eid = len(trail)
+{ind}    trail.append(Event(eid, {var}, domains[{vi}], iv, \
+store.decision_level, prop, ante, kinds, prev))
+{ind}    store.narrowings += 1
+{ind}    domains[{vi}] = iv
+{ind}    lo[{vi}] = ml
+{ind}    hi[{vi}] = mh
+{ind}    latest[{vi}] = eid
+"""
+
+
+def _conflict_block(ind: str, var: str) -> str:
+    """Propagator-built conflict: latest events in ``variables`` order
+    (the transcription of the reference ``_latest_conflict`` helper)."""
+    return f"""\
+{ind}ante = []
+{ind}for _j in all_idx:
+{ind}    _a = latest[_j]
+{ind}    if _a is not None:
+{ind}        ante.append(_a)
+{ind}return Conflict(prop, tuple(ante), {var})
+"""
+
+
+#: Shared factory head: resolves the involved-variable index tuples and
+#: event-kind constants and captures the store's bound arrays.  The
+#: arrays are stable for the store's lifetime (``add_variables`` and
+#: ``backtrack_to`` mutate them in place), so kernels skip the per-call
+#: attribute loads; the ``_store`` call argument is kept only for
+#: signature compatibility with the bound-method fallback kernels.
+_FACTORY_HEAD = """\
+def factory(prop, store):
+    variables = prop.variables
+    all_idx = tuple(v.index for v in variables)
+    lo = store.lo
+    hi = store.hi
+    trail = store.trail
+    domains = store.domains
+    latest = store.latest_event
+
+    def _oth(target):
+        return tuple(v.index for v in variables if v is not target)
+
+    def _kb(target):
+        return 12 if target.is_bool else 4
+
+"""
+
+
+# -- comparator sources -----------------------------------------------------
+#: Decided-predicate inference per comparator code, mirroring the
+#: reference ``_decided`` logic (EQ / NE / LT / LE).
+_CMP_DECIDED = {
+    0: [
+        "if xl == xh and yl == yh:",
+        "    value = 1 if xl == yl else 0",
+        "elif xh < yl or yh < xl:",
+        "    value = 0",
+        "else:",
+        "    return None",
+    ],
+    1: [
+        "if xl == xh and yl == yh:",
+        "    value = 1 if xl != yl else 0",
+        "elif xh < yl or yh < xl:",
+        "    value = 1",
+        "else:",
+        "    return None",
+    ],
+    2: [
+        "if xh < yl:",
+        "    value = 1",
+        "elif xl >= yh:",
+        "    value = 0",
+        "else:",
+        "    return None",
+    ],
+    3: [
+        "if xh <= yl:",
+        "    value = 1",
+        "elif xl > yh:",
+        "    value = 0",
+        "else:",
+        "    return None",
+    ],
+}
+
+
+def _cmp_apply_eq(ind: str) -> str:
+    """Apply ``x == y`` (narrow_eq) to the operands."""
+    return (
+        f"{ind}ml0 = xl if xl >= yl else yl\n"
+        f"{ind}mh0 = xh if xh <= yh else yh\n"
+        f"{ind}if ml0 > mh0:\n"
+        + _conflict_block(ind + "    ", "pred")
+        + f"{ind}if ml0 != xl or mh0 != xh:\n"
+        + _narrow_block(ind + "    ", "x", "xi", "oth_x", "kb_x", "ml0", "mh0")
+        + f"{ind}if ml0 != yl or mh0 != yh:\n"
+        + _narrow_block(ind + "    ", "y", "yi", "oth_y", "kb_y", "ml0", "mh0")
+        + f"{ind}return None\n"
+    )
+
+
+def _cmp_apply_ne(ind: str) -> str:
+    """Apply ``x != y`` (narrow_ne, including Interval.difference)."""
+    return (
+        f"{ind}nxl = xl\n"
+        f"{ind}nxh = xh\n"
+        f"{ind}nyl = yl\n"
+        f"{ind}nyh = yh\n"
+        f"{ind}if yl == yh and xl <= yl <= xh:\n"
+        f"{ind}    if xl == xh:\n"
+        + _conflict_block(ind + "        ", "pred")
+        + f"{ind}    if yl == xl:\n"
+        f"{ind}        nxl = yl + 1\n"
+        f"{ind}    elif yl == xh:\n"
+        f"{ind}        nxh = yl - 1\n"
+        f"{ind}if xl == xh and yl <= xl <= yh:\n"
+        f"{ind}    if xl == yl:\n"
+        f"{ind}        nyl = xl + 1\n"
+        f"{ind}    elif xl == yh:\n"
+        f"{ind}        nyh = xl - 1\n"
+        f"{ind}if nxl == nxh and nyl == nyh and nxl == nyl:\n"
+        + _conflict_block(ind + "    ", "pred")
+        + f"{ind}if nxl != xl or nxh != xh:\n"
+        + _narrow_block(ind + "    ", "x", "xi", "oth_x", "kb_x", "nxl", "nxh")
+        + f"{ind}if nyl != yl or nyh != yh:\n"
+        + _narrow_block(ind + "    ", "y", "yi", "oth_y", "kb_y", "nyl", "nyh")
+        + f"{ind}return None\n"
+    )
+
+
+def _cmp_apply_lt(ind: str) -> str:
+    """Apply ``x < y`` (narrow_lt)."""
+    return (
+        f"{ind}nxh0 = xh if xh <= yh - 1 else yh - 1\n"
+        f"{ind}nyl0 = yl if yl >= xl + 1 else xl + 1\n"
+        f"{ind}if nxh0 < xl or nyl0 > yh:\n"
+        + _conflict_block(ind + "    ", "pred")
+        + f"{ind}if nxh0 != xh:\n"
+        + _narrow_block(ind + "    ", "x", "xi", "oth_x", "kb_x", "xl", "nxh0")
+        + f"{ind}if nyl0 != yl:\n"
+        + _narrow_block(ind + "    ", "y", "yi", "oth_y", "kb_y", "nyl0", "yh")
+        + f"{ind}return None\n"
+    )
+
+
+def _cmp_apply_ge(ind: str) -> str:
+    """Apply ``not(x < y)``, i.e. ``y <= x`` (narrow_le swapped)."""
+    return (
+        f"{ind}nyh0 = yh if yh <= xh else xh\n"
+        f"{ind}nxl0 = xl if xl >= yl else yl\n"
+        f"{ind}if nyh0 < yl or nxl0 > xh:\n"
+        + _conflict_block(ind + "    ", "pred")
+        + f"{ind}if nxl0 != xl:\n"
+        + _narrow_block(ind + "    ", "x", "xi", "oth_x", "kb_x", "nxl0", "xh")
+        + f"{ind}if nyh0 != yh:\n"
+        + _narrow_block(ind + "    ", "y", "yi", "oth_y", "kb_y", "yl", "nyh0")
+        + f"{ind}return None\n"
+    )
+
+
+def _cmp_apply_le(ind: str) -> str:
+    """Apply ``x <= y`` (narrow_le)."""
+    return (
+        f"{ind}nxh0 = xh if xh <= yh else yh\n"
+        f"{ind}nyl0 = yl if yl >= xl else xl\n"
+        f"{ind}if nxh0 < xl or nyl0 > yh:\n"
+        + _conflict_block(ind + "    ", "pred")
+        + f"{ind}if nxh0 != xh:\n"
+        + _narrow_block(ind + "    ", "x", "xi", "oth_x", "kb_x", "xl", "nxh0")
+        + f"{ind}if nyl0 != yl:\n"
+        + _narrow_block(ind + "    ", "y", "yi", "oth_y", "kb_y", "nyl0", "yh")
+        + f"{ind}return None\n"
+    )
+
+
+def _cmp_apply_gt(ind: str) -> str:
+    """Apply ``not(x <= y)``, i.e. ``y < x`` (narrow_lt swapped)."""
+    return (
+        f"{ind}nyh0 = yh if yh <= xh - 1 else xh - 1\n"
+        f"{ind}nxl0 = xl if xl >= yl + 1 else yl + 1\n"
+        f"{ind}if nyh0 < yl or nxl0 > xh:\n"
+        + _conflict_block(ind + "    ", "pred")
+        + f"{ind}if nxl0 != xl:\n"
+        + _narrow_block(ind + "    ", "x", "xi", "oth_x", "kb_x", "nxl0", "xh")
+        + f"{ind}if nyh0 != yh:\n"
+        + _narrow_block(ind + "    ", "y", "yi", "oth_y", "kb_y", "yl", "nyh0")
+        + f"{ind}return None\n"
+    )
+
+
+#: (apply when pred == 1, apply when pred == 0) per comparator code.
+_CMP_APPLY = {
+    0: (_cmp_apply_eq, _cmp_apply_ne),
+    1: (_cmp_apply_ne, _cmp_apply_eq),
+    2: (_cmp_apply_lt, _cmp_apply_ge),
+    3: (_cmp_apply_le, _cmp_apply_gt),
+}
+
+
+def _cmp_source(code: int) -> str:
+    apply_true, apply_false = _CMP_APPLY[code]
+    src = _FACTORY_HEAD
+    src += """\
+    pred = prop.pred
+    x = prop.x
+    y = prop.y
+    pi = pred.index
+    xi = x.index
+    yi = y.index
+    oth_p = _oth(pred)
+    oth_x = _oth(x)
+    oth_y = _oth(y)
+    kb_p = _kb(pred)
+    kb_x = _kb(x)
+    kb_y = _kb(y)
+
+    def kernel(_store):
+        pl = lo[pi]
+        xl = lo[xi]
+        xh = hi[xi]
+        yl = lo[yi]
+        yh = hi[yi]
+        if pl != hi[pi]:
+"""
+    src += "".join(
+        "            " + line + "\n" for line in _CMP_DECIDED[code]
+    )
+    src += _narrow_block(
+        "            ", "pred", "pi", "oth_p", "kb_p", "value", "value"
+    )
+    src += "            return None\n"
+    src += "        if pl == 1:\n"
+    src += apply_true("            ")
+    src += apply_false("        ")
+    src += "    return kernel\n"
+    return src
+
+
+# -- mux source -------------------------------------------------------------
+def _mux_source() -> str:
+    src = _FACTORY_HEAD
+    src += """\
+    out = prop.out
+    tvar = prop.then_var
+    evar = prop.else_var
+    oi = out.index
+    si = prop.sel.index
+    ti = tvar.index
+    ei = evar.index
+    oth_o = _oth(out)
+    oth_t = _oth(tvar)
+    oth_e = _oth(evar)
+    kb_o = _kb(out)
+    kb_t = _kb(tvar)
+    kb_e = _kb(evar)
+
+    def kernel(_store):
+        sl = lo[si]
+        if sl == hi[si]:
+            if sl:
+                tv = tvar
+                tvi = ti
+                toth = oth_t
+                tkb = kb_t
+            else:
+                tv = evar
+                tvi = ei
+                toth = oth_e
+                tkb = kb_e
+            ol = lo[oi]
+            oh = hi[oi]
+            c0 = lo[tvi]
+            c1 = hi[tvi]
+            ml0 = ol if ol >= c0 else c0
+            mh0 = oh if oh <= c1 else c1
+            if ml0 > mh0:
+"""
+    src += _conflict_block("                ", "out")
+    src += "            if ml0 != ol or mh0 != oh:\n"
+    src += _narrow_block(
+        "                ", "out", "oi", "oth_o", "kb_o", "ml0", "mh0"
+    )
+    src += "            if ml0 != c0 or mh0 != c1:\n"
+    src += _narrow_block(
+        "                ", "tv", "tvi", "toth", "tkb", "ml0", "mh0"
+    )
+    src += """\
+            return None
+        ol = lo[oi]
+        oh = hi[oi]
+        tl = lo[ti]
+        th = hi[ti]
+        el = lo[ei]
+        eh = hi[ei]
+        hull_lo = tl if tl <= el else el
+        hull_hi = th if th >= eh else eh
+        if hull_lo > ol or hull_hi < oh:
+"""
+    src += _narrow_block(
+        "            ", "out", "oi", "oth_o", "kb_o", "hull_lo", "hull_hi"
+    )
+    src += """\
+            ol = lo[oi]
+            oh = hi[oi]
+        # Branch compatibility uses the data bounds read *before* the
+        # hull narrow, exactly like the reference propagator.
+        if not ((ol <= th and tl <= oh) or (ol <= eh and el <= oh)):
+"""
+    src += _conflict_block("            ", "out")
+    src += """\
+        return None
+    return kernel
+"""
+    return src
+
+
+# -- Boolean gate sources ---------------------------------------------------
+def _gate_unary_source() -> str:
+    src = _FACTORY_HEAD
+    src += """\
+    out = prop.out
+    inp = prop.inputs[0]
+    oi = out.index
+    ii = inp.index
+    oth_o = _oth(out)
+    oth_i = _oth(inp)
+    kb_o = _kb(out)
+    kb_i = _kb(inp)
+    flip = 1 if prop._inversion else 0
+
+    def kernel(_store):
+        il = lo[ii]
+        if il == hi[ii]:
+            value = il ^ flip
+"""
+    src += _narrow_block(
+        "            ", "out", "oi", "oth_o", "kb_o", "value", "value"
+    )
+    src += """\
+            return None
+        ol = lo[oi]
+        if ol == hi[oi]:
+            value = ol ^ flip
+"""
+    src += _narrow_block(
+        "            ", "inp", "ii", "oth_i", "kb_i", "value", "value"
+    )
+    src += """\
+            return None
+        return None
+    return kernel
+"""
+    return src
+
+
+def _gate_xor_source() -> str:
+    src = _FACTORY_HEAD
+    src += """\
+    out = prop.out
+    a = prop.inputs[0]
+    b = prop.inputs[1]
+    oi = out.index
+    ai = a.index
+    bi = b.index
+    oth_o = _oth(out)
+    oth_a = _oth(a)
+    oth_b = _oth(b)
+    kb_o = _kb(out)
+    kb_a = _kb(a)
+    kb_b = _kb(b)
+    flip = 1 if prop._inversion else 0
+
+    def kernel(_store):
+        ov = lo[oi]
+        av = lo[ai]
+        bv = lo[bi]
+        o_known = ov == hi[oi]
+        a_known = av == hi[ai]
+        b_known = bv == hi[bi]
+        unknown = 3 - (o_known + a_known + b_known)
+        if unknown >= 2:
+            return None
+        if unknown == 0:
+            if ov ^ av ^ bv != flip:
+"""
+    src += _conflict_block("                ", "out")
+    src += """\
+            return None
+        if not o_known:
+            tv = out
+            tvi = oi
+            toth = oth_o
+            tkb = kb_o
+            value = av ^ bv ^ flip
+        elif not a_known:
+            tv = a
+            tvi = ai
+            toth = oth_a
+            tkb = kb_a
+            value = ov ^ bv ^ flip
+        else:
+            tv = b
+            tvi = bi
+            toth = oth_b
+            tkb = kb_b
+            value = ov ^ av ^ flip
+"""
+    src += _narrow_block(
+        "        ", "tv", "tvi", "toth", "tkb", "value", "value"
+    )
+    src += """\
+        return None
+    return kernel
+"""
+    return src
+
+
+def _gate_and_or_source() -> str:
+    src = _FACTORY_HEAD
+    src += """\
+    out = prop.out
+    input_vars = prop.inputs
+    oi = out.index
+    input_indices = tuple(v.index for v in input_vars)
+    oth_o = _oth(out)
+    kb_o = _kb(out)
+    oth_in = tuple(_oth(v) for v in input_vars)
+    kb_in = tuple(_kb(v) for v in input_vars)
+    controlling = prop._controlling
+    controlled_output = controlling ^ (1 if prop._inversion else 0)
+    non_controlled = 1 - controlled_output
+    non_controlling = 1 - controlling
+
+    def kernel(_store):
+        unknown_count = 0
+        fu_slot = -1
+        slot = 0
+        for index in input_indices:
+            value = lo[index]
+            if value != hi[index]:
+                unknown_count += 1
+                if fu_slot < 0:
+                    fu_slot = slot
+            elif value == controlling:
+"""
+    src += _narrow_block(
+        "                ",
+        "out",
+        "oi",
+        "oth_o",
+        "kb_o",
+        "controlled_output",
+        "controlled_output",
+    )
+    src += """\
+                return None
+            slot += 1
+        if unknown_count == 0:
+"""
+    src += _narrow_block(
+        "            ",
+        "out",
+        "oi",
+        "oth_o",
+        "kb_o",
+        "non_controlled",
+        "non_controlled",
+    )
+    src += """\
+            return None
+        ov = lo[oi]
+        if ov != hi[oi]:
+            return None
+        if ov == non_controlled:
+            slot = 0
+            for tvi in input_indices:
+                if lo[tvi] != hi[tvi]:
+                    tv = input_vars[slot]
+                    toth = oth_in[slot]
+                    tkb = kb_in[slot]
+"""
+    src += _narrow_block(
+        "                    ",
+        "tv",
+        "tvi",
+        "toth",
+        "tkb",
+        "non_controlling",
+        "non_controlling",
+    )
+    src += """\
+                slot += 1
+            return None
+        if unknown_count == 1:
+            tv = input_vars[fu_slot]
+            tvi = input_indices[fu_slot]
+            toth = oth_in[fu_slot]
+            tkb = kb_in[fu_slot]
+"""
+    src += _narrow_block(
+        "            ", "tv", "tvi", "toth", "tkb", "controlling", "controlling"
+    )
+    src += """\
+            return None
+        return None
+    return kernel
+"""
+    return src
+
+
+# -- linear source ----------------------------------------------------------
+def _linear_source(count: int, signs: Tuple[int, ...]) -> str:
+    """Source for one (arity, signs) linear cohort.
+
+    Unrolls :meth:`LinearEqProp.propagate` with the coefficient signs
+    resolved at generation time (the ceil/floor residual divisions
+    differ by sign) and the running term/total updates kept in local
+    variables — later positions of the same pass see earlier
+    narrowings, exactly like the reference loop.
+    """
+    src = _FACTORY_HEAD
+    src += "    constant = prop.constant\n"
+    for p in range(count):
+        src += f"    v{p} = variables[{p}]\n"
+        src += f"    i{p} = v{p}.index\n"
+        src += f"    c{p} = prop.coeffs[{p}]\n"
+        src += f"    oth{p} = _oth(v{p})\n"
+        src += f"    kb{p} = _kb(v{p})\n"
+    src += "\n    def kernel(_store):\n"
+    for p in range(count):
+        if signs[p] > 0:
+            src += f"        t_lo{p} = c{p} * lo[i{p}]\n"
+            src += f"        t_hi{p} = c{p} * hi[i{p}]\n"
+        else:
+            src += f"        t_lo{p} = c{p} * hi[i{p}]\n"
+            src += f"        t_hi{p} = c{p} * lo[i{p}]\n"
+    totals_lo = " + ".join(f"t_lo{p}" for p in range(count))
+    totals_hi = " + ".join(f"t_hi{p}" for p in range(count))
+    src += f"        total_lo = {totals_lo}\n"
+    src += f"        total_hi = {totals_hi}\n"
+    src += "        while True:\n"
+    src += "            changed = False\n"
+    src += "            if total_lo > constant or total_hi < constant:\n"
+    src += _conflict_block("                ", "v0")
+    for p in range(count):
+        if signs[p] > 0:
+            src += (
+                f"            var_lo = -((-(constant - (total_hi - t_hi{p})))"
+                f" // c{p})\n"
+            )
+            src += (
+                f"            var_hi = (constant - (total_lo - t_lo{p}))"
+                f" // c{p}\n"
+            )
+        else:
+            src += (
+                f"            var_lo = -((-(constant - (total_lo - t_lo{p})))"
+                f" // c{p})\n"
+            )
+            src += (
+                f"            var_hi = (constant - (total_hi - t_hi{p}))"
+                f" // c{p}\n"
+            )
+        src += f"            if var_lo > lo[i{p}] or var_hi < hi[i{p}]:\n"
+        src += "                if var_lo > var_hi:\n"
+        src += _conflict_block("                    ", f"v{p}")
+        src += _narrow_block(
+            "                ",
+            f"v{p}",
+            f"i{p}",
+            f"oth{p}",
+            f"kb{p}",
+            "var_lo",
+            "var_hi",
+        )
+        src += "                changed = True\n"
+        if signs[p] > 0:
+            src += f"                n_lo = c{p} * lo[i{p}]\n"
+            src += f"                n_hi = c{p} * hi[i{p}]\n"
+        else:
+            src += f"                n_lo = c{p} * hi[i{p}]\n"
+            src += f"                n_hi = c{p} * lo[i{p}]\n"
+        src += f"                total_lo += n_lo - t_lo{p}\n"
+        src += f"                total_hi += n_hi - t_hi{p}\n"
+        src += f"                t_lo{p} = n_lo\n"
+        src += f"                t_hi{p} = n_hi\n"
+    src += "            if not changed:\n"
+    src += "                return None\n"
+    src += "    return kernel\n"
+    return src
+
+
+def _factory_for(entry: Tuple) -> Callable:
+    """The exec()-generated kernel factory for one plan entry (cached)."""
+    factory = _KERNEL_FACTORIES.get(entry)
+    if factory is not None:
+        return factory
+    family = entry[0]
+    if family == "lin":
+        src = _linear_source(entry[1], entry[2])
+    elif family == "cmp":
+        src = _cmp_source(entry[1])
+    elif family == "mux":
+        src = _mux_source()
+    elif family == "g1":
+        src = _gate_unary_source()
+    elif family == "gx":
+        src = _gate_xor_source()
+    else:
+        src = _gate_and_or_source()
+    # ``_interval_cache`` is cleared in place by ``reset_interval_cache``
+    # (never rebound), so binding its ``get`` here stays valid; the
+    # inlined hit path bumps the hit counter exactly like ``make`` and
+    # leaves the miss path (build + bounded insert) to ``make`` itself.
+    namespace = {
+        "Conflict": Conflict,
+        "Event": Event,
+        "_make": Interval.make,
+        "_cget": _interval_mod._CACHE.get,
+        "_chits": _interval_mod._CACHE_COUNTS,
+    }
+    exec(src, namespace)  # noqa: S102 - trusted codegen
+    factory = namespace["factory"]
+    _KERNEL_FACTORIES[entry] = factory
+    return factory
+
+
+def _kernel_from_entry(
+    prop: Propagator, entry: Optional[Tuple], store
+) -> Callable:
+    if entry is None:
+        return prop.propagate
+    return _factory_for(entry)(prop, store)
+
+
+def build_kernels(
+    propagators: Sequence[Propagator],
+    plan_key: Optional[str] = None,
+    store=None,
+) -> Tuple[List[Callable], Tuple, bool]:
+    """Specialized kernels for a propagator list over ``store``.
+
+    Returns ``(kernels, plan, cache_hit)``; ``kernels[i]`` is the
+    closure for ``propagators[i]`` (the bound reference ``propagate``
+    when no kernel family applies) and ``plan[i]`` its classification
+    entry.  ``plan_key`` — a :func:`netlist_signature` — caches the
+    classification so session frame extension and portfolio problem
+    rebuilds skip the classification pass.  ``store`` is the
+    :class:`~repro.constraints.store.DomainStore` the kernels will run
+    against: its bound arrays are captured in the kernel closures, so
+    the kernels are only valid for that store.
+    """
+    if store is None:
+        raise ValueError("build_kernels requires the target DomainStore")
+    plan = None
+    hit = False
+    if plan_key is not None:
+        plan = _KERNEL_PLAN_CACHE.get(plan_key)
+        if plan is not None and len(plan) != len(propagators):
+            plan = None  # defensive: unexpected signature collision
+    if plan is None:
+        plan = tuple(classify_propagator(p) for p in propagators)
+        if plan_key is not None:
+            _KERNEL_PLAN_CACHE[plan_key] = plan
+            _KERNEL_PLAN_STATS[1] += 1
+    else:
+        hit = True
+        _KERNEL_PLAN_STATS[0] += 1
+    kernels = [
+        _kernel_from_entry(prop, entry, store)
+        for prop, entry in zip(propagators, plan)
+    ]
+    return kernels, plan, hit
 
 
 def extend_compiled(

@@ -1,0 +1,445 @@
+"""NumPy batch filtering and engine-impl selection for fast propagation.
+
+This module backs ``SolverConfig.engine_impl``:
+
+* :func:`resolve_engine_impl` validates the requested implementation and
+  performs the documented fallback — ``"vectorized"`` degrades to
+  ``"reference"`` with a single logged warning when NumPy is absent
+  (NumPy is an optional extra: ``pip install .[fast]``).
+* :class:`VectorizedFilter` is the vectorized half of the accelerated
+  engine: it sweeps the expensive (ICP) worklist tier in NumPy batches
+  grouped by propagator family and flags queue entries whose run is
+  *provably* a no-op — no narrowing, no conflict — against the bounds at
+  sweep time.  The engine then pops flagged entries without calling
+  their kernel.
+
+Parity contract
+---------------
+The filter must be behaviourally invisible.  Three properties make the
+skip sound and bit-for-bit exact:
+
+* The no-op masks are exact transcriptions of each propagator family's
+  narrowing math: a row is flagged only when running the propagator on
+  the swept bounds would change nothing and return no conflict.
+* A flag is only honoured while the swept bounds are still current: the
+  engine checks, per pop, that no watched variable of the propagator has
+  a trail event at or after the sweep mark (``latest_event`` staleness
+  test).  Backtracking pops events — ``latest_event`` can move *below*
+  the mark while bounds widen — so the engine invalidates the filter
+  wholesale on every backtrack, which keeps the mark monotone within
+  each validity window.
+* Skipped pops still count as propagations (the run would have been a
+  no-op, exactly as if the kernel had executed), so decision, conflict
+  and propagation counters agree with the reference engine.  The skips
+  are additionally reported as ``props_filtered``.
+
+Linear rows are admitted to the batch only when an a-priori bound (from
+the variables' *initial* domains, which narrowing never widens) keeps
+every intermediate value inside int64 — NumPy arithmetic here must not
+wrap where Python ints would not.
+"""
+
+from __future__ import annotations
+
+import logging
+from operator import itemgetter
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SolverError
+from repro.intervals import register_cache_reset
+
+logger = logging.getLogger(__name__)
+
+#: Recognised values of ``SolverConfig.engine_impl``.
+ENGINE_IMPLS = ("reference", "vectorized", "specialized")
+
+#: Lazily imported numpy module; "unset" until first query.  Importing
+#: NumPy costs ~100ms, which reference-mode users should never pay.
+_NUMPY_STATE: List[object] = ["unset"]
+#: Whether the vectorized->reference fallback warning fired already
+#: (cleared by ``reset_interval_cache`` so pool workers warn once each).
+_WARNED = [False]
+
+#: Values must stay below this for a linear row to be batched in int64.
+_INT64_LIMIT = 1 << 62
+
+
+def _get_numpy():
+    state = _NUMPY_STATE[0]
+    if state != "unset":
+        return state
+    try:
+        import numpy
+    except ImportError:
+        numpy = None
+    _NUMPY_STATE[0] = numpy
+    return numpy
+
+
+def numpy_available() -> bool:
+    """True when NumPy can be imported (the ``fast`` extra is installed)."""
+    return _get_numpy() is not None
+
+
+def resolve_engine_impl(requested: str) -> str:
+    """Map a configured ``engine_impl`` to the one that will actually run.
+
+    Unknown names raise :class:`~repro.errors.SolverError`;
+    ``"vectorized"`` without NumPy falls back to ``"reference"`` with a
+    single logged warning per process.
+    """
+    if requested not in ENGINE_IMPLS:
+        raise SolverError(
+            f"unknown engine_impl {requested!r}; "
+            f"expected one of {ENGINE_IMPLS}"
+        )
+    if requested == "vectorized" and not numpy_available():
+        if not _WARNED[0]:
+            _WARNED[0] = True
+            logger.warning(
+                "engine_impl='vectorized' requested but NumPy is not "
+                "installed; falling back to 'reference' "
+                "(pip install .[fast] enables the vectorized engine)"
+            )
+        return "reference"
+    return requested
+
+
+def _reset_fastpath_state() -> None:
+    _WARNED[0] = False
+
+
+register_cache_reset(_reset_fastpath_state)
+
+
+class VectorizedFilter:
+    """Batch no-op detection over the expensive (ICP) worklist tier.
+
+    Built from the propagator list and its kernel *plan* (see
+    :func:`repro.constraints.compile.build_kernels`); only comparator,
+    mux and small linear rows participate — Boolean gates live on the
+    cheap tier where a batch sweep cannot pay for itself.
+    """
+
+    #: Sweep only when the expensive queue is at least this deep.  The
+    #: specialized kernels make an individual run nearly as cheap as one
+    #: gathered NumPy row, so a sweep only pays for itself on the deep
+    #: saturation queues (initial propagation, wide frontiers) where the
+    #: batch amortizes the gather; shallow steady-state queues run the
+    #: kernels directly.
+    MIN_QUEUE = 48
+    #: Skip a family whose queued cohort is smaller than this.
+    MIN_BATCH = 24
+    #: Expensive propagators actually run since the last sweep before a
+    #: new sweep is worthwhile (freshly swept flags are still valid).
+    DEBT_THRESHOLD = 32
+
+    def __init__(self, propagators: Sequence, plan: Sequence) -> None:
+        np = _get_numpy()
+        if np is None:  # pragma: no cover - callers resolve impl first
+            raise SolverError(
+                "VectorizedFilter requires NumPy (pip install .[fast])"
+            )
+        self._np = np
+        #: position -> (family, row); families: 0=comparator 1=mux 2=linear.
+        self._cohort: Dict[int, Tuple[int, int]] = {}
+        #: position -> watched variable indices (staleness test).
+        self._vars_of: Dict[int, Tuple[int, ...]] = {}
+        self._cmp_pi: List[int] = []
+        self._cmp_xi: List[int] = []
+        self._cmp_yi: List[int] = []
+        self._cmp_kind: List[int] = []
+        self._mux_oi: List[int] = []
+        self._mux_si: List[int] = []
+        self._mux_ti: List[int] = []
+        self._mux_ei: List[int] = []
+        self._lin_const: List[int] = []
+        self._lin_coeff: Tuple[List[int], ...] = ([], [], [], [])
+        self._lin_idx: Tuple[List[int], ...] = ([], [], [], [])
+        #: Flagged-no-op positions of the current validity window.
+        self._flags: Set[int] = set()
+        self._mark = 0
+        #: Expensive runs since the last sweep; starts saturated so the
+        #: first deep queue (initial saturation) sweeps immediately.
+        self._debt = self.DEBT_THRESHOLD
+        #: Statistics.
+        self.sweeps = 0
+        self.flagged = 0
+        self.extend(propagators, plan, 0)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _int64_safe(prop) -> bool:
+        """Can every intermediate of this linear row's math fit int64?
+
+        Bounds all terms by the *initial* domains (narrowing is
+        monotone, so live bounds are always inside them); residuals are
+        at most ``|constant| + 2 * sum(|c_j| * max|domain_j|)``.
+        """
+        total = abs(prop.constant)
+        for coeff, var in zip(prop.coeffs, prop.variables):
+            domain = var.initial_domain
+            magnitude = max(abs(domain.lo), abs(domain.hi))
+            total += 2 * abs(coeff) * magnitude
+        return total < _INT64_LIMIT
+
+    def extend(self, propagators: Sequence, plan: Sequence, base: int) -> None:
+        """Absorb appended propagators (engine/frame extension path)."""
+        for offset, (prop, entry) in enumerate(zip(propagators, plan)):
+            if entry is None:
+                continue
+            family = entry[0]
+            position = base + offset
+            if family == "cmp":
+                row = len(self._cmp_pi)
+                self._cmp_pi.append(prop.pred.index)
+                self._cmp_xi.append(prop.x.index)
+                self._cmp_yi.append(prop.y.index)
+                self._cmp_kind.append(entry[1])
+                self._cohort[position] = (0, row)
+            elif family == "mux":
+                row = len(self._mux_oi)
+                self._mux_oi.append(prop.out.index)
+                self._mux_si.append(prop.sel.index)
+                self._mux_ti.append(prop.then_var.index)
+                self._mux_ei.append(prop.else_var.index)
+                self._cohort[position] = (1, row)
+            elif family == "lin":
+                if not self._int64_safe(prop):
+                    continue
+                row = len(self._lin_const)
+                coeffs = prop.coeffs
+                variables = prop.variables
+                for slot in range(4):
+                    if slot < len(coeffs):
+                        self._lin_coeff[slot].append(coeffs[slot])
+                        self._lin_idx[slot].append(variables[slot].index)
+                    else:
+                        self._lin_coeff[slot].append(0)
+                        self._lin_idx[slot].append(0)
+                self._lin_const.append(prop.constant)
+                self._cohort[position] = (2, row)
+            else:
+                # Gate families run on the cheap tier — never swept.
+                continue
+            self._vars_of[position] = tuple(
+                v.index for v in prop.variables
+            )
+        self.invalidate()
+
+    # ------------------------------------------------------------------
+    # Validity window
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every flag (called on backtrack and extension).
+
+        Backtracking widens bounds while popping trail events, which
+        would defeat the per-pop ``latest_event >= mark`` staleness
+        test; a wholesale invalidation restores the invariant that the
+        mark is monotone within a validity window.
+        """
+        self._flags.clear()
+
+    def note_run(self) -> None:
+        """Record that an expensive propagator actually executed."""
+        self._debt += 1
+
+    def maybe_sweep(self, queue, store) -> None:
+        """Sweep when the queue is deep and enough work ran since last."""
+        if len(queue) >= self.MIN_QUEUE and self._debt >= self.DEBT_THRESHOLD:
+            self.sweep(queue, store)
+
+    def is_noop(self, position: int, store) -> bool:
+        """Honour a flag only while the swept bounds are still current."""
+        flags = self._flags
+        if position not in flags:
+            return False
+        mark = self._mark
+        latest = store.latest_event
+        for index in self._vars_of[position]:
+            event_id = latest[index]
+            if event_id is not None and event_id >= mark:
+                flags.discard(position)
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def sweep(self, queue, store) -> None:
+        """Recompute no-op flags for the queued filterable cohorts."""
+        self.sweeps += 1
+        self._debt = 0
+        self._flags.clear()
+        self._mark = len(store.trail)
+        cohort = self._cohort
+        cmp_rows: List[int] = []
+        cmp_pos: List[int] = []
+        mux_rows: List[int] = []
+        mux_pos: List[int] = []
+        lin_rows: List[int] = []
+        lin_pos: List[int] = []
+        for position in queue:
+            entry = cohort.get(position)
+            if entry is None:
+                continue
+            family, row = entry
+            if family == 0:
+                cmp_rows.append(row)
+                cmp_pos.append(position)
+            elif family == 1:
+                mux_rows.append(row)
+                mux_pos.append(position)
+            else:
+                lin_rows.append(row)
+                lin_pos.append(position)
+        if len(cmp_rows) >= self.MIN_BATCH:
+            self._sweep_cmp(cmp_rows, cmp_pos, store)
+        if len(mux_rows) >= self.MIN_BATCH:
+            self._sweep_mux(mux_rows, mux_pos, store)
+        if len(lin_rows) >= self.MIN_BATCH:
+            self._sweep_lin(lin_rows, lin_pos, store)
+
+    def _gather(self, indices, values):
+        np = self._np
+        return np.fromiter(
+            itemgetter(*indices)(values), np.int64, len(indices)
+        )
+
+    def _flag(self, noop, positions: List[int]) -> None:
+        flags = self._flags
+        hits = self._np.nonzero(noop)[0]
+        for i in hits.tolist():
+            flags.add(positions[i])
+        self.flagged += len(hits)
+
+    def _sweep_cmp(self, rows, positions, store) -> None:
+        np = self._np
+        get = itemgetter(*rows)
+        pi = get(self._cmp_pi)
+        xi = get(self._cmp_xi)
+        yi = get(self._cmp_yi)
+        kind = np.fromiter(get(self._cmp_kind), np.int64, len(rows))
+        lo = store.lo
+        hi = store.hi
+        pl = self._gather(pi, lo)
+        ph = self._gather(pi, hi)
+        xl = self._gather(xi, lo)
+        xh = self._gather(xi, hi)
+        yl = self._gather(yi, lo)
+        yh = self._gather(yi, hi)
+        is_eq = kind == 0
+        is_ne = kind == 1
+        is_lt = kind == 2
+        # Unassigned predicate: no-op iff _decided() returns None.
+        point_pair = (xl == xh) & (yl == yh)
+        un_eqne = ~point_pair & ~((xh < yl) | (yh < xl))
+        un_lt = ~((xh < yl) | (xl >= yh))
+        un_le = ~((xh <= yl) | (xl > yh))
+        noop_un = np.where(is_lt, un_lt, np.where(is_eq | is_ne, un_eqne, un_le))
+        # Assigned predicate: no-op iff applying the (possibly negated)
+        # relation changes neither operand and raises no conflict.
+        v1 = pl == 1
+        noop_eq = (xl == yl) & (xh == yh)
+        x_point = xl == xh
+        y_point = yl == yh
+        ne_c1 = y_point & x_point & (xl == yl)
+        ne_chx = (
+            y_point & ~x_point & (xl <= yl) & (yl <= xh)
+            & ((yl == xl) | (yl == xh))
+        )
+        ne_chy = (
+            x_point & ~y_point & (yl <= xl) & (xl <= yh)
+            & ((xl == yl) | (xl == yh))
+        )
+        noop_ne = ~(ne_c1 | ne_chx | ne_chy)
+        noop_lt = np.where(v1, (xh < yh) & (xl < yl), (yh <= xh) & (yl <= xl))
+        noop_le = np.where(v1, (xh <= yh) & (xl <= yl), (yh < xh) & (yl < xl))
+        eq_apply = (is_eq & v1) | (is_ne & ~v1)
+        noop_as = np.where(
+            eq_apply,
+            noop_eq,
+            np.where(
+                is_eq | is_ne,
+                noop_ne,
+                np.where(is_lt, noop_lt, noop_le),
+            ),
+        )
+        self._flag(np.where(pl != ph, noop_un, noop_as), positions)
+
+    def _sweep_mux(self, rows, positions, store) -> None:
+        np = self._np
+        get = itemgetter(*rows)
+        lo = store.lo
+        hi = store.hi
+        oi = get(self._mux_oi)
+        si = get(self._mux_si)
+        ti = get(self._mux_ti)
+        ei = get(self._mux_ei)
+        ol = self._gather(oi, lo)
+        oh = self._gather(oi, hi)
+        sl = self._gather(si, lo)
+        sh = self._gather(si, hi)
+        tl = self._gather(ti, lo)
+        th = self._gather(ti, hi)
+        el = self._gather(ei, lo)
+        eh = self._gather(ei, hi)
+        # Select assigned: out and the chosen branch meet; no-op iff they
+        # are already equal.
+        sel_one = sl == 1
+        cl = np.where(sel_one, tl, el)
+        ch = np.where(sel_one, th, eh)
+        noop_assigned = (ol == cl) & (oh == ch)
+        # Select open: hull-narrow the output, then check that at least
+        # one branch stays compatible.
+        hl = np.minimum(tl, el)
+        hh = np.maximum(th, eh)
+        hull_noop = (hl <= ol) & (hh >= oh)
+        then_ok = (ol <= th) & (tl <= oh)
+        else_ok = (ol <= eh) & (el <= oh)
+        noop_open = hull_noop & (then_ok | else_ok)
+        self._flag(np.where(sl == sh, noop_assigned, noop_open), positions)
+
+    def _sweep_lin(self, rows, positions, store) -> None:
+        np = self._np
+        get = itemgetter(*rows)
+        n = len(rows)
+        lo = store.lo
+        hi = store.hi
+        const = np.fromiter(get(self._lin_const), np.int64, n)
+        coeffs = []
+        lo_s = []
+        hi_s = []
+        t_lo = []
+        t_hi = []
+        total_lo = np.zeros(n, np.int64)
+        total_hi = np.zeros(n, np.int64)
+        for slot in range(4):
+            c = np.fromiter(get(self._lin_coeff[slot]), np.int64, n)
+            idx = get(self._lin_idx[slot])
+            slot_lo = self._gather(idx, lo)
+            slot_hi = self._gather(idx, hi)
+            s_lo = np.where(c >= 0, c * slot_lo, c * slot_hi)
+            s_hi = np.where(c >= 0, c * slot_hi, c * slot_lo)
+            coeffs.append(c)
+            lo_s.append(slot_lo)
+            hi_s.append(slot_hi)
+            t_lo.append(s_lo)
+            t_hi.append(s_hi)
+            total_lo += s_lo
+            total_hi += s_hi
+        # A run acts iff the totals exclude the constant (conflict) or
+        # any slot's residual bound would tighten its variable.
+        act = (total_lo > const) | (total_hi < const)
+        for slot in range(4):
+            c = coeffs[slot]
+            nonzero = c != 0
+            safe = np.where(nonzero, c, 1)
+            res_lo = const - (total_hi - t_hi[slot])
+            res_hi = const - (total_lo - t_lo[slot])
+            vlo = np.where(c > 0, -((-res_lo) // safe), -((-res_hi) // safe))
+            vhi = np.where(c > 0, res_hi // safe, res_lo // safe)
+            act |= nonzero & ((vlo > lo_s[slot]) | (vhi < hi_s[slot]))
+        self._flag(~act, positions)

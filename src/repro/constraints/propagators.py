@@ -18,6 +18,16 @@ Three propagator families cover the whole operator set:
   the predicate value narrows intervals, Equations 2/3).
 * :class:`BoolGateProp` — atomic Boolean operators (rule 1), with the
   usual controlling/non-controlling value implications.
+
+These classes are the *reference* propagation core and the behavioural
+oracle.  The accelerated cores (``SolverConfig.engine_impl`` of
+``"specialized"`` / ``"vectorized"``) run exec()-generated kernels from
+:mod:`repro.constraints.compile` that unroll each ``propagate`` method
+below into straight-line array code — any semantic change here (bounds
+maths, event kinds, antecedent order, counter bumps) must be mirrored
+in the matching kernel template, and the differential sweep in
+``tests/constraints/test_differential.py`` holds the two bit-for-bit
+equal.
 """
 
 from __future__ import annotations

@@ -115,6 +115,10 @@ class DomainStore:
         self.decision_level = 0
         #: trail length at the start of each level; _level_marks[0] == 0.
         self._level_marks: List[int] = [0]
+        #: Monotone count of narrowing events ever recorded (backtracking
+        #: does not decrement) — the denominator-free throughput counter
+        #: behind the harness's narrowings/sec metric.
+        self.narrowings = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -247,6 +251,7 @@ class DomainStore:
             prev_on_var=self.latest_event[index],
         )
         self.trail.append(event)
+        self.narrowings += 1
         self.domains[index] = meet
         self.lo[index] = meet_lo
         self.hi[index] = meet_hi

@@ -68,6 +68,15 @@ class SolverConfig:
     #: sessions; activity-based eviction (reason clauses are never
     #: evicted) kicks in above it.  0 disables the cap.
     clause_db_max_learned: int = 8000
+    #: Propagation inner-loop implementation: ``"reference"`` (the
+    #: oracle — per-propagator dict dispatch), ``"specialized"``
+    #: (per-circuit unrolled kernel functions, no NumPy needed) or
+    #: ``"vectorized"`` (specialized kernels plus NumPy batch sweeps
+    #: that skip provably no-op propagator runs; falls back to
+    #: ``"reference"`` with a logged warning when NumPy is absent).
+    #: All three are bit-for-bit equivalent: same trail, same
+    #: conflicts, same models, same counters.
+    engine_impl: str = "reference"
 
     def with_overrides(self, **kwargs) -> "SolverConfig":
         """A copy of this config with the given fields replaced."""

@@ -17,7 +17,10 @@ from repro.constraints.clause import Clause
 from repro.constraints.compile import CompiledSystem
 from repro.constraints.store import DomainStore
 from repro.constraints.variable import Variable, VarOrigin
-from repro.rtl.levelize import transitive_fanout_count
+from repro.rtl.levelize import (
+    transitive_fanout_count,
+    transitive_fanout_counts,
+)
 
 
 class ActivityOrder:
@@ -33,10 +36,18 @@ class ActivityOrder:
         self.store = store
         self.candidates: List[Variable] = system.boolean_net_vars
         self.activity: Dict[int, float] = {}
+        # Batch the structural seeds: one reverse-topological bitset
+        # pass over the circuit instead of one cone walk per candidate.
+        # (``add_candidates`` keeps the per-net walk — frame-extension
+        # cones are tiny suffixes, where a full-circuit pass would cost
+        # more than it saves.)
+        nets = []
         for var in self.candidates:
             assert var.net_index is not None
-            net = system.circuit.nets[var.net_index]
-            self.activity[var.index] = float(transitive_fanout_count(net))
+            nets.append(system.circuit.nets[var.net_index])
+        counts = transitive_fanout_counts(system.circuit, nets)
+        for var, net in zip(self.candidates, nets):
+            self.activity[var.index] = float(counts[net.index])
         self._heap: List[Tuple[float, int]] = []
         self._var_by_index = {var.index: var for var in self.candidates}
         self._rebuild_heap()

@@ -37,6 +37,7 @@ from repro.constraints.compile import (
     CompiledSystem,
     compile_circuit,
     extend_compiled,
+    netlist_signature,
 )
 from repro.constraints.engine import PropagationEngine
 from repro.constraints.store import ASSUMPTION, Conflict, DomainStore
@@ -123,7 +124,18 @@ class HdpllSolver:
             mux_select_implication=self.config.mux_select_implication,
         )
         self.store = DomainStore(self.system.variables)
-        self.engine = PropagationEngine(self.store, self.system.propagators)
+        plan_key = None
+        if self.config.engine_impl != "reference":
+            plan_key = netlist_signature(
+                circuit.topological_nodes(),
+                "msi" if self.config.mux_select_implication else "",
+            )
+        self.engine = PropagationEngine(
+            self.store,
+            self.system.propagators,
+            impl=self.config.engine_impl,
+            plan_key=plan_key,
+        )
         if self._prof is not None:
             self.engine.enable_timing()
         self.order = ActivityOrder(
@@ -227,6 +239,19 @@ class HdpllSolver:
                 # at the shared level-0 state for the next query.
                 self._backtrack(0)
                 self._assumption_plan = None
+
+        # Throughput gauges; computed here (not in _finish) because the
+        # time split is only final once _solve returned.  The learning
+        # phase drives the same propagation engine (and typically most
+        # of the propagations), so the denominator covers both phases.
+        engine_seconds = self.stats.solve_time + self.stats.learn_time
+        if engine_seconds > 0:
+            self.stats.props_per_sec = (
+                self.stats.propagations / engine_seconds
+            )
+            self.stats.narrowings_per_sec = (
+                self.stats.narrowings / engine_seconds
+            )
 
         if self._prof is not None:
             self._attribute_engine_phases()
@@ -383,6 +408,8 @@ class HdpllSolver:
             "watch_moves": self.engine.clause_db.watch_moves,
             "heap_picks": self.order.picks,
             "heap_stale_pops": self.order.stale_pops,
+            "narrowings": self.store.narrowings,
+            "props_filtered": self.engine.props_filtered,
         }
         # Engine clock snapshot so profiler attribution stays per-query;
         # session-level learning accounts for its own propagation time.
@@ -416,13 +443,20 @@ class HdpllSolver:
         """
         if self.store.decision_level != 0:
             raise SolverError("extension is only legal at level 0")
+        nodes = list(nodes)
         extension = extend_compiled(
             self.system,
             nodes,
             mux_select_implication=self.config.mux_select_implication,
         )
         self.store.add_variables(extension.variables)
-        self.engine.extend(extension.propagators)
+        plan_key = None
+        if self.engine.impl != "reference":
+            plan_key = netlist_signature(
+                nodes,
+                "msi" if self.config.mux_select_implication else "",
+            )
+        self.engine.extend(extension.propagators, plan_key)
         self.order.add_candidates(self.system, extension.variables)
         if self._structural is not None:
             from repro.core.justify import StructuralDecide
@@ -948,6 +982,16 @@ class HdpllSolver:
             self.order.stale_pops - marks.get("heap_stale_pops", 0)
         )
         self.stats.clauses_evicted = self.engine.clause_db.clauses_evicted
+        self.stats.narrowings = (
+            self.store.narrowings - marks.get("narrowings", 0)
+        )
+        self.stats.props_filtered = (
+            self.engine.props_filtered - marks.get("props_filtered", 0)
+        )
+        # Plan-cache counters are engine-lifetime totals, not per-query
+        # deltas: they describe construction/extension work, not search.
+        self.stats.kernel_plan_hits = self.engine.kernel_plan_hits
+        self.stats.kernel_plan_misses = self.engine.kernel_plan_misses
         hits, misses = interval_cache_stats()
         delta_hits = hits - self._cache_mark[0]
         delta_total = delta_hits + misses - self._cache_mark[1]

@@ -80,6 +80,15 @@ STAT_SPEC = {
     #: Node counts around the optional ``rtl.optimize`` pre-pass.
     "optimize_nodes_before": ("counter", 0),
     "optimize_nodes_after": ("counter", 0),
+    #: Domain-store trail events (actual bound tightenings) this solve.
+    "narrowings": ("counter", 0),
+    #: Expensive-tier pops skipped by the vectorized no-op filter
+    #: (still counted in ``propagations``; see engine parity contract).
+    "props_filtered": ("counter", 0),
+    #: Specialized-kernel plan cache hits/misses (engine construction
+    #: and frame extension; reference engine reports zero for both).
+    "kernel_plan_hits": ("counter", 0),
+    "kernel_plan_misses": ("counter", 0),
     #: Wall-clock seconds spent in predicate learning pre-processing.
     "learn_time": ("gauge", 0.0),
     #: Wall-clock seconds spent in search (excludes learn_time).
@@ -91,6 +100,10 @@ STAT_SPEC = {
     "interval_cache_hit_rate": ("gauge", 0.0),
     #: hits / (hits + misses) of the probe cone cache (sessions).
     "probe_cache_hit_rate": ("gauge", 0.0),
+    #: Propagation throughput over this solve's wall time (0.0 when the
+    #: solve finished too fast to time).
+    "props_per_sec": ("gauge", 0.0),
+    "narrowings_per_sec": ("gauge", 0.0),
     #: installed / received for shared-clause import (portfolio).
     "share_import_hit_rate": ("gauge", 0.0),
 }

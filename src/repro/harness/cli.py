@@ -42,10 +42,30 @@ PROFILED_ENGINES = TRACEABLE_ENGINES + ("bmc-session",)
 PROFILE_DRIFT_TOLERANCE = 0.10
 
 
+#: ``--engine-impl`` value -> engine-name suffix (reference is the
+#: unsuffixed default; see ``runner.ENGINE_IMPL_SUFFIXES``).
+_IMPL_SUFFIXES = {"reference": "", "specialized": "-spec", "vectorized": "-vec"}
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--timeout", type=float, default=120.0, help="per-run timeout (s)"
     )
+
+
+def _add_engine_impl(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine-impl",
+        choices=tuple(_IMPL_SUFFIXES),
+        default="reference",
+        help="propagation core: the reference engine, per-circuit "
+        "specialized kernels, or kernels plus the NumPy batch filter",
+    )
+
+
+def _with_impl(engine: str, impl: str) -> str:
+    """``("hdpll+sp", "specialized")`` -> ``"hdpll+sp-spec"``."""
+    return engine + _IMPL_SUFFIXES[impl]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the rtl.optimize pre-pass before compiling "
         "(default off)",
     )
+    _add_engine_impl(solve)
     _add_common(solve)
 
     trace = sub.add_parser(
@@ -122,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="narrate an existing trace file instead of solving",
     )
+    _add_engine_impl(trace)
     _add_common(trace)
 
     profile = sub.add_parser(
@@ -132,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--engine", choices=PROFILED_ENGINES, default="hdpll+sp"
     )
+    _add_engine_impl(profile)
     _add_common(profile)
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
@@ -192,7 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--profile",
-        choices=("smoke", "full", "bmc", "portfolio"),
+        choices=("smoke", "full", "bmc", "portfolio", "prop"),
         default="smoke",
     )
     bench.add_argument(
@@ -259,16 +282,17 @@ def _trace_command(args) -> int:
         )
         return 2
     inst = instance(args.case, args.bound)
+    engine = _with_impl(args.engine, args.engine_impl)
     profiler = PhaseProfiler()
     with TraceEmitter.open(args.output) as tracer:
         observation = Observation(tracer=tracer, profiler=profiler)
         record = run_engine(
-            inst, args.engine, args.timeout, observation=observation
+            inst, engine, args.timeout, observation=observation
         )
     events = read_trace(args.output)
     errors = validate_trace(events, complete=record.status != "-A-")
     print(
-        f"{inst.name} [{args.engine}]: {record.status} in "
+        f"{inst.name} [{engine}]: {record.status} in "
         f"{record.seconds:.2f}s — {len(events)} trace events "
         f"written to {args.output}"
     )
@@ -311,15 +335,16 @@ def _profile_command(args) -> int:
     from repro.obs import Observation, PhaseProfiler
 
     inst = instance(args.case, args.bound)
+    engine = _with_impl(args.engine, args.engine_impl)
     profiler = PhaseProfiler()
     record = run_engine(
         inst,
-        args.engine,
+        engine,
         args.timeout,
         observation=Observation(profiler=profiler),
     )
     print(
-        f"{inst.name} [{args.engine}]: {record.status} in "
+        f"{inst.name} [{engine}]: {record.status} in "
         f"{record.seconds:.2f}s"
     )
     if record.note:
@@ -327,6 +352,16 @@ def _profile_command(args) -> int:
     print()
     reported = record.solve_seconds + record.learn_seconds
     print(format_profile(profiler.report(), reference=reported))
+    if record.props_per_sec:
+        print()
+        print(
+            f"propagation core [{args.engine_impl}]: "
+            f"{record.propagations} propagations "
+            f"({record.props_per_sec:,.0f}/s), "
+            f"{record.narrowings} narrowings "
+            f"({record.narrowings_per_sec:,.0f}/s), "
+            f"{record.props_filtered} filtered"
+        )
     if record.session_solves:
         rate = record.probe_cache_hit_rate
         print()
@@ -370,7 +405,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "solve":
         inst = instance(args.case, args.bound)
-        engine = "portfolio" if args.portfolio else args.engine
+        engine = (
+            "portfolio"
+            if args.portfolio
+            else _with_impl(args.engine, args.engine_impl)
+        )
         record = run_engine(
             inst,
             engine,

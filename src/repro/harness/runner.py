@@ -21,6 +21,14 @@ the instance's circuit is rewritten by :func:`repro.rtl.optimize`
 before compiling, and the node counts around the pass land in
 ``optimize_nodes_before`` / ``optimize_nodes_after``.
 
+Any HDPLL-family engine (including ``bmc-session``/``bmc-oneshot`` and
+``portfolio``) may additionally carry an engine-implementation suffix
+selecting ``SolverConfig.engine_impl``: ``-ref`` (reference), ``-spec``
+(specialized kernels) or ``-vec`` (vectorized, NumPy).  The impl suffix
+is outermost: ``hdpll+sp-opt-vec`` optimizes the circuit and runs the
+vectorized engine.  All implementations are bit-for-bit equivalent, so
+the suffix only changes wall time, never statuses or counters.
+
 Counter fields on :class:`RunRecord` are filled from the solver's
 :meth:`~repro.core.SolverStats.as_dict` snapshot — any stats metric
 whose name matches a record field (modulo :data:`_STAT_FIELD_ALIASES`)
@@ -67,7 +75,28 @@ ENGINE_NAMES = (
     "bmc-oneshot",
     #: Single-query cube-and-conquer portfolio (``jobs`` sets its width).
     "portfolio",
+    #: Raw-propagation microbench (no search; see :func:`run_prop_drill`).
+    "prop",
 )
+
+
+#: Engine-name suffix -> ``SolverConfig.engine_impl`` value.
+ENGINE_IMPL_SUFFIXES = {
+    "-ref": "reference",
+    "-spec": "specialized",
+    "-vec": "vectorized",
+}
+
+
+def split_engine_impl(engine: str) -> tuple:
+    """``("hdpll+sp", "vectorized")`` for ``"hdpll+sp-vec"`` etc.
+
+    Names without an impl suffix map to ``engine_impl="reference"``.
+    """
+    for suffix, impl in ENGINE_IMPL_SUFFIXES.items():
+        if engine.endswith(suffix):
+            return engine[: -len(suffix)], impl
+    return engine, "reference"
 
 
 @dataclass
@@ -110,6 +139,13 @@ class RunRecord:
     #: Node counts around the optional ``rtl.optimize`` pre-pass.
     optimize_nodes_before: int = 0
     optimize_nodes_after: int = 0
+    #: Propagation-core throughput (all HDPLL engines).
+    narrowings: int = 0
+    props_filtered: int = 0
+    props_per_sec: float = 0.0
+    narrowings_per_sec: float = 0.0
+    kernel_plan_hits: int = 0
+    kernel_plan_misses: int = 0
     arith_ops: int = 0
     bool_ops: int = 0
     note: str = ""
@@ -162,13 +198,109 @@ def _hdpll_config(
     engine: str,
     timeout: Optional[float],
     learning_threshold: Optional[int],
+    engine_impl: str = "reference",
 ) -> SolverConfig:
     return SolverConfig(
         structural_decisions=engine in ("hdpll+s", "hdpll+sp"),
         predicate_learning=engine in ("hdpll+p", "hdpll+sp"),
         learning_threshold=learning_threshold,
         timeout=timeout,
+        engine_impl=engine_impl,
     )
+
+
+#: Probe-sweep repetitions for the raw-propagation microbench.
+#: Chosen so the smallest ITC'99 unrollings still spend >100ms inside
+#: the fixpoint, keeping per-run timer noise under a few percent.
+PROP_DRILL_REPEATS = 10
+
+
+def run_prop_drill(
+    instance: BmcInstance,
+    engine_impl: str = "reference",
+    repeats: int = PROP_DRILL_REPEATS,
+) -> RunRecord:
+    """Raw-propagation microbench: the BCP+ICP fixpoint in isolation.
+
+    Builds the solver for ``instance`` but never searches.  One timed
+    region covers the root fixpoint (assumptions asserted at level 0,
+    then ``enqueue_all`` + ``propagate``) followed by ``repeats`` probe
+    sweeps modelled on the BMC session's probe pass: for every variable
+    left unfixed at the root, push a decision level, split its domain to
+    the lower half, propagate the fanout cone to fixpoint, and backtrack
+    to the root.  Every repetition redoes identical narrowing work, so
+    the drill measures propagation-core throughput with zero search,
+    conflict-analysis, or learning share — the denominator the
+    engine-impl speedup gates divide by.
+
+    Status is deterministic ("U" iff the root fixpoint conflicts, else
+    "S"; probe conflicts are expected and merely end that probe), so
+    per-instance status parity across engine impls is meaningful and
+    gated exactly like the full-solve profiles.
+    """
+    from repro.constraints.store import DECISION, Conflict
+    from repro.core.hdpll import HdpllSolver
+    from repro.intervals.interval import Interval
+
+    record = RunRecord(
+        case=instance.name.rsplit("(", 1)[0],
+        bound=instance.bound,
+        engine="prop",
+        status="-A-",
+        seconds=0.0,
+    )
+    solver = HdpllSolver(
+        instance.circuit, SolverConfig(engine_impl=engine_impl)
+    )
+    store, engine = solver.store, solver.engine
+    narrow_bounds = store.narrow_bounds
+    propagate = engine.propagate
+    conflicted = False
+    start = time.perf_counter()
+    for name, value in instance.assumptions.items():
+        interval = (
+            value if isinstance(value, Interval) else Interval.point(value)
+        )
+        outcome = store.assume(solver.system.var_by_name(name), interval)
+        if isinstance(outcome, Conflict):
+            conflicted = True
+            break
+    if not conflicted:
+        engine.enqueue_all()
+        conflicted = propagate() is not None
+    if not conflicted:
+        # Probe targets are fixed by the root fixpoint, identical for
+        # every impl; the half-split lower bound stays the current lo so
+        # each probe narrows (never widens) and always fires an event.
+        probes = [
+            (var, store.lo[var.index],
+             (store.lo[var.index] + store.hi[var.index]) // 2)
+            for var in solver.system.variables
+            if store.lo[var.index] < store.hi[var.index]
+        ]
+        for _ in range(repeats):
+            for var, lo, mid in probes:
+                store.push_level()
+                outcome = narrow_bounds(var, lo, mid, DECISION)
+                if not isinstance(outcome, Conflict):
+                    propagate()
+                store.backtrack_to(0)
+                engine.notify_backtrack()
+    seconds = time.perf_counter() - start
+    record.status = "U" if conflicted else "S"
+    record.seconds = seconds
+    record.solve_seconds = seconds
+    record.propagations = engine.propagation_count
+    record.propagator_wakeups = engine.wakeup_count
+    record.narrowings = store.narrowings
+    record.props_filtered = engine.props_filtered
+    record.kernel_plan_hits = engine.kernel_plan_hits
+    record.kernel_plan_misses = engine.kernel_plan_misses
+    record.clause_visits = engine.clause_db.clause_visits
+    if seconds > 0.0:
+        record.props_per_sec = engine.propagation_count / seconds
+        record.narrowings_per_sec = store.narrowings / seconds
+    return record
 
 
 def run_engine(
@@ -197,8 +329,11 @@ def run_engine(
         arith_ops=stats.arith_ops,
         bool_ops=stats.bool_ops,
     )
-    base_engine = engine[:-4] if engine.endswith("-opt") else engine
-    optimize = optimize or engine.endswith("-opt")
+    base_engine, engine_impl = split_engine_impl(engine)
+    optimize = optimize or base_engine.endswith("-opt")
+    base_engine = (
+        base_engine[:-4] if base_engine.endswith("-opt") else base_engine
+    )
     logger.debug("run begin: %s engine=%s", instance.name, engine)
     start = time.perf_counter()
     try:
@@ -218,7 +353,8 @@ def run_engine(
                 jobs=jobs,
                 timeout=timeout,
                 base_config=SolverConfig(
-                    learning_threshold=learning_threshold
+                    learning_threshold=learning_threshold,
+                    engine_impl=engine_impl,
                 ),
                 optimize=optimize,
                 observation=observation,
@@ -237,7 +373,9 @@ def run_engine(
             result = solve_circuit(
                 circuit,
                 instance.assumptions,
-                _hdpll_config(base_engine, timeout, learning_threshold),
+                _hdpll_config(
+                    base_engine, timeout, learning_threshold, engine_impl
+                ),
                 observation=observation,
             )
             record.status = _status_letter(result)
@@ -261,7 +399,7 @@ def run_engine(
             record.status = _status_letter(result)
             apply_stats(record, result.stats)
             record.note = result.note
-        elif engine in ("bmc-session", "bmc-oneshot"):
+        elif base_engine in ("bmc-session", "bmc-oneshot"):
             from repro.bmc.session import (
                 bmc_sweep_oneshot,
                 bmc_sweep_session,
@@ -269,8 +407,10 @@ def run_engine(
 
             # The sweep solves bounds 1..instance.bound on the original
             # sequential circuit; ``timeout`` budgets the whole sweep.
-            config = SolverConfig(predicate_learning=True)
-            if engine == "bmc-session":
+            config = SolverConfig(
+                predicate_learning=True, engine_impl=engine_impl
+            )
+            if base_engine == "bmc-session":
                 results = bmc_sweep_session(
                     instance.sequential,
                     instance.prop,
@@ -313,6 +453,14 @@ def run_engine(
                     f"sweep incomplete: {len(results)}/{instance.bound} "
                     "bounds solved"
                 )
+        elif base_engine == "prop":
+            # Raw-propagation drill; ``record`` is rebuilt wholesale so
+            # the engine label keeps its impl suffix.
+            drill = run_prop_drill(instance, engine_impl)
+            drill.engine = engine
+            drill.arith_ops = record.arith_ops
+            drill.bool_ops = record.bool_ops
+            record = drill
         elif engine == "bitblast":
             satisfiable, _model, sat_result = solve_by_bitblasting(
                 instance.circuit, instance.assumptions, timeout=timeout

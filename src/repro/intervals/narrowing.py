@@ -19,6 +19,13 @@ Conventions
   ``(x', y')``.
 * All returned intervals are subsets of the corresponding inputs
   (narrowing is monotonic, Section 2.2 of the paper).
+
+The specialized propagation kernels in
+:mod:`repro.constraints.compile` inline the bounds arithmetic of these
+rules (on raw lo/hi ints, skipping Interval allocation) rather than
+calling them; a change to any rule here must be reflected in the
+corresponding kernel template, with the differential sweep as the
+referee.
 """
 
 from __future__ import annotations

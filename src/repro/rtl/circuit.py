@@ -112,6 +112,11 @@ class Circuit:
         self.outputs: Dict[str, Net] = {}
         self._net_by_name: Dict[str, Net] = {}
         self._next_auto = 0
+        #: Memoized topological order, keyed by node count.  Nodes are
+        #: append-only and the only post-construction operand mutation
+        #: is register next-state wiring (excluded from the dependency
+        #: walk), so the count fully determines the order.
+        self._topo_cache: Optional[Tuple[int, List[Node]]] = None
 
     # ------------------------------------------------------------------
     # Net management
@@ -348,7 +353,15 @@ class Circuit:
         does not create a combinational dependency), so a well-formed
         sequential circuit always has a topological order; a combinational
         cycle raises :class:`CircuitError`.
+
+        The order is memoized per node count — incremental consumers
+        (BMC frame extension re-levelizes per frame) would otherwise
+        repeat the full DFS many times per circuit.  A fresh list is
+        returned on every call so callers may mutate their copy.
         """
+        cached = self._topo_cache
+        if cached is not None and cached[0] == len(self.nodes):
+            return list(cached[1])
         order: List[Node] = []
         state = bytearray(len(self.nodes))  # 0 unvisited, 1 on stack, 2 done
         for root in self.nodes:
@@ -377,7 +390,8 @@ class Circuit:
                     state[node.index] = 2
                     order.append(node)
                     stack.pop()
-        return order
+        self._topo_cache = (len(self.nodes), order)
+        return list(order)
 
     def validate(self) -> None:
         """Check structural invariants; raises :class:`CircuitError`."""

@@ -13,6 +13,12 @@ from typing import Dict, Iterable, List, Set
 from repro.rtl.circuit import Circuit, Net, Node
 from repro.rtl.types import OpKind
 
+try:
+    _popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - 3.9 fallback
+    def _popcount(bits: int) -> int:
+        return bin(bits).count("1")
+
 
 def levelize(circuit: Circuit) -> Dict[int, int]:
     """Level of every net, keyed by net index.
@@ -77,6 +83,37 @@ def transitive_fanout_count(net: Net) -> int:
     original fanout").
     """
     return len(fanout_cone_nodes([net]))
+
+
+def transitive_fanout_counts(
+    circuit: Circuit, roots: Iterable[Net]
+) -> Dict[int, int]:
+    """``{net.index: transitive_fanout_count(net)}`` for many roots.
+
+    Cones overlap, so their sizes are not additive; each node's cone is
+    kept as a big-int bitset (bit = node index) and unioned over its
+    fanout users in one reverse-topological pass — O(edges) bitset ORs
+    instead of one full graph walk per root.  Registers terminate cones
+    exactly as in :func:`fanout_cone_nodes`, so the counts are equal to
+    the per-net walk's.
+    """
+    cone_bits: Dict[int, int] = {}
+    for node in reversed(circuit.topological_nodes()):
+        if node.kind is OpKind.REG:
+            continue
+        bits = 1 << node.index
+        for user in node.output.fanouts:
+            if user.kind is not OpKind.REG:
+                bits |= cone_bits[user.index]
+        cone_bits[node.index] = bits
+    counts: Dict[int, int] = {}
+    for net in roots:
+        bits = 0
+        for user in net.fanouts:
+            if user.kind is not OpKind.REG:
+                bits |= cone_bits[user.index]
+        counts[net.index] = _popcount(bits)
+    return counts
 
 
 def nets_by_level(circuit: Circuit) -> List[Net]:

@@ -50,6 +50,25 @@ def _test_jobs() -> int:
     return int(os.environ.get("REPRO_TEST_JOBS", "1"))
 
 
+def _engine_impls() -> List[str]:
+    """Propagation-core impls swept by the differential oracles.
+
+    ``REPRO_TEST_ENGINES`` (comma-separated) restricts the sweep;
+    the default is every impl available in this interpreter (the
+    vectorized engine needs NumPy and is skipped without it).
+    """
+    from repro.constraints.fastpath import numpy_available
+
+    requested = os.environ.get("REPRO_TEST_ENGINES")
+    if requested:
+        impls = [name.strip() for name in requested.split(",") if name.strip()]
+    else:
+        impls = ["reference", "specialized", "vectorized"]
+        if not numpy_available():
+            impls.remove("vectorized")
+    return impls
+
+
 def _run_chunked(worker, label: str) -> List[str]:
     """Fan seed chunks over the pool; merge per-chunk failure lists."""
     chunks = [
@@ -100,8 +119,15 @@ def _random_bool_clauses(rng: random.Random, variables) -> List[List]:
     return specs
 
 
-def _fixpoint_pair(seed: int):
-    """Level-0 fixpoints of the optimized and reference engines."""
+def _fixpoint_pair(
+    seed: int, impl: str = "reference", with_reference: bool = True
+):
+    """Level-0 fixpoints of the optimized and reference engines.
+
+    ``with_reference=False`` skips the naive-oracle run (the expensive
+    half) and returns ``None`` in its place — the impl sweep only needs
+    one oracle fixpoint per seed.
+    """
     circuit = random_combinational_circuit(
         seed, **_PARAM_SETS[seed % len(_PARAM_SETS)]
     )
@@ -115,7 +141,7 @@ def _fixpoint_pair(seed: int):
 
     def run_optimized():
         store = DomainStore(system.variables)
-        engine = PropagationEngine(store, system.propagators)
+        engine = PropagationEngine(store, system.propagators, impl=impl)
         for spec in clause_specs:
             clause = Clause(
                 tuple(make_bool_lit(var, value) for var, value in spec)
@@ -161,34 +187,89 @@ def _fixpoint_pair(seed: int):
             store, system.propagators, clause_db
         )
 
-    return run_optimized(), run_reference()
+    return run_optimized(), (run_reference() if with_reference else None)
+
+
+def _trail_key(store) -> List[tuple]:
+    """Bit-for-bit trail fingerprint: every event's observable fields."""
+    return [
+        (
+            event.var.index,
+            event.new.lo,
+            event.new.hi,
+            event.level,
+            event.kinds,
+            event.prev_on_var,
+            len(event.antecedents),
+        )
+        for event in store.trail
+    ]
 
 
 def _fixpoint_chunk(seeds: Sequence[int]) -> List[str]:
     """Compare engines over a seed range; return failure messages."""
+    impls = _engine_impls()
     failures: List[str] = []
     for seed in seeds:
-        (opt_store, opt_conflict), (ref_store, ref_conflict) = (
-            _fixpoint_pair(seed)
-        )
-        if (opt_conflict is None) != (ref_conflict is None):
-            failures.append(
-                f"seed {seed}: optimized conflict {opt_conflict!r} vs "
-                f"reference {ref_conflict!r}"
+        runs = {}
+        naive = None
+        for index, impl in enumerate(impls):
+            (opt_store, opt_conflict), oracle = _fixpoint_pair(
+                seed, impl, with_reference=index == 0
             )
-            continue
-        if opt_conflict is None:
-            if opt_store.lo != ref_store.lo:
-                failures.append(f"seed {seed}: lo differs")
-            if opt_store.hi != ref_store.hi:
-                failures.append(f"seed {seed}: hi differs")
-            if opt_store.domains != ref_store.domains:
-                failures.append(f"seed {seed}: interned domains differ")
+            runs[impl] = (opt_store, opt_conflict)
+            if oracle is not None:
+                naive = oracle
+        ref_store, ref_conflict = naive
+        for impl, (opt_store, opt_conflict) in runs.items():
+            if (opt_conflict is None) != (ref_conflict is None):
+                failures.append(
+                    f"seed {seed} [{impl}]: optimized conflict "
+                    f"{opt_conflict!r} vs reference {ref_conflict!r}"
+                )
+                continue
+            if opt_conflict is None:
+                if opt_store.lo != ref_store.lo:
+                    failures.append(f"seed {seed} [{impl}]: lo differs")
+                if opt_store.hi != ref_store.hi:
+                    failures.append(f"seed {seed} [{impl}]: hi differs")
+                if opt_store.domains != ref_store.domains:
+                    failures.append(
+                        f"seed {seed} [{impl}]: interned domains differ"
+                    )
+        # Accelerated impls must match the reference *engine* (not just
+        # the naive oracle) bit-for-bit: identical trail events in
+        # identical order, and identical conflict shape.
+        base_impl = impls[0]
+        base_store, base_conflict = runs[base_impl]
+        base_trail = _trail_key(base_store)
+        for impl in impls[1:]:
+            store, conflict = runs[impl]
+            if _trail_key(store) != base_trail:
+                failures.append(
+                    f"seed {seed}: trail of {impl} differs from "
+                    f"{base_impl}"
+                )
+            if (conflict is None) != (base_conflict is None):
+                failures.append(
+                    f"seed {seed}: conflict-ness of {impl} differs "
+                    f"from {base_impl}"
+                )
+            elif conflict is not None and base_conflict is not None:
+                if (
+                    conflict.var is not None
+                ) != (base_conflict.var is not None) or len(
+                    conflict.antecedents
+                ) != len(base_conflict.antecedents):
+                    failures.append(
+                        f"seed {seed}: conflict shape of {impl} differs "
+                        f"from {base_impl}"
+                    )
     return failures
 
 
 def test_level0_fixpoint_matches_reference():
-    """Optimized and naive engines reach identical level-0 fixpoints."""
+    """Every engine impl reaches the naive fixpoint, bit-for-bit alike."""
     failures = _run_chunked(_fixpoint_chunk, "fixpoint")
     assert not failures, "\n".join(failures)
 
@@ -216,10 +297,17 @@ def _brute_force_sat(circuit, width: int) -> bool:
 
 
 def _bruteforce_chunk(seeds: Sequence[int]) -> List[str]:
-    """Solver-vs-enumeration oracle over a seed range."""
+    """Solver-vs-enumeration oracle over a seed range.
+
+    Every engine impl solves every (seed, config) cell; besides the
+    enumeration oracle, accelerated impls must reproduce the reference
+    impl's search bit-for-bit — same status, same model, same decision/
+    conflict/propagation counts.
+    """
+    impls = _engine_impls()
     configs = {
-        "hdpll": SolverConfig(),
-        "hdpll+sp": SolverConfig(
+        "hdpll": dict(),
+        "hdpll+sp": dict(
             structural_decisions=True, predicate_learning=True
         ),
     }
@@ -230,31 +318,66 @@ def _bruteforce_chunk(seeds: Sequence[int]) -> List[str]:
             seed, num_word_inputs=2, width=width, operations=8
         )
         expected = _brute_force_sat(circuit, width)
-        for label, config in configs.items():
-            result = solve_circuit(circuit, {"flag": 1}, config)
-            if result.status is Status.UNKNOWN:
-                failures.append(
-                    f"seed {seed} [{label}]: unexpected UNKNOWN "
-                    f"({result.note})"
-                )
-                continue
-            if result.is_sat != expected:
-                failures.append(
-                    f"seed {seed} [{label}]: solver says "
-                    f"{result.status.value}, brute force says "
-                    f"{'sat' if expected else 'unsat'}"
-                )
-                continue
-            if result.is_sat:
-                inputs = {
-                    net.name: result.model[net.name]
-                    for net in circuit.inputs
-                }
-                replay = simulate_combinational(circuit, inputs)
-                if replay["flag"] != 1:
+        for label, options in configs.items():
+            results = {}
+            for impl in impls:
+                config = SolverConfig(engine_impl=impl, **options)
+                result = solve_circuit(circuit, {"flag": 1}, config)
+                results[impl] = result
+                tag = f"{label}/{impl}"
+                if result.status is Status.UNKNOWN:
                     failures.append(
-                        f"seed {seed} [{label}]: model fails simulation"
+                        f"seed {seed} [{tag}]: unexpected UNKNOWN "
+                        f"({result.note})"
                     )
+                    continue
+                if result.is_sat != expected:
+                    failures.append(
+                        f"seed {seed} [{tag}]: solver says "
+                        f"{result.status.value}, brute force says "
+                        f"{'sat' if expected else 'unsat'}"
+                    )
+                    continue
+                if result.is_sat:
+                    inputs = {
+                        net.name: result.model[net.name]
+                        for net in circuit.inputs
+                    }
+                    replay = simulate_combinational(circuit, inputs)
+                    if replay["flag"] != 1:
+                        failures.append(
+                            f"seed {seed} [{tag}]: model fails simulation"
+                        )
+            base_impl = impls[0]
+            base = results[base_impl]
+            for impl in impls[1:]:
+                result = results[impl]
+                if result.status is not base.status:
+                    failures.append(
+                        f"seed {seed} [{label}]: {impl} status "
+                        f"{result.status.value} vs {base_impl} "
+                        f"{base.status.value}"
+                    )
+                    continue
+                if result.model != base.model:
+                    failures.append(
+                        f"seed {seed} [{label}]: {impl} model differs "
+                        f"from {base_impl}"
+                    )
+                for counter in (
+                    "decisions",
+                    "conflicts",
+                    "propagations",
+                    "narrowings",
+                    "propagator_wakeups",
+                ):
+                    mine = getattr(result.stats, counter)
+                    theirs = getattr(base.stats, counter)
+                    if mine != theirs:
+                        failures.append(
+                            f"seed {seed} [{label}]: {impl} "
+                            f"{counter}={mine} vs {base_impl} {theirs}"
+                        )
     return failures
 
 

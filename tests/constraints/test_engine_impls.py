@@ -1,0 +1,197 @@
+"""Engine-impl plumbing: selection, fallback, caching, and parity.
+
+The three propagation cores (``reference``, ``specialized``,
+``vectorized``) are one engine behaviourally; these tests cover the
+plumbing around that contract — config validation, the NumPy fallback,
+cache lifecycle under :func:`reset_interval_cache`, the engine-name
+suffix convention, and bit-for-bit parity of the raw-propagation drill
+and the incremental session sweep across impls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bmc import make_bmc_instance
+from repro.bmc.session import bmc_sweep_session
+from repro.constraints import compile_circuit
+from repro.constraints import compile as compile_mod
+from repro.constraints import fastpath
+from repro.constraints.engine import PropagationEngine
+from repro.constraints.store import DomainStore
+from repro.core import SolverConfig
+from repro.errors import SolverError
+from repro.harness.runner import (
+    run_engine,
+    run_prop_drill,
+    split_engine_impl,
+)
+from repro.intervals import reset_interval_cache
+from repro.itc99 import instance as itc99_instance
+from repro.itc99 import random_safety_property, random_sequential_circuit
+from repro.itc99.generator import random_combinational_circuit
+from repro.rtl.levelize import (
+    transitive_fanout_count,
+    transitive_fanout_counts,
+)
+
+ALL_IMPLS = ("reference", "specialized", "vectorized")
+
+
+def _available_impls():
+    if fastpath.numpy_available():
+        return ALL_IMPLS
+    return ("reference", "specialized")
+
+
+# ----------------------------------------------------------------------
+# Selection and fallback
+# ----------------------------------------------------------------------
+def test_unknown_engine_impl_rejected():
+    with pytest.raises(SolverError, match="unknown engine_impl"):
+        fastpath.resolve_engine_impl("turbo")
+
+
+def test_unknown_engine_impl_rejected_through_engine():
+    circuit = random_combinational_circuit(0, num_word_inputs=2, width=3)
+    system = compile_circuit(circuit)
+    store = DomainStore(system.variables)
+    with pytest.raises(SolverError, match="unknown engine_impl"):
+        PropagationEngine(store, system.propagators, impl="turbo")
+
+
+def test_vectorized_fallback_warns_once(monkeypatch, caplog):
+    monkeypatch.setattr(fastpath, "_NUMPY_STATE", [None])
+    monkeypatch.setattr(fastpath, "_WARNED", [False])
+    with caplog.at_level("WARNING", logger="repro"):
+        assert fastpath.resolve_engine_impl("vectorized") == "reference"
+        assert fastpath.resolve_engine_impl("vectorized") == "reference"
+    warnings = [
+        r for r in caplog.records if "falling back to 'reference'" in r.message
+    ]
+    assert len(warnings) == 1
+    assert "pip install .[fast]" in warnings[0].message
+
+
+def test_split_engine_impl():
+    assert split_engine_impl("hdpll+sp") == ("hdpll+sp", "reference")
+    assert split_engine_impl("hdpll+sp-ref") == ("hdpll+sp", "reference")
+    assert split_engine_impl("hdpll+sp-spec") == ("hdpll+sp", "specialized")
+    assert split_engine_impl("bmc-session-vec") == ("bmc-session", "vectorized")
+    assert split_engine_impl("prop-spec") == ("prop", "specialized")
+
+
+# ----------------------------------------------------------------------
+# Cache lifecycle
+# ----------------------------------------------------------------------
+def test_reset_interval_cache_clears_kernel_tables():
+    circuit = random_combinational_circuit(3, num_word_inputs=2, width=3)
+    system = compile_circuit(circuit)
+    signature = compile_mod.netlist_signature(circuit.topological_nodes())
+    store = DomainStore(system.variables)
+    PropagationEngine(
+        store, system.propagators, impl="specialized", plan_key=signature
+    )
+    assert signature in compile_mod._KERNEL_PLAN_CACHE
+    assert compile_mod._KERNEL_FACTORIES
+
+    reset_interval_cache()
+    assert not compile_mod._KERNEL_PLAN_CACHE
+    assert not compile_mod._KERNEL_FACTORIES
+    assert compile_mod.kernel_plan_stats() == (0, 0)
+
+    # A rebuild after the reset is a miss again, not a stale hit.
+    store = DomainStore(system.variables)
+    engine = PropagationEngine(
+        store, system.propagators, impl="specialized", plan_key=signature
+    )
+    assert engine.kernel_plan_misses == 1
+    assert engine.kernel_plan_hits == 0
+
+
+def test_plan_cache_shared_across_engines():
+    circuit = random_combinational_circuit(4, num_word_inputs=2, width=3)
+    system = compile_circuit(circuit)
+    signature = compile_mod.netlist_signature(circuit.topological_nodes())
+    reset_interval_cache()
+    first = PropagationEngine(
+        DomainStore(system.variables),
+        system.propagators,
+        impl="specialized",
+        plan_key=signature,
+    )
+    second = PropagationEngine(
+        DomainStore(system.variables),
+        system.propagators,
+        impl="specialized",
+        plan_key=signature,
+    )
+    assert first.kernel_plan_misses == 1
+    assert second.kernel_plan_hits == 1
+
+
+# ----------------------------------------------------------------------
+# Parity of the raw-propagation drill and the session sweep
+# ----------------------------------------------------------------------
+def test_prop_drill_parity_across_impls():
+    inst = itc99_instance("b01_1", 10)
+    records = {
+        impl: run_prop_drill(inst, impl, repeats=2)
+        for impl in _available_impls()
+    }
+    base = records["reference"]
+    assert base.status in ("S", "U")
+    assert base.propagations > 0
+    for impl, record in records.items():
+        assert record.status == base.status, impl
+        assert record.propagations == base.propagations, impl
+        assert record.narrowings == base.narrowings, impl
+        assert record.propagator_wakeups == base.propagator_wakeups, impl
+
+
+def test_prop_engine_runs_with_suffix():
+    inst = itc99_instance("b01_1", 10)
+    record = run_engine(inst, "prop-spec", timeout=60)
+    assert record.status in ("S", "U")
+    assert record.engine == "prop-spec"
+    assert record.props_per_sec > 0
+
+
+def test_session_sweep_parity_across_impls():
+    circuit = random_sequential_circuit(11, width=3, operations=10)
+    prop = random_safety_property()
+    sweeps = {}
+    for impl in _available_impls():
+        config = SolverConfig(predicate_learning=True, engine_impl=impl)
+        sweeps[impl] = bmc_sweep_session(circuit, prop, 4, config)
+    base = sweeps["reference"]
+    for impl, results in sweeps.items():
+        assert [r.status for r in results] == [r.status for r in base], impl
+        assert [r.stats.decisions for r in results] == [
+            r.stats.decisions for r in base
+        ], impl
+        assert [r.stats.conflicts for r in results] == [
+            r.stats.conflicts for r in base
+        ], impl
+        assert [r.stats.propagations for r in results] == [
+            r.stats.propagations for r in base
+        ], impl
+
+
+# ----------------------------------------------------------------------
+# Batched activity seeding
+# ----------------------------------------------------------------------
+def test_transitive_fanout_counts_matches_per_net_walk():
+    for seed in range(6):
+        circuit = random_sequential_circuit(seed, width=3, operations=12)
+        instance = make_bmc_instance(circuit, random_safety_property(), 3)
+        unrolled = instance.circuit
+        nets = [node.output for node in unrolled.nodes] + list(
+            unrolled.inputs
+        )
+        batched = transitive_fanout_counts(unrolled, nets)
+        for net in nets:
+            assert batched[net.index] == transitive_fanout_count(net), (
+                seed,
+                net.name,
+            )

@@ -144,7 +144,15 @@ def test_outcome_to_record_maps_statuses():
 # ----------------------------------------------------------------------
 def _strip_times(record):
     data = dict(record.__dict__)
-    for key in ("seconds", "solve_seconds", "learn_seconds"):
+    # Throughput gauges are wall-clock derived, so they vary between
+    # runs just like the raw times do.
+    for key in (
+        "seconds",
+        "solve_seconds",
+        "learn_seconds",
+        "props_per_sec",
+        "narrowings_per_sec",
+    ):
         data.pop(key, None)
     return data
 
