@@ -260,8 +260,17 @@ def run_profile(
     repeat: int = 2,
     jobs: int = 1,
     worker_dir: Optional[str] = None,
+    telemetry_dir: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run one profile's matrix; returns the report dictionary."""
+    """Run one profile's matrix; returns the report dictionary.
+
+    ``telemetry_dir`` runs the matrix under a
+    :class:`~repro.obs.telemetry.TelemetryHub`: every task gets a
+    clock-aligned trace/metrics shard, the merged ``timeline.jsonl``
+    and metrics exports are written there, and the report grows a
+    ``telemetry`` section with cross-worker phase aggregates and the
+    per-worker profiler drift check.
+    """
     if profile not in PROFILES:
         raise ValueError(f"unknown bench profile {profile!r}")
     spec = PROFILES[profile]
@@ -291,7 +300,30 @@ def run_profile(
         for case, bound, engine in matrix
         for _ in range(repeat)
     ]
-    records = run_engine_tasks(specs, jobs=pool_jobs, worker_dir=worker_dir)
+    hub = None
+    if telemetry_dir is not None:
+        from repro.obs.telemetry import TelemetryHub
+
+        hub = TelemetryHub(telemetry_dir)
+    records = run_engine_tasks(
+        specs, jobs=pool_jobs, worker_dir=worker_dir, telemetry=hub
+    )
+    telemetry_summary: Optional[Dict[str, object]] = None
+    if hub is not None:
+        merged = hub.merge()
+        phase_totals = merged.get("phase_totals") or {}
+        telemetry_summary = {
+            "directory": str(hub.directory),
+            "timeline": merged.get("timeline"),
+            "metrics": merged.get("metrics"),
+            "workers": len(merged.get("workers", [])),
+            "events": merged.get("events", 0),
+            "phase_totals": phase_totals,
+            "drift_errors": merged.get("drift_errors", []),
+            "flight_dumps": merged.get("flight_dumps", []),
+        }
+        for error in merged.get("drift_errors", []):  # type: ignore[union-attr]
+            logger.warning("profiler drift: %s", error)
     cells: List[BenchCell] = []
     for slot, (case, bound, engine) in enumerate(matrix):
         best = select_best(records[slot * repeat:(slot + 1) * repeat])
@@ -335,6 +367,11 @@ def run_profile(
         "speedup_gates": [
             dict(gate) for gate in spec.get("speedup_gates", ())  # type: ignore[attr-defined]
         ],
+        **(
+            {"telemetry": telemetry_summary}
+            if telemetry_summary is not None
+            else {}
+        ),
     }
     logger.info(
         "bench profile %s: %d cells, geomean %s",

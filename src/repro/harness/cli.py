@@ -9,10 +9,16 @@ Subcommands::
     repro-hdpll table1 --max-bound 30 --timeout 60
     repro-hdpll table2 --max-bound 30 --timeout 60
     repro-hdpll ablation
+    repro-hdpll report telemetry-dir/
+    repro-hdpll top telemetry-dir/ --once
     repro-hdpll list
 
 Global options: ``--log-level debug`` (or ``REPRO_LOG=debug``) wires the
-library's ``repro`` logger to stderr.
+library's ``repro`` logger to stderr (and is inherited by spawned
+workers); ``--telemetry-dir DIR`` gives multi-process commands
+(``bench``, ``solve --portfolio``) per-worker trace/metrics shards that
+are merged into one clock-aligned timeline — inspect it afterwards with
+``report`` (post-mortem) or ``top`` (live tail).
 """
 
 from __future__ import annotations
@@ -25,7 +31,11 @@ from repro.harness.experiments import run_ablation, run_table1, run_table2
 from repro.harness.runner import ENGINE_NAMES, run_engine
 from repro.harness.tables import format_records, format_table1, format_table2
 from repro.itc99 import available_cases, instance
-from repro.obs import configure_logging
+from repro.obs import (
+    PROFILE_DRIFT_TOLERANCE,
+    configure_logging,
+    profile_drift,
+)
 
 #: Engines that accept an Observation (tracing / profiling).
 TRACEABLE_ENGINES = tuple(
@@ -36,11 +46,6 @@ TRACEABLE_ENGINES = tuple(
 #: the incremental session sweep (phase profile + session counters; its
 #: trace interleaves several solves, so it stays out of ``trace``).
 PROFILED_ENGINES = TRACEABLE_ENGINES + ("bmc-session",)
-
-#: Flag a profile whose phase sum drifts more than this fraction from
-#: the solver-reported wall time (clock accounting has gone wrong).
-PROFILE_DRIFT_TOLERANCE = 0.10
-
 
 #: ``--engine-impl`` value -> engine-name suffix (reference is the
 #: unsuffixed default; see ``runner.ENGINE_IMPL_SUFFIXES``).
@@ -96,6 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for per-worker trace/log files (created on "
         "demand; only used by commands that run the worker pool)",
+    )
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="cross-process telemetry directory: every worker writes a "
+        "clock-aligned trace/metrics shard there and the run merges "
+        "them into timeline.jsonl + metrics.json/.prom (bench and "
+        "solve --portfolio; inspect with the report/top commands)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -247,6 +260,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(bench)
 
+    report = sub.add_parser(
+        "report",
+        help="merge a telemetry directory and print the run report "
+        "(worker lanes, cube lifecycle, clause flow, resource peaks)",
+    )
+    report.add_argument(
+        "directory", help="telemetry directory from a previous run"
+    )
+    report.add_argument(
+        "--narrate",
+        action="store_true",
+        help="also print the merged timeline narrative",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live tail of a telemetry directory while a run is active",
+    )
+    top.add_argument("directory", help="telemetry directory of a live run")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="refresh period in seconds (default 1.0)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (for scripts and CI)",
+    )
+
     sub.add_parser("list", help="list benchmark cases")
     return parser
 
@@ -319,10 +363,8 @@ def _check_profile_drift(report, reported: float) -> Optional[str]:
     only means something once the solve is long enough to measure.
     """
     phase_sum = report["top_level_total"]
-    if reported < 1e-3:
-        return None
-    drift = abs(phase_sum - reported) / reported
-    if drift > PROFILE_DRIFT_TOLERANCE:
+    drift = profile_drift(phase_sum, reported)
+    if drift is not None and drift > PROFILE_DRIFT_TOLERANCE:
         return (
             f"profiler phase sum {phase_sum:.4f}s deviates "
             f"{drift:.0%} from solver-reported {reported:.4f}s"
@@ -392,6 +434,56 @@ def _profile_command(args) -> int:
     return 0
 
 
+def _report_command(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import narrate, read_trace, validate_trace
+    from repro.obs.telemetry import format_report, merge_directory
+
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"report: no such directory: {directory}", file=sys.stderr)
+        return 2
+    # Re-merging is deterministic and tolerates shards added since the
+    # run wrote its timeline (e.g. a post-crash flight dump).
+    summary = merge_directory(directory)
+    if not summary["workers"]:
+        print(f"report: no telemetry shards in {directory}", file=sys.stderr)
+        return 2
+    print(format_report(summary))
+    if args.narrate:
+        timeline = summary.get("timeline")
+        if timeline:
+            print()
+            print(narrate(read_trace(timeline)))
+    errors = validate_trace(read_trace(summary["timeline"]), complete=False)
+    for error in errors:
+        print(f"timeline error: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+def _top_command(args) -> int:
+    import time as time_module
+    from pathlib import Path
+
+    from repro.obs.telemetry import format_top, snapshot_status
+
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"top: no such directory: {directory}", file=sys.stderr)
+        return 2
+    try:
+        while True:
+            rows = snapshot_status(directory)
+            print(format_top(rows))
+            if args.once:
+                return 0
+            time_module.sleep(max(0.1, args.interval))
+            print()
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -416,6 +508,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.timeout,
             jobs=args.jobs,
             optimize=args.optimize,
+            telemetry_dir=args.telemetry_dir,
         )
         print(
             f"{inst.name} [{engine}]: {record.status} in "
@@ -443,6 +536,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _trace_command(args)
     if args.command == "profile":
         return _profile_command(args)
+    if args.command == "report":
+        return _report_command(args)
+    if args.command == "top":
+        return _top_command(args)
     if args.command == "table1":
         max_bound = args.max_bound or None
         rows = run_table1(
@@ -568,6 +665,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             repeat=args.repeat,
             jobs=args.jobs,
             worker_dir=args.worker_dir,
+            telemetry_dir=args.telemetry_dir,
         )
         print(format_report(report))
         write_report(report, Path(args.output))

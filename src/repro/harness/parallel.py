@@ -64,6 +64,12 @@ HARD_TIMEOUT_GRACE = 5.0
 #: Seconds before a crashed task's single retry is launched.
 RETRY_BACKOFF = 0.25
 
+#: Grace between SIGTERM and SIGKILL at the hard deadline.  The TERM
+#: gives the worker's flight-recorder signal handler (see
+#: ``repro.obs.telemetry.install_crash_dump_handler``) a chance to dump
+#: its ring before the unconditional kill.
+TERM_GRACE = 1.0
+
 #: Scheduler poll interval while workers are running.
 _POLL_INTERVAL = 0.05
 
@@ -144,6 +150,20 @@ class _Running:
 
     def label_for_log(self) -> str:
         return self.task.label or self.task.fn.__name__
+
+
+def _terminate_then_kill(process, grace: float = TERM_GRACE) -> None:
+    """Stop a worker: SIGTERM, a short grace, then SIGKILL.
+
+    Used at the hard deadline (where a postmortem flight dump is worth
+    one second of patience); intentional cancellations still kill
+    outright.
+    """
+    process.terminate()
+    process.join(grace)
+    if process.is_alive():
+        process.kill()
+    process.join()
 
 
 def _cancelled_outcome(index: int, task: Task) -> TaskOutcome:
@@ -348,8 +368,7 @@ def run_tasks(
                 if limit is not None and now - entry.started > limit:
                     overran.append(entry)
             for entry in overran:
-                entry.process.kill()
-                entry.process.join()
+                _terminate_then_kill(entry.process)
                 entry.conn.close()
                 running.remove(entry)
                 elapsed = time.monotonic() - entry.started
@@ -392,43 +411,93 @@ class EngineTask:
     engine: str
     timeout: Optional[float] = None
     learning_threshold: Optional[int] = None
-    #: Per-task JSONL trace file (tracing under concurrency).
+    #: Per-task JSONL trace file (tracing under concurrency; superseded
+    #: by the telemetry shard when ``telemetry`` is set).
     trace_path: Optional[str] = None
     #: Per-task log file for the worker's ``repro`` logger.
     log_path: Optional[str] = None
-    log_level: str = "info"
+    #: Log level for the worker; ``None`` inherits the parent's
+    #: configured level (the log-config inheritance fix) and falls back
+    #: to "info" when a log file was requested without one.
+    log_level: Optional[str] = None
     #: Portfolio width forwarded to ``run_engine`` (``portfolio`` engine
     #: only; the bench pool runs such cells inline with ``jobs=1`` so
     #: the portfolio owns the process budget).
     jobs: int = 1
+    #: Cross-process telemetry shard config (minted by a TelemetryHub).
+    telemetry: Optional["TelemetryConfig"] = None
+    #: Flight-recorder dump path for workers running *without* a
+    #: telemetry shard (the ring is always on once it has a home).
+    flight_path: Optional[str] = None
+    #: Explicit hard kill deadline override (tests/CI).
+    hard_timeout: Optional[float] = None
+    #: Deliberate failure injection (tests/CI only): "abort" raises
+    #: inside the worker, "hang" sleeps past the hard deadline.
+    inject_crash: str = ""
 
 
 def _engine_worker(task: EngineTask) -> RunRecord:
     """Worker body: solve one instance, with optional per-task obs."""
     from repro.intervals import reset_interval_cache
     from repro.itc99 import instance
+    from repro.obs import configure_logging
 
     # Cold interning cache per task: a spawned worker starts cold, so
     # the inline path must too or cache-hit-rate stats would depend on
     # execution mode and task order.
     reset_interval_cache()
     if task.log_path is not None:
-        from repro.obs import configure_logging
-
         configure_logging(
-            task.log_level,
+            task.log_level or "info",
             stream=open(task.log_path, "w", encoding="utf-8"),
         )
+    elif task.log_level:
+        configure_logging(task.log_level)
     inst = instance(task.case, task.bound)
     observation = None
     tracer = None
-    if task.trace_path is not None:
-        from repro.obs import Observation, TraceEmitter
+    flight = None
+    telemetry = None
+    if task.telemetry is not None:
+        from repro.obs.telemetry import WorkerTelemetry
 
-        tracer = TraceEmitter.open(task.trace_path)
-        observation = Observation(tracer=tracer)
+        telemetry = WorkerTelemetry(task.telemetry)
+        telemetry.install_signal_dump()
+        observation = telemetry.observation()
+    else:
+        emitter = None
+        if task.trace_path is not None:
+            from repro.obs import TraceEmitter
+
+            tracer = TraceEmitter.open(task.trace_path)
+            emitter = tracer
+        if task.flight_path is not None:
+            from repro.obs import FlightRecorder, TeeEmitter
+            from repro.obs.telemetry import install_crash_dump_handler
+
+            flight = FlightRecorder()
+            emitter = TeeEmitter(tracer, flight)
+
+            def _dump(reason: str, _f=flight, _p=task.flight_path) -> None:
+                _f.dump(_p, reason=reason)
+                if tracer is not None:
+                    tracer.flush()
+
+            install_crash_dump_handler(_dump)
+        if emitter is not None:
+            from repro.obs import Observation
+
+            observation = Observation(tracer=emitter)
+    label = f"{task.case}({task.bound})/{task.engine}"
+    start = time.perf_counter()
+    if telemetry is not None:
+        telemetry.task_begin(label)
     try:
-        return run_engine(
+        if task.inject_crash == "abort":
+            raise RuntimeError("injected crash (inject_crash='abort')")
+        if task.inject_crash == "hang":
+            time.sleep(3600.0)
+        record = run_engine(
             inst,
             task.engine,
             task.timeout,
@@ -436,9 +505,31 @@ def _engine_worker(task: EngineTask) -> RunRecord:
             observation=observation,
             jobs=task.jobs,
         )
-    finally:
+    except BaseException as error:
+        reason = f"{type(error).__name__}: {error}"
+        if telemetry is not None:
+            telemetry.task_end(label, "crash", time.perf_counter() - start)
+            telemetry.dump_flight(reason)
+            telemetry.close()
+        elif flight is not None:
+            flight.dump(task.flight_path, reason=reason)
         if tracer is not None:
             tracer.close()
+        raise
+    if telemetry is not None:
+        telemetry.task_end(label, record.status, time.perf_counter() - start)
+        metrics = {
+            name: value
+            for name, value in dataclasses.asdict(record).items()
+            if name != "bound"
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        }
+        telemetry.record_metrics(metrics)
+        telemetry.close()
+    if tracer is not None:
+        tracer.close()
+    return record
 
 
 def _task_file_stem(index: int, spec: EngineTask) -> str:
@@ -464,6 +555,7 @@ def run_engine_tasks(
     specs: Sequence[EngineTask],
     jobs: int = 1,
     worker_dir: Optional[str] = None,
+    telemetry: Optional["TelemetryHub"] = None,
 ) -> List[RunRecord]:
     """Run engine tasks (parallel when ``jobs > 1``) into RunRecords.
 
@@ -471,8 +563,28 @@ def run_engine_tasks(
     hard-killed workers become ``-to-`` records.  ``worker_dir`` (a
     directory, created on demand) gives every task its own trace and
     log file — the artifacts CI uploads to diagnose worker crashes.
+
+    ``telemetry`` (a :class:`~repro.obs.telemetry.TelemetryHub`) gives
+    every task a per-worker shard instead: trace + resource samples +
+    flight ring + metrics snapshot, clock-aligned to the hub's epoch
+    (the caller merges afterwards).  Either way, a worker that dies
+    leaves a flight-recorder dump whose path is appended to the failed
+    record's note.
     """
+    from repro.obs import effective_level_spec
+
     specs = list(specs)
+    # Log-config inheritance: spawn workers re-import from scratch and
+    # never see the parent's --log-level/REPRO_LOG; ship the effective
+    # spec into every task that does not pin its own.
+    level_spec = effective_level_spec()
+    if level_spec:
+        specs = [
+            dataclasses.replace(spec, log_level=level_spec)
+            if spec.log_level is None
+            else spec
+            for spec in specs
+        ]
     if worker_dir is not None:
         directory = Path(worker_dir)
         directory.mkdir(parents=True, exist_ok=True)
@@ -485,17 +597,35 @@ def run_engine_tasks(
                     trace_path=(
                         str(directory / f"{stem}.trace.jsonl")
                         if spec.engine.startswith("hdpll")
+                        and telemetry is None
                         else None
                     ),
                     log_path=str(directory / f"{stem}.log"),
+                    flight_path=(
+                        str(directory / f"{stem}.flight.jsonl")
+                        if telemetry is None
+                        else None
+                    ),
                 )
             )
         specs = routed
+    if telemetry is not None:
+        specs = [
+            dataclasses.replace(
+                spec,
+                telemetry=telemetry.worker_config(
+                    f"t{index:04d}",
+                    label=f"{spec.case}({spec.bound})/{spec.engine}",
+                ),
+            )
+            for index, spec in enumerate(specs)
+        ]
     tasks = [
         Task(
             fn=_engine_worker,
             args=(spec,),
             timeout=spec.timeout,
+            hard_timeout=spec.hard_timeout,
             label=f"{spec.case}({spec.bound})/{spec.engine}",
         )
         for spec in specs
@@ -505,10 +635,23 @@ def run_engine_tasks(
     for spec, outcome in zip(specs, outcomes):
         if outcome.ok:
             records.append(outcome.value)
-        else:
-            records.append(
-                outcome_to_record(outcome, spec.case, spec.bound, spec.engine)
+            continue
+        record = outcome_to_record(
+            outcome, spec.case, spec.bound, spec.engine
+        )
+        dump = (
+            spec.telemetry.flight_path
+            if spec.telemetry is not None
+            else Path(spec.flight_path) if spec.flight_path else None
+        )
+        if dump is not None and Path(dump).exists():
+            note = record.note or ""
+            record = dataclasses.replace(
+                record,
+                note=(note + "; " if note else "")
+                + f"flight recorder dump: {dump}",
             )
+        records.append(record)
     return records
 
 

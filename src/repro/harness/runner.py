@@ -311,13 +311,16 @@ def run_engine(
     observation: Optional[Observation] = None,
     jobs: int = 1,
     optimize: bool = False,
+    telemetry_dir: Optional[str] = None,
 ) -> RunRecord:
     """Run one engine on a BMC instance, catching aborts.
 
     ``observation`` (tracing / profiling) applies to the HDPLL engines
     only; baseline engines ignore it.  ``jobs`` is the portfolio width
     (``portfolio`` engine only); ``optimize`` (or an ``-opt`` engine
-    suffix) runs the ``rtl.optimize`` pre-pass.
+    suffix) runs the ``rtl.optimize`` pre-pass.  ``telemetry_dir``
+    enables cross-process telemetry for the portfolio pool (other
+    engines run in-process and ignore it).
     """
     stats = instance.circuit.stats()
     record = RunRecord(
@@ -358,6 +361,7 @@ def run_engine(
                 ),
                 optimize=optimize,
                 observation=observation,
+                telemetry_dir=telemetry_dir,
             )
             record.status = _status_letter(result)
             apply_stats(record, result.stats)

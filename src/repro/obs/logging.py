@@ -24,6 +24,11 @@ ENV_VAR = "REPRO_LOG"
 
 _FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
 
+#: The level spec most recently applied by :func:`configure_logging`.
+#: Spawn-context workers start from a fresh interpreter, so the parent
+#: must re-ship this explicitly (see :func:`effective_level_spec`).
+_configured_spec: Optional[str] = None
+
 
 def resolve_level(spec: str) -> int:
     """A logging level from a name ("debug") or a number ("10")."""
@@ -45,10 +50,12 @@ def configure_logging(
     Re-invocation replaces the previously attached CLI handler rather
     than stacking duplicates.
     """
+    global _configured_spec
     spec = level or os.environ.get(ENV_VAR)
     if not spec:
         return None
     numeric = resolve_level(spec)
+    _configured_spec = spec
     logger = logging.getLogger(LOGGER_NAME)
     logger.setLevel(numeric)
     logger.handlers = [
@@ -61,3 +68,15 @@ def configure_logging(
     handler._repro_cli_handler = True  # type: ignore[attr-defined]
     logger.addHandler(handler)
     return numeric
+
+
+def effective_level_spec() -> Optional[str]:
+    """The log-level spec a spawned worker should inherit.
+
+    ``--log-level`` historically configured only the parent process:
+    spawn-context children re-import everything and never saw it.  The
+    pool and portfolio masters call this to ship the parent's effective
+    spec (explicitly configured level, else ``$REPRO_LOG``) into each
+    worker's ``configure_logging`` call.
+    """
+    return _configured_spec or os.environ.get(ENV_VAR) or None

@@ -114,6 +114,27 @@ class PhaseProfiler:
         }
 
 
+#: Maximum tolerated relative deviation between the profiler's
+#: top-level phase sum and the solver-reported wall time.  Checked by
+#: the CLI for single-process runs and by the telemetry merge step per
+#: worker shard in parallel runs.
+PROFILE_DRIFT_TOLERANCE = 0.10
+
+
+def profile_drift(
+    phase_sum: float, reference: float
+) -> Optional[float]:
+    """Relative drift of the profiler's account vs the solver's.
+
+    ``reference`` is the solver-reported wall time (solve + learn).
+    Returns ``None`` when the reference is too small to compare against
+    meaningfully (sub-millisecond solves are all jitter).
+    """
+    if reference < 1e-3:
+        return None
+    return abs(phase_sum - reference) / reference
+
+
 def merge_reports(
     reports: List[Dict[str, object]],
 ) -> Dict[str, object]:

@@ -24,12 +24,22 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 #: Bump when the JSONL layout changes incompatibly.
-TRACE_SCHEMA_VERSION = 1
+#: v2 (cross-process telemetry): every record carries a per-emitter
+#: ``seq`` number (the stable merge tie-break), shard/timeline header
+#: events exist, and merged timelines annotate events with ``w``
+#: (worker id) and ``gt`` (clock-aligned global time).  v1 files stay
+#: readable: :func:`validate_trace` accepts both versions.
+TRACE_SCHEMA_VERSION = 2
+
+#: Schema versions :func:`validate_trace` accepts (v1 files predate the
+#: telemetry layer and simply lack ``seq``).
+COMPATIBLE_SCHEMA_VERSIONS = (1, 2)
 
 #: Event kind -> required event-specific fields (every record also has
 #: the common ``t`` / ``ev`` / ``dl`` fields).
@@ -56,6 +66,18 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     # sharing channel in either direction.
     "cube": ("n", "size", "outcome"),
     "share": ("action", "clauses"),
+    # Cross-process telemetry events (PR 7).  ``shard_begin`` opens a
+    # per-worker shard and carries the clock-offset handshake result;
+    # ``task_begin``/``task_end`` span one pool task; ``resource`` is a
+    # sampler gauge; ``flight_dump`` heads a crash-ring dump;
+    # ``timeline_begin`` heads a merged multi-worker timeline.
+    "shard_begin": ("schema", "worker", "pid", "offset"),
+    "shard_end": ("events",),
+    "task_begin": ("label",),
+    "task_end": ("label", "status", "seconds"),
+    "resource": ("rss_kb", "cpu_s"),
+    "flight_dump": ("reason", "events"),
+    "timeline_begin": ("schema", "workers", "events"),
 }
 
 _COMMON_FIELDS = ("t", "ev", "dl")
@@ -69,19 +91,30 @@ class TraceEmitter:
     reference and records nothing).
     """
 
-    __slots__ = ("enabled", "events_emitted", "_sink", "_clock", "_t0")
+    __slots__ = (
+        "enabled", "events_emitted", "_sink", "_clock", "_t0", "_lock"
+    )
 
-    def __init__(self, sink, clock=time.perf_counter):
+    def __init__(self, sink, clock=time.perf_counter,
+                 t0: Optional[float] = None):
         self._sink = sink
         self._clock = clock
-        self._t0 = clock()
+        # The telemetry layer passes an explicit epoch so the shard
+        # trace and the flight recorder share one t=0 (and the clock
+        # offset reported in shard_begin is exact for both).
+        self._t0 = clock() if t0 is None else t0
         self.enabled = True
         self.events_emitted = 0
+        # The resource-sampler thread shares the emitter with the
+        # solver thread; ``seq`` assignment and the write must be one
+        # atomic step or per-worker seq ordering breaks in the shard.
+        self._lock = threading.Lock()
 
     @classmethod
-    def open(cls, path: Union[str, Path]) -> "TraceEmitter":
+    def open(cls, path: Union[str, Path],
+             t0: Optional[float] = None) -> "TraceEmitter":
         """Emitter writing to ``path`` (caller closes via context/close)."""
-        return cls(Path(path).open("w", encoding="utf-8"))
+        return cls(Path(path).open("w", encoding="utf-8"), t0=t0)
 
     @classmethod
     def in_memory(cls) -> "TraceEmitter":
@@ -93,10 +126,18 @@ class TraceEmitter:
         return self._sink.getvalue()
 
     def event(self, ev: str, dl: int = 0, **fields) -> None:
-        record = {"t": round(self._clock() - self._t0, 9), "ev": ev, "dl": dl}
-        record.update(fields)
-        self._sink.write(json.dumps(record, separators=(",", ":")) + "\n")
-        self.events_emitted += 1
+        with self._lock:
+            record = {
+                "t": round(self._clock() - self._t0, 9),
+                "ev": ev,
+                "dl": dl,
+                "seq": self.events_emitted,
+            }
+            record.update(fields)
+            self._sink.write(
+                json.dumps(record, separators=(",", ":")) + "\n"
+            )
+            self.events_emitted += 1
 
     def flush(self) -> None:
         flush = getattr(self._sink, "flush", None)
@@ -145,12 +186,28 @@ def validate_trace(
     ``complete=True`` additionally requires the trace to open with
     ``solve_begin`` and close with ``solve_end`` (a crashed or truncated
     solve legitimately fails this).
+
+    A merged multi-worker timeline (first event ``timeline_begin``) is
+    routed to :func:`validate_timeline` — per-worker clocks interleave
+    there, so the single-shard monotonicity check does not apply.
     """
     errors: List[str] = []
     if not events:
         return ["trace is empty"]
+    if events[0].get("ev") == "timeline_begin":
+        return validate_timeline(events)
     last_t = None
     for position, event in enumerate(events):
+        if position == 0 and event.get("ev") == "flight_dump":
+            # A flight-dump header is stamped at dump time — after every
+            # ring event that follows it — so it stays out of the
+            # monotonicity chain (but its fields are still checked).
+            for name in EVENT_FIELDS["flight_dump"]:
+                if name not in event:
+                    errors.append(
+                        f"event 0 (flight_dump): missing field {name!r}"
+                    )
+            continue
         where = f"event {position}"
         for name in _COMMON_FIELDS:
             if name not in event:
@@ -175,13 +232,78 @@ def validate_trace(
     if complete:
         if events[0].get("ev") != "solve_begin":
             errors.append("trace does not start with solve_begin")
-        elif events[0].get("schema") != TRACE_SCHEMA_VERSION:
+        elif events[0].get("schema") not in COMPATIBLE_SCHEMA_VERSIONS:
             errors.append(
-                f"schema version {events[0].get('schema')!r} != "
-                f"{TRACE_SCHEMA_VERSION}"
+                f"schema version {events[0].get('schema')!r} not in "
+                f"supported versions {COMPATIBLE_SCHEMA_VERSIONS}"
             )
         if events[-1].get("ev") != "solve_end":
             errors.append("trace does not end with solve_end")
+    return errors
+
+
+def validate_timeline(events: Sequence[dict]) -> List[str]:
+    """Schema-check a merged multi-worker timeline.
+
+    Requirements beyond the per-event field check shared with
+    :func:`validate_trace`:
+
+    * the timeline opens with a ``timeline_begin`` header at the current
+      schema version (merged timelines are a v2 construct — there is no
+      v1 form to stay compatible with),
+    * every subsequent event carries a worker id ``w``, an aligned
+      global timestamp ``gt`` and a per-worker ``seq``,
+    * ``gt`` is globally monotonic, with the ``(gt, w, seq)`` ordering
+      as the stable tie-break,
+    * each worker's ``seq`` numbers are strictly increasing (no event
+      duplicated or lost by the merge).
+    """
+    errors: List[str] = []
+    if not events:
+        return ["timeline is empty"]
+    head = events[0]
+    if head.get("ev") != "timeline_begin":
+        errors.append("timeline does not start with timeline_begin")
+    elif head.get("schema") != TRACE_SCHEMA_VERSION:
+        errors.append(
+            f"timeline schema {head.get('schema')!r} != "
+            f"{TRACE_SCHEMA_VERSION}"
+        )
+    last_key = None
+    last_seq: Dict[str, int] = {}
+    for position, event in enumerate(events[1:], start=1):
+        where = f"event {position}"
+        kind = event.get("ev")
+        if kind not in EVENT_FIELDS:
+            errors.append(f"{where}: unknown event kind {kind!r}")
+        else:
+            for name in EVENT_FIELDS[kind]:
+                if name not in event:
+                    errors.append(f"{where} ({kind}): missing field {name!r}")
+        worker = event.get("w")
+        gt = event.get("gt")
+        seq = event.get("seq")
+        if worker is None:
+            errors.append(f"{where}: missing worker id 'w'")
+            continue
+        if not isinstance(gt, (int, float)):
+            errors.append(f"{where}: missing aligned timestamp 'gt'")
+            continue
+        if not isinstance(seq, int):
+            errors.append(f"{where}: missing sequence number 'seq'")
+            continue
+        key = (gt, str(worker), seq)
+        if last_key is not None and key < last_key:
+            errors.append(
+                f"{where}: timeline order violated: {key} after {last_key}"
+            )
+        last_key = key
+        prior = last_seq.get(worker)
+        if prior is not None and seq <= prior:
+            errors.append(
+                f"{where}: worker {worker!r} seq {seq} not after {prior}"
+            )
+        last_seq[worker] = seq
     return errors
 
 
@@ -190,9 +312,14 @@ def validate_trace(
 # ----------------------------------------------------------------------
 def _narrate_event(event: dict) -> Optional[str]:
     kind = event.get("ev")
-    t = event.get("t", 0.0)
+    # Merged timelines carry clock-aligned global timestamps and a
+    # worker id; single-shard traces keep the bare local clock.
+    t = event.get("gt", event.get("t", 0.0))
     dl = event.get("dl", 0)
     prefix = f"{t:9.4f}s "
+    worker = event.get("w")
+    if worker is not None:
+        prefix += f"[{str(worker):>6s}] "
     if kind == "solve_begin":
         return (
             f"{prefix}solve begin: {event.get('vars')} variables, "
@@ -279,6 +406,37 @@ def _narrate_event(event: dict) -> Optional[str]:
         return (
             f"{prefix}share {event.get('action')}: "
             f"{event.get('clauses')} clause(s)"
+        )
+    if kind == "shard_begin":
+        return (
+            f"{prefix}shard begin: worker {event.get('worker')} "
+            f"pid {event.get('pid')} "
+            f"(clock offset {event.get('offset'):+.6f}s)"
+        )
+    if kind == "shard_end":
+        return f"{prefix}shard end: {event.get('events')} events"
+    if kind == "task_begin":
+        return f"{prefix}task begin: {event.get('label')}"
+    if kind == "task_end":
+        return (
+            f"{prefix}task end: {event.get('label')} — "
+            f"{event.get('status')} in {event.get('seconds'):.3f}s"
+        )
+    if kind == "resource":
+        return (
+            f"{prefix}resources: rss {event.get('rss_kb')} KiB, "
+            f"cpu {event.get('cpu_s'):.3f}s"
+        )
+    if kind == "flight_dump":
+        return (
+            f"{prefix}flight recorder dump ({event.get('reason')}): "
+            f"last {event.get('events')} events, "
+            f"{event.get('dropped', 0)} older events dropped"
+        )
+    if kind == "timeline_begin":
+        return (
+            f"{prefix}timeline: {event.get('workers')} worker(s), "
+            f"{event.get('events')} events"
         )
     if kind == "profile":
         return None  # rendered by the profiler table, not the narrative

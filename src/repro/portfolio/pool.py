@@ -27,16 +27,20 @@ import multiprocessing
 import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import SolverConfig
 from repro.errors import SolverError
+from repro.obs import effective_level_spec
 from repro.portfolio.cubes import Cube
 from repro.portfolio.worker import (
     ProblemSpec,
     WorkerSpec,
     portfolio_worker,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import TelemetryHub
 
 #: Seconds the master waits in one poll round before sweeping for
 #: silently-died workers and checking the deadline.
@@ -99,13 +103,15 @@ def run_pool(
     share_max_size: Optional[int] = None,
     share_max_lbd: Optional[int] = None,
     crash_cubes: Optional[Dict[int, Tuple[int, ...]]] = None,
+    telemetry: Optional["TelemetryHub"] = None,
 ) -> PoolResult:
     """Solve every cube of ``problem`` on ``jobs`` diversified workers.
 
     ``crash_cubes`` (worker index -> cube indices) is the test hook
     forwarded to :class:`WorkerSpec`.  ``root_index`` names the cube
     whose UNSAT alone settles the query (``None`` when no root cube is
-    in the list).
+    in the list).  ``telemetry`` (a TelemetryHub) gives every worker a
+    clock-aligned trace/metrics shard; the caller merges afterwards.
     """
     if not cubes:
         raise ValueError("run_pool needs at least one cube")
@@ -126,6 +132,7 @@ def run_pool(
         share_kwargs["share_max_size"] = share_max_size
     if share_max_lbd is not None:
         share_kwargs["share_max_lbd"] = share_max_lbd
+    level_spec = effective_level_spec()
     for index in range(jobs):
         parent_conn, child_conn = context.Pipe(duplex=True)
         spec = WorkerSpec(
@@ -134,6 +141,14 @@ def run_pool(
             base_config=base_config,
             optimize=optimize,
             crash_cubes=tuple((crash_cubes or {}).get(index, ())),
+            telemetry=(
+                telemetry.worker_config(
+                    f"p{index}", label=f"portfolio-{index}"
+                )
+                if telemetry is not None
+                else None
+            ),
+            log_level=level_spec,
             **share_kwargs,
         )
         process = context.Process(

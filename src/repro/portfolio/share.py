@@ -27,6 +27,7 @@ may arrive already satisfied, already falsified (conflict), or unit.
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.constraints.clause import BoolLit, Clause, WordLit
@@ -71,6 +72,18 @@ def serialize_clause(clause: Clause) -> ClausePayload:
 def clause_payload_key(payload: ClausePayload) -> Tuple:
     """Order-insensitive dedup key of a serialized clause."""
     return tuple(sorted(payload[0]))
+
+
+def payload_digest(payload: ClausePayload) -> str:
+    """Short stable identity of a shared clause for telemetry.
+
+    CRC32 of the dedup key's repr, rendered as 8 hex digits.  Unlike
+    ``hash()`` this is identical in every process regardless of
+    ``PYTHONHASHSEED``, which is what lets the merged timeline follow a
+    clause from the learner's export event to each importer's install.
+    """
+    key = clause_payload_key(payload)
+    return format(zlib.crc32(repr(key).encode("utf-8")), "08x")
 
 
 def deserialize_clause(
@@ -171,7 +184,15 @@ class ClauseImporter:
     def accept(
         self, payloads: Sequence[ClausePayload]
     ) -> List[Clause]:
+        return self.accept_keyed(payloads)[0]
+
+    def accept_keyed(
+        self, payloads: Sequence[ClausePayload]
+    ) -> Tuple[List[Clause], List[str]]:
+        """Like :meth:`accept`, also returning the installed clauses'
+        :func:`payload_digest` keys (for telemetry install events)."""
         clauses: List[Clause] = []
+        keys: List[str] = []
         for payload in payloads:
             self.received += 1
             key = clause_payload_key(payload)
@@ -185,7 +206,8 @@ class ClauseImporter:
                 continue
             self.installed += 1
             clauses.append(clause)
-        return clauses
+            keys.append(payload_digest(payload))
+        return clauses, keys
 
     @property
     def hit_rate(self) -> float:

@@ -218,12 +218,19 @@ def solve_portfolio(
     share: bool = True,
     observation: Optional[Observation] = None,
     crash_cubes: Optional[Dict[int, Tuple[int, ...]]] = None,
+    telemetry_dir: Optional[str] = None,
 ) -> SolverResult:
     """Cube-and-conquer portfolio solve of one satisfiability query.
 
     Give either a ``(circuit, assumptions)`` pair, a :class:`ProblemSpec`
     (required for the multi-process pool — workers rebuild the problem
     from it), or both (the pair then skips a rebuild on the master).
+
+    ``telemetry_dir`` enables cross-process telemetry for the
+    multi-process pool: every worker writes a clock-aligned shard there
+    and the merged ``timeline.jsonl`` + metrics exports are produced
+    before returning.  The deterministic/inline modes run in one
+    process and ignore it (the ordinary ``observation`` covers them).
     """
     base_config = base_config or SolverConfig()
     jobs = max(1, jobs)
@@ -343,6 +350,11 @@ def solve_portfolio(
             root_index=0,
         )
     else:
+        hub = None
+        if telemetry_dir is not None:
+            from repro.obs.telemetry import TelemetryHub
+
+            hub = TelemetryHub(telemetry_dir)
         pool_result = run_pool(
             spec,
             cubes,
@@ -353,7 +365,10 @@ def solve_portfolio(
             root_index=0,
             share=share,
             crash_cubes=crash_cubes,
+            telemetry=hub,
         )
+        if hub is not None:
+            hub.merge()
     return finalize(pool_result)
 
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.core.config import SolverConfig
 from repro.core.session import SolverSession
@@ -43,8 +43,12 @@ from repro.portfolio.share import (
     ClauseImporter,
     DEFAULT_MAX_LBD,
     DEFAULT_MAX_SIZE,
+    payload_digest,
 )
 from repro.rtl.circuit import Circuit
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import TelemetryConfig, WorkerTelemetry
 
 #: How often (in share-hook polls, i.e. search-loop iterations) a
 #: worker checks its pipe for stop/clauses messages.  Power of two; the
@@ -120,6 +124,12 @@ class WorkerSpec:
     #: Test hook: hard-exit (simulating a crash) when assigned any of
     #: these cube indices — exercises the master's requeue path.
     crash_cubes: Tuple[int, ...] = ()
+    #: Cross-process telemetry shard config (minted by the master's
+    #: TelemetryHub; carries the clock-offset epoch).
+    telemetry: Optional["TelemetryConfig"] = None
+    #: Log level inherited from the parent (spawn workers re-import
+    #: from scratch and would otherwise ignore ``--log-level``).
+    log_level: Optional[str] = None
 
 
 class _WorkerChannel:
@@ -132,10 +142,14 @@ class _WorkerChannel:
     """
 
     def __init__(self, conn, exporter: ClauseExporter,
-                 importer: ClauseImporter):
+                 importer: ClauseImporter, emitter=None):
         self._conn = conn
         self.exporter = exporter
         self.importer = importer
+        #: Optional telemetry emitter: installed shared clauses are
+        #: announced as ``share`` events carrying their payload digests,
+        #: the importer half of the merged timeline's clause flow.
+        self._emitter = emitter
         self._pending = []
         self._tick = 0
 
@@ -143,7 +157,13 @@ class _WorkerChannel:
         self.exporter.export(clause)
 
     def enqueue(self, payloads) -> None:
-        self._pending.extend(self.importer.accept(payloads))
+        clauses, keys = self.importer.accept_keyed(payloads)
+        self._pending.extend(clauses)
+        if keys and self._emitter is not None:
+            self._emitter.event(
+                "share", dl=0, action="install",
+                clauses=len(keys), keys=keys,
+            )
 
     def drain_pipe(self) -> None:
         while self._conn.poll():
@@ -171,27 +191,46 @@ def _stats_payload(stats) -> Dict[str, object]:
     return stats.as_dict(include_histograms=False)
 
 
-def _worker_body(conn, spec: WorkerSpec) -> None:
+def _worker_body(
+    conn, spec: WorkerSpec, telemetry: Optional["WorkerTelemetry"] = None
+) -> None:
     reset_interval_cache()  # per-process interning state
+    if spec.log_level:
+        from repro.obs import configure_logging
+
+        configure_logging(spec.log_level)
     circuit, base_assumptions = build_problem(spec.problem)
     if spec.optimize:
         from repro.rtl.optimize import optimize
 
         circuit = optimize(circuit)
     config = worker_config(spec.base_config, spec.worker_index)
-    session = SolverSession(circuit, config)
+    observation = telemetry.observation() if telemetry is not None else None
+    session = SolverSession(circuit, config, observation=observation)
     if config.predicate_learning and not session.root_conflict:
         session.learn(None)
 
+    emitter = telemetry.emitter if telemetry is not None else None
+
+    def send_batch(batch) -> None:
+        if emitter is not None:
+            # The exporter half of the clause flow: every payload in
+            # the batch is named by its cross-process digest so the
+            # merged timeline can pair it with install events.
+            emitter.event(
+                "share", dl=0, action="export",
+                clauses=len(batch),
+                keys=[payload_digest(p) for p in batch],
+            )
+        conn.send(("clauses", spec.worker_index, batch))
+
     exporter = ClauseExporter(
-        sink=lambda batch: conn.send(
-            ("clauses", spec.worker_index, batch)
-        ),
+        sink=send_batch,
         max_size=spec.share_max_size,
         max_lbd=spec.share_max_lbd,
     )
     importer = ClauseImporter(session._var_by_name)
-    channel = _WorkerChannel(conn, exporter, importer)
+    channel = _WorkerChannel(conn, exporter, importer, emitter=emitter)
     session.solver.share = channel
 
     conn.send(("ready", spec.worker_index))
@@ -207,6 +246,10 @@ def _worker_body(conn, spec: WorkerSpec) -> None:
             raise ValueError(f"unexpected message {kind!r}")
         _, cube_index, cube_assumptions, timeout = message
         if cube_index in spec.crash_cubes:
+            if telemetry is not None:
+                telemetry.dump_flight(
+                    f"crash_cubes test hook (cube {cube_index})"
+                )
             os._exit(23)  # test hook: simulated hard crash
         merged: Dict[str, object] = dict(base_assumptions)
         for name, lo, hi in cube_assumptions:
@@ -214,9 +257,22 @@ def _worker_body(conn, spec: WorkerSpec) -> None:
         exporter.cube_names = frozenset(
             name for name, _, _ in cube_assumptions
         )
+        if emitter is not None:
+            emitter.event(
+                "cube", dl=0, n=cube_index,
+                size=len(cube_assumptions), outcome="begin",
+            )
         result = session.solve(merged, timeout=timeout)
         exporter.cube_names = frozenset()
         exporter.flush()
+        if emitter is not None:
+            emitter.event(
+                "cube", dl=0, n=cube_index,
+                size=len(cube_assumptions), outcome=result.status.value,
+            )
+        stats_payload = _stats_payload(result.stats)
+        if telemetry is not None:
+            telemetry.record_metrics(stats_payload)
         conn.send(
             (
                 "result",
@@ -224,7 +280,7 @@ def _worker_body(conn, spec: WorkerSpec) -> None:
                 cube_index,
                 result.status.value,
                 result.model if result.is_sat else None,
-                _stats_payload(result.stats),
+                stats_payload,
                 {
                     "exported": exporter.exported,
                     "suppressed": exporter.suppressed,
@@ -237,11 +293,19 @@ def _worker_body(conn, spec: WorkerSpec) -> None:
 
 def portfolio_worker(conn, spec: WorkerSpec) -> None:
     """Process entry point: run the worker body, report fatal errors."""
+    telemetry = None
+    if spec.telemetry is not None:
+        from repro.obs.telemetry import WorkerTelemetry
+
+        telemetry = WorkerTelemetry(spec.telemetry)
+        telemetry.install_signal_dump()
     try:
-        _worker_body(conn, spec)
+        _worker_body(conn, spec, telemetry=telemetry)
     except (WorkerStopped, EOFError, KeyboardInterrupt):
         pass  # master went away or cancelled us: silent exit
     except BaseException as error:  # noqa: BLE001 - crash reporting
+        if telemetry is not None:
+            telemetry.dump_flight(f"{type(error).__name__}: {error}")
         try:
             conn.send(
                 (
@@ -253,6 +317,8 @@ def portfolio_worker(conn, spec: WorkerSpec) -> None:
         except Exception:
             pass
     finally:
+        if telemetry is not None:
+            telemetry.close()
         try:
             conn.close()
         except Exception:

@@ -1,0 +1,137 @@
+"""Tests for the flight recorder ring and the tee emitter.
+
+The flight recorder is the always-on crash ring: same ``event`` surface
+as the trace emitter, but nothing is serialized until :meth:`dump`.
+These tests pin the ring semantics (bounded, seq-reconstructing), the
+dump format (a replayable schema-v2 trace fragment) and the PR's
+overhead contract (recording identical solver stats, zero I/O).
+"""
+
+import json
+
+from repro.core import HDPLL_SP, solve_circuit
+from repro.itc99 import instance
+from repro.obs import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    Observation,
+    TeeEmitter,
+    TraceEmitter,
+    narrate,
+    read_trace,
+    validate_trace,
+)
+
+
+class TestRing:
+    def test_ring_is_bounded_and_counts_dropped(self):
+        flight = FlightRecorder(capacity=4)
+        for index in range(10):
+            flight.event("restart", n=index, conflicts=index)
+        assert len(flight) == 4
+        assert flight.recorded == 10
+        assert flight.dropped == 6
+
+    def test_snapshot_reconstructs_seq_after_wraparound(self):
+        flight = FlightRecorder(capacity=3)
+        for index in range(7):
+            flight.event("restart", n=index, conflicts=index)
+        records = flight.snapshot()
+        assert [r["seq"] for r in records] == [4, 5, 6]
+        assert [r["n"] for r in records] == [4, 5, 6]
+
+    def test_nothing_serialized_until_dump(self):
+        # The overhead contract: event() appends a tuple, no JSON, no
+        # strings, no file handle.  The ring holds the raw field dicts.
+        flight = FlightRecorder(capacity=8)
+        payload = {"var": "x", "value": 1, "kind": "activity"}
+        flight.event("decision", dl=1, **payload)
+        t, ev, dl, fields = flight._ring[0]
+        assert ev == "decision"
+        assert fields == payload
+
+    def test_default_capacity_is_modest(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_shared_epoch_with_trace_emitter(self):
+        # The telemetry layer hands both sinks one t0 so ring and shard
+        # timestamps line up; pin that the parameter is honoured.
+        flight = FlightRecorder(t0=0.0)
+        flight.event("restart", n=1, conflicts=1)
+        t = flight._ring[0][0]
+        assert t > 1.0  # perf_counter minus epoch 0 is "uptime", not ~0
+
+
+class TestDump:
+    def test_dump_round_trips_through_trace_tools(self, tmp_path):
+        flight = FlightRecorder(capacity=16)
+        flight.event("decision", dl=1, var="x", value=1, kind="activity")
+        flight.event("conflict", dl=1, n=1, size=2, backtrack=0)
+        path = flight.dump(tmp_path / "crash.flight.jsonl", reason="test")
+        events = read_trace(path)
+        assert events[0]["ev"] == "flight_dump"
+        assert events[0]["reason"] == "test"
+        assert events[0]["events"] == 2
+        assert validate_trace(events, complete=False) == []
+        story = narrate(events)
+        assert "flight recorder dump (test)" in story
+        assert "decide x = 1" in story
+
+    def test_dump_header_reports_dropped(self, tmp_path):
+        flight = FlightRecorder(capacity=2)
+        for index in range(5):
+            flight.event("restart", n=index, conflicts=index)
+        path = flight.dump(tmp_path / "d.jsonl", reason="overflow")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["dropped"] == 3
+        assert header["events"] == 2
+
+    def test_dump_validates_despite_late_header_timestamp(self, tmp_path):
+        # The header is stamped at dump time — after every ring event —
+        # and validate_trace must not flag that as non-monotonic.
+        flight = FlightRecorder(capacity=4)
+        flight.event("restart", n=1, conflicts=1, strategy="luby")
+        flight.event("restart", n=2, conflicts=2, strategy="luby")
+        path = flight.dump(tmp_path / "late.jsonl", reason="kill")
+        assert validate_trace(read_trace(path), complete=False) == []
+
+
+class TestTee:
+    def test_tee_fans_out_to_all_sinks(self):
+        tracer = TraceEmitter.in_memory()
+        flight = FlightRecorder(capacity=4)
+        tee = TeeEmitter(tracer, flight)
+        tee.event("restart", n=1, conflicts=3)
+        assert tracer.events_emitted == 1
+        assert flight.recorded == 1
+
+    def test_tee_skips_none_sinks(self):
+        flight = FlightRecorder(capacity=4)
+        tee = TeeEmitter(None, flight)
+        tee.event("restart", n=1, conflicts=1)
+        assert flight.recorded == 1
+        assert TeeEmitter(None, None).enabled is False
+
+
+class TestOverheadGuard:
+    def test_flight_recording_preserves_solver_stats(self):
+        # PR-2-style disabled-path guard: a solve with the ring in the
+        # tracer slot must agree counter-for-counter with a bare solve
+        # (recording must never perturb the search).
+        inst = instance("b01_1", 10)
+        baseline = solve_circuit(inst.circuit, inst.assumptions, HDPLL_SP)
+        flight = FlightRecorder()
+        observed = solve_circuit(
+            inst.circuit,
+            inst.assumptions,
+            HDPLL_SP,
+            observation=Observation(tracer=flight),
+        )
+        assert observed.status is baseline.status
+        for counter in ("decisions", "conflicts", "propagations",
+                        "learned_clauses", "restarts"):
+            assert getattr(observed.stats, counter) == getattr(
+                baseline.stats, counter
+            ), counter
+        assert flight.recorded > 0
+        assert len(flight) <= flight.capacity
