@@ -129,12 +129,21 @@ class SolverSession:
             )
             self._stamp(result.stats)
             return result
-        if timeout is not None and timeout != self.solver.config.timeout:
-            self.solver.config = self.solver.config.with_overrides(
+        # Per-call timeout override: applied for this query only and
+        # restored afterwards, so one short-deadline request can never
+        # shorten the session default for later callers (which pass
+        # ``timeout=None`` expecting the session's configured budget).
+        # Fatal for a shared warm-session cache otherwise.
+        saved_config = self.solver.config
+        if timeout is not None and timeout != saved_config.timeout:
+            self.solver.config = saved_config.with_overrides(
                 timeout=timeout
             )
         start = time.perf_counter()
-        result = self.solver.solve(assumptions)
+        try:
+            result = self.solver.solve(assumptions)
+        finally:
+            self.solver.config = saved_config
         self._stamp(result.stats)
         if self._trace is not None:
             self._trace.event(
@@ -160,21 +169,31 @@ class SolverSession:
             self.root_conflict = True
         return extension
 
-    def learn(self, candidates) -> LearnReport:
-        """Predicate learning restricted to ``candidates`` (net list)."""
+    def learn(
+        self, candidates, deadline: Optional[float] = None
+    ) -> LearnReport:
+        """Predicate learning restricted to ``candidates`` (net list).
+
+        ``deadline`` is a ``time.perf_counter()`` instant threaded into
+        the probe phase's cooperative :class:`ProbeDeadline` budget —
+        the serve daemon uses it so a request that triggers a cold
+        session warm-up still honours its per-request deadline.
+        """
         start = time.perf_counter()
         if self._prof is not None:
             with self._prof.phase("learn"):
-                report = self._run_learning(candidates)
+                report = self._run_learning(candidates, deadline)
         else:
-            report = self._run_learning(candidates)
+            report = self._run_learning(candidates, deadline)
         self.learn_seconds += time.perf_counter() - start
         self.relations_learned += report.relations_learned
         if report.root_conflict:
             self.root_conflict = True
         return report
 
-    def _run_learning(self, candidates) -> LearnReport:
+    def _run_learning(
+        self, candidates, deadline: Optional[float] = None
+    ) -> LearnReport:
         solver = self.solver
         return run_predicate_learning(
             solver.system,
@@ -182,6 +201,7 @@ class SolverSession:
             solver.engine,
             solver.order,
             threshold=solver.config.learning_threshold,
+            deadline=deadline,
             phase_hints=solver.config.learned_phase_hints,
             tracer=self._trace,
             candidates=candidates,
@@ -234,8 +254,14 @@ class SolverSession:
             if conflict is None:
                 conflict = engine.propagate()
             if conflict is not None:
+                # The clause is in the database (a root refutation, so
+                # every later query is UNSAT); count it and fall through
+                # to the shared accounting below — an early return here
+                # would leave ``clauses_shifted`` undercounting and skip
+                # the clause-DB cap on exactly this path.
+                installed += 1
                 self.root_conflict = True
-                return installed
+                break
             installed += 1
         self.clauses_shifted += installed
         cap = self.config.clause_db_max_learned

@@ -204,6 +204,29 @@ PROFILES: Dict[str, Dict[str, object]] = {
         ),
         "single_query_jobs": True,
     },
+    #: Solver-daemon serving cells (PR 8): every cell drives a *real*
+    #: daemon over a unix socket through the wire protocol.  A
+    #: ``serve-cold`` cell restarts the daemon per request, paying the
+    #: full unroll + compile + predicate warm-up each time; a
+    #: ``serve-warm`` cell reuses one warm session, paying only the
+    #: solve.  The speedup gate is the issue's acceptance bar: warm must
+    #: hold a >= 2x geomean over cold with per-instance status parity.
+    #: Cells run their own asyncio loop and executor threads, so the
+    #: profile runs inline (``single_query_jobs``) like the portfolio.
+    "serve": {
+        "instances": (
+            ("b01_1", 15),
+            ("b04_1", 15),
+            ("b13_1", 10),
+            ("b13_5", 15),
+        ),
+        "engines": ("serve-cold", "serve-warm"),
+        "gated": ("serve-warm",),
+        "speedup_gates": (
+            {"fast": "serve-warm", "slow": "serve-cold", "min_ratio": 2.0},
+        ),
+        "single_query_jobs": True,
+    },
 }
 
 #: Floor applied to per-run wall times before geomean aggregation so a

@@ -11,6 +11,8 @@ Subcommands::
     repro-hdpll ablation
     repro-hdpll report telemetry-dir/
     repro-hdpll top telemetry-dir/ --once
+    repro-hdpll serve --port 9123 --telemetry-dir serve-tel/
+    repro-hdpll serve-load --cases b01_1:15,b13_1:10 --requests 16
     repro-hdpll list
 
 Global options: ``--log-level debug`` (or ``REPRO_LOG=debug``) wires the
@@ -228,7 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--profile",
-        choices=("smoke", "full", "bmc", "portfolio", "prop"),
+        choices=("smoke", "full", "bmc", "portfolio", "prop", "serve"),
         default="smoke",
     )
     bench.add_argument(
@@ -259,6 +261,93 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeat", type=int, default=2, help="runs per cell; min is kept"
     )
     _add_common(bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the solver daemon (NDJSON solve requests over "
+        "TCP/UNIX sockets, warm session reuse; see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=9123,
+        help="TCP port (0 = ephemeral, printed at startup)",
+    )
+    serve.add_argument(
+        "--unix-socket",
+        default=None,
+        help="also serve on this UNIX socket path",
+    )
+    serve.add_argument(
+        "--no-tcp",
+        action="store_true",
+        help="disable the TCP endpoint (UNIX socket only)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="concurrently solving requests; arrivals beyond this queue",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=8,
+        help="warm sessions kept (LRU)",
+    )
+    serve.add_argument(
+        "--cache-mb",
+        type=int,
+        default=512,
+        help="approximate session-cache byte budget (MiB)",
+    )
+    serve.add_argument(
+        "--default-timeout",
+        type=float,
+        default=120.0,
+        help="deadline for requests that carry no timeout_s (s)",
+    )
+    serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=8,
+        help="cap on the per-request portfolio escalation width",
+    )
+
+    serve_load = sub.add_parser(
+        "serve-load",
+        help="drive a burst of solve requests at a running daemon and "
+        "print the latency/status summary",
+    )
+    serve_load.add_argument("--host", default="127.0.0.1")
+    serve_load.add_argument("--port", type=int, default=9123)
+    serve_load.add_argument(
+        "--unix-socket",
+        default=None,
+        help="connect over this UNIX socket instead of TCP",
+    )
+    serve_load.add_argument(
+        "--cases",
+        default="b01_1:15,b13_1:10",
+        help="comma-separated case:bound pairs to round-robin",
+    )
+    serve_load.add_argument(
+        "--requests", type=int, default=16, help="total solve requests"
+    )
+    serve_load.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="client connections driving requests in parallel",
+    )
+    serve_load.add_argument(
+        "--escalate-jobs",
+        type=int,
+        default=1,
+        help="jobs field on every request (>1 exercises the portfolio)",
+    )
+    _add_common(serve_load)
 
     report = sub.add_parser(
         "report",
@@ -692,6 +781,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.check and (failed or any(not g.passed for g in gates)):
             return 1
         return 0
+    if args.command == "serve":
+        return _serve_command(args)
+    if args.command == "serve-load":
+        return _serve_load_command(args)
     if args.command == "ablation":
         results = run_ablation(timeout=args.timeout, jobs=args.jobs)
         for name, records in results.items():
@@ -700,6 +793,76 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
         return 0
     return 1  # pragma: no cover - unreachable
+
+
+def _serve_command(args) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=-1 if args.no_tcp else args.port,
+        unix_path=args.unix_socket,
+        max_inflight=args.max_inflight,
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_mb * 1024 * 1024,
+        default_timeout_s=args.default_timeout,
+        max_jobs=args.max_jobs,
+        telemetry_dir=args.telemetry_dir,
+    )
+
+    def announce(server) -> None:
+        # One parseable line so wrappers (tests, CI) can discover the
+        # ephemeral port / socket path.
+        print(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "endpoints": [
+                        [kind, address]
+                        for kind, address in server.endpoints()
+                    ],
+                }
+            ),
+            flush=True,
+        )
+
+    asyncio.run(run_server(config, announce=announce))
+    return 0
+
+
+def _serve_load_command(args) -> int:
+    import json
+
+    from repro.serve import run_load_blocking
+
+    cases = []
+    for token in args.cases.split(","):
+        name, _, bound = token.partition(":")
+        if not bound:
+            print(
+                f"bad --cases entry {token!r} (want case:bound)",
+                file=sys.stderr,
+            )
+            return 2
+        cases.append((name.strip(), int(bound)))
+    kwargs = (
+        {"path": args.unix_socket}
+        if args.unix_socket
+        else {"host": args.host, "port": args.port}
+    )
+    summary = run_load_blocking(
+        cases=cases,
+        total=args.requests,
+        concurrency=args.concurrency,
+        timeout_s=args.timeout,
+        jobs=args.escalate_jobs,
+        **kwargs,
+    )
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if summary["errors"] == 0 else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,6 +14,8 @@ uclid     lazy-SMT comparator substitute (Table 2, UCLID)
 ics       eager-CDP comparator substitute (Table 2, ICS)
 bitblast  CNF translation + CDCL (the introduction's baseline)
 portfolio cube-and-conquer portfolio with clause sharing (PR 5)
+serve-cold  solver daemon, fresh process state per request (PR 8)
+serve-warm  solver daemon, warm session reuse across requests (PR 8)
 ========  ====================================================
 
 Any HDPLL engine name may carry an ``-opt`` suffix (``hdpll+sp-opt``):
@@ -77,6 +79,12 @@ ENGINE_NAMES = (
     "portfolio",
     #: Raw-propagation microbench (no search; see :func:`run_prop_drill`).
     "prop",
+    #: Solver-daemon cells (PR 8): each request goes through a real
+    #: daemon over a unix socket; ``serve-cold`` restarts the daemon per
+    #: request, ``serve-warm`` reuses one warm session (see
+    #: ``repro.serve.bench``).
+    "serve-cold",
+    "serve-warm",
 )
 
 
@@ -332,6 +340,9 @@ def run_engine(
         arith_ops=stats.arith_ops,
         bool_ops=stats.bool_ops,
     )
+    #: Engine-measured wall time overriding the harness stopwatch (the
+    #: serve cells time only their requests, not daemon startup).
+    measured_seconds: Optional[float] = None
     base_engine, engine_impl = split_engine_impl(engine)
     optimize = optimize or base_engine.endswith("-opt")
     base_engine = (
@@ -465,6 +476,20 @@ def run_engine(
             drill.arith_ops = record.arith_ops
             drill.bool_ops = record.bool_ops
             record = drill
+        elif base_engine in ("serve-cold", "serve-warm"):
+            from repro.serve.bench import run_serve_cell
+
+            cell = run_serve_cell(
+                record.case, instance.bound, base_engine, timeout=timeout
+            )
+            record.status = str(cell["status"])
+            record.note = str(cell["note"])
+            record.solve_seconds = float(cell["solve_seconds"])
+            record.session_solves = int(cell["session_solves"])
+            for name, value in dict(cell["stats"]).items():
+                if name in _RECORD_FIELD_NAMES:
+                    setattr(record, name, value)
+            measured_seconds = float(cell["seconds"])
         elif engine == "bitblast":
             satisfiable, _model, sat_result = solve_by_bitblasting(
                 instance.circuit, instance.assumptions, timeout=timeout
@@ -484,7 +509,11 @@ def run_engine(
         logger.warning(
             "run aborted: %s engine=%s: %s", instance.name, engine, record.note
         )
-    record.seconds = time.perf_counter() - start
+    record.seconds = (
+        measured_seconds
+        if measured_seconds is not None
+        else time.perf_counter() - start
+    )
     logger.debug(
         "run end: %s engine=%s status=%s seconds=%.3f",
         instance.name,

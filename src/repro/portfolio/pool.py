@@ -103,12 +103,16 @@ def run_pool(
     share_max_size: Optional[int] = None,
     share_max_lbd: Optional[int] = None,
     crash_cubes: Optional[Dict[int, Tuple[int, ...]]] = None,
+    stall_cubes: Optional[Dict[int, Tuple[int, ...]]] = None,
+    stall_dir: Optional[str] = None,
     telemetry: Optional["TelemetryHub"] = None,
 ) -> PoolResult:
     """Solve every cube of ``problem`` on ``jobs`` diversified workers.
 
-    ``crash_cubes`` (worker index -> cube indices) is the test hook
-    forwarded to :class:`WorkerSpec`.  ``root_index`` names the cube
+    ``crash_cubes`` and ``stall_cubes`` (worker index -> cube indices)
+    are the test hooks forwarded to :class:`WorkerSpec`; stalled cubes
+    block until cancelled, proving the duplicate-cancellation path
+    (markers land in ``stall_dir``).  ``root_index`` names the cube
     whose UNSAT alone settles the query (``None`` when no root cube is
     in the list).  ``telemetry`` (a TelemetryHub) gives every worker a
     clock-aligned trace/metrics shard; the caller merges afterwards.
@@ -141,6 +145,8 @@ def run_pool(
             base_config=base_config,
             optimize=optimize,
             crash_cubes=tuple((crash_cubes or {}).get(index, ())),
+            stall_cubes=tuple((stall_cubes or {}).get(index, ())),
+            stall_dir=stall_dir,
             telemetry=(
                 telemetry.worker_config(
                     f"p{index}", label=f"portfolio-{index}"
@@ -267,6 +273,21 @@ def run_pool(
                     stats=stats,
                     worker=w_index,
                 )
+                # The cube is decided: duplicate holders grinding on it
+                # are cancelled (cube-scoped, the worker survives) so
+                # they free up for the next assignment.  A cancel that
+                # crosses the peer's own result on the pipe is dropped
+                # as stale by the worker.
+                for peer in live.values():
+                    if (
+                        peer.index != worker.index
+                        and cube_index in peer.assigned
+                    ):
+                        peer.assigned.discard(cube_index)
+                        try:
+                            peer.conn.send(("cancel", cube_index))
+                        except (BrokenPipeError, OSError):
+                            pass  # peer death surfaces via its pipe
             assign(worker)
         elif kind == "fatal":
             drop_worker(worker, f"worker {worker.index}: {message[2]}")

@@ -15,6 +15,7 @@ Wire protocol (all tuples, first element is the kind):
 
 master -> worker   ("cube", index, assumptions, timeout)
                    ("clauses", payload_batch)
+                   ("cancel", cube_index)
                    ("stop",)
 worker -> master   ("ready", worker_index)
                    ("clauses", worker_index, payload_batch)
@@ -26,6 +27,13 @@ worker -> master   ("ready", worker_index)
 few search iterations also drains the pipe, and raises
 :class:`WorkerStopped` when a stop arrives — unwinding cleanly through
 the solver (whose persistent mode backtracks in a ``finally``).
+
+``cancel`` is the cube-scoped variant: the master sends it when another
+worker already decided the named cube, so a duplicate holder abandons
+*that cube only* (raising :class:`CubeCancelled` if it is the one being
+solved), reports ready, and lives on for the next assignment.  A cancel
+naming any other cube is stale — the worker already finished it and the
+result crossed the cancel on the pipe — and is dropped silently.
 """
 
 from __future__ import annotations
@@ -63,6 +71,20 @@ class WorkerStopped(BaseException):
     handling (e.g. the harness runner's abort guard) must not swallow a
     cancellation.
     """
+
+
+class CubeCancelled(WorkerStopped):
+    """Cube-scoped cancellation: abandon the current cube, keep living.
+
+    Subclasses :class:`WorkerStopped` so the solver unwinds identically
+    (persistent mode backtracks to level 0 in a ``finally``), but the
+    worker loop catches it before the process-level handler does and
+    goes back to the master for the next cube.
+    """
+
+    def __init__(self, cube_index: int):
+        super().__init__(f"cube {cube_index} cancelled")
+        self.cube_index = cube_index
 
 
 @dataclass(frozen=True)
@@ -124,6 +146,12 @@ class WorkerSpec:
     #: Test hook: hard-exit (simulating a crash) when assigned any of
     #: these cube indices — exercises the master's requeue path.
     crash_cubes: Tuple[int, ...] = ()
+    #: Test hook: instead of solving these cubes, block on the pipe
+    #: until a matching ``("cancel", index)`` (or ``("stop",)``)
+    #: arrives — exercises the master's duplicate-cancellation path.
+    #: A received cancel is proven by a marker file in ``stall_dir``.
+    stall_cubes: Tuple[int, ...] = ()
+    stall_dir: Optional[str] = None
     #: Cross-process telemetry shard config (minted by the master's
     #: TelemetryHub; carries the clock-offset epoch).
     telemetry: Optional["TelemetryConfig"] = None
@@ -152,6 +180,9 @@ class _WorkerChannel:
         self._emitter = emitter
         self._pending = []
         self._tick = 0
+        #: Cube index being solved right now (None while idle); a
+        #: ``cancel`` only takes effect when it names this cube.
+        self.current_cube: Optional[int] = None
 
     def export(self, clause) -> None:
         self.exporter.export(clause)
@@ -172,6 +203,12 @@ class _WorkerChannel:
                 raise WorkerStopped()
             if message[0] == "clauses":
                 self.enqueue(message[1])
+            elif message[0] == "cancel":
+                # Cube-scoped: only the cube being solved right now can
+                # be cancelled; a cancel for any other index is stale
+                # (our result crossed it on the pipe) and is dropped.
+                if message[1] == self.current_cube:
+                    raise CubeCancelled(message[1])
             # "cube" cannot arrive mid-solve: the master assigns one
             # cube at a time and waits for its result.
 
@@ -189,6 +226,36 @@ class _WorkerChannel:
 def _stats_payload(stats) -> Dict[str, object]:
     """Plain-dict snapshot of a query's stats (pipe-friendly)."""
     return stats.as_dict(include_histograms=False)
+
+
+def _stall_until_cancelled(
+    conn, spec: WorkerSpec, cube_index: int, channel: "_WorkerChannel"
+) -> bool:
+    """Test hook body for ``stall_cubes``: pretend the cube is hard.
+
+    Blocks on the pipe instead of solving, so the cube stays in-flight
+    until a peer decides it and the master's ``("cancel", index)``
+    arrives.  Returns True (after reporting ready) when cancelled,
+    False when a ``stop`` ended the pool; a received cancel is recorded
+    as a marker file in ``stall_dir`` for the test to assert on.
+    """
+    while True:
+        message = conn.recv()
+        if message[0] == "stop":
+            return False
+        if message[0] == "clauses":
+            channel.enqueue(message[1])
+            continue
+        if message[0] == "cancel" and message[1] == cube_index:
+            if spec.stall_dir:
+                marker = os.path.join(
+                    spec.stall_dir,
+                    f"cancelled-{spec.worker_index}-{cube_index}.txt",
+                )
+                with open(marker, "w", encoding="utf-8") as handle:
+                    handle.write("cancelled\n")
+            conn.send(("ready", spec.worker_index))
+            return True
 
 
 def _worker_body(
@@ -242,6 +309,10 @@ def _worker_body(
         if kind == "clauses":
             channel.enqueue(message[1])
             continue
+        if kind == "cancel":
+            # Stale: names a cube whose result we already sent (the
+            # cancel crossed it on the pipe while we sat idle).
+            continue
         if kind != "cube":  # pragma: no cover - protocol guard
             raise ValueError(f"unexpected message {kind!r}")
         _, cube_index, cube_assumptions, timeout = message
@@ -251,6 +322,10 @@ def _worker_body(
                     f"crash_cubes test hook (cube {cube_index})"
                 )
             os._exit(23)  # test hook: simulated hard crash
+        if cube_index in spec.stall_cubes:
+            if _stall_until_cancelled(conn, spec, cube_index, channel):
+                continue
+            return  # stop arrived while stalled
         merged: Dict[str, object] = dict(base_assumptions)
         for name, lo, hi in cube_assumptions:
             merged[name] = Interval.make(lo, hi)
@@ -262,7 +337,24 @@ def _worker_body(
                 "cube", dl=0, n=cube_index,
                 size=len(cube_assumptions), outcome="begin",
             )
-        result = session.solve(merged, timeout=timeout)
+        channel.current_cube = cube_index
+        try:
+            result = session.solve(merged, timeout=timeout)
+        except CubeCancelled:
+            # Another worker already decided this cube: drop it, tell
+            # the master we are free, and keep the session warm for the
+            # next assignment.
+            exporter.cube_names = frozenset()
+            exporter.flush()
+            if emitter is not None:
+                emitter.event(
+                    "cube", dl=0, n=cube_index,
+                    size=len(cube_assumptions), outcome="cancelled",
+                )
+            conn.send(("ready", spec.worker_index))
+            continue
+        finally:
+            channel.current_cube = None
         exporter.cube_names = frozenset()
         exporter.flush()
         if emitter is not None:

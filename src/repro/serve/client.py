@@ -1,0 +1,212 @@
+"""Asyncio client for the solver daemon.
+
+One :class:`ServeClient` owns one connection and multiplexes any number
+of concurrent requests over it: every request carries a client-assigned
+``id``, a background reader task resolves the matching future when the
+response line arrives, and responses may come back in any order (the
+daemon finishes fast queries while slow ones are still solving).
+
+The blocking convenience wrapper :func:`solve_once` exists for shell
+one-liners and the CLI; everything else should use the async surface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional
+
+from repro.errors import SolverError
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode,
+    encode,
+    solve_request,
+)
+
+
+class ServeConnectionError(SolverError):
+    """Connection to the daemon failed or dropped mid-request."""
+
+
+class ServeClient:
+    """One connection to the daemon, id-multiplexed (see module doc)."""
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+        self._pending: Dict[str, "asyncio.Future[dict]"] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    async def open(
+        cls,
+        *,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        path: Optional[str] = None,
+    ) -> "ServeClient":
+        """Connect over TCP (``host``/``port``) or a UNIX socket
+        (``path``)."""
+        try:
+            if path is not None:
+                reader, writer = await asyncio.open_unix_connection(
+                    path, limit=MAX_LINE_BYTES
+                )
+            elif host is not None and port is not None:
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=MAX_LINE_BYTES
+                )
+            else:
+                raise SolverError(
+                    "ServeClient.open needs host+port or path"
+                )
+        except OSError as error:
+            raise ServeConnectionError(
+                f"cannot reach solver daemon: {error}"
+            ) from None
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Send one message and await its response (matched by id)."""
+        if self._closed:
+            raise ServeConnectionError("client is closed")
+        request_id = message.get("id")
+        if request_id is None:
+            request_id = f"c{next(self._ids)}"
+            message = dict(message, id=request_id)
+        key = str(request_id)
+        if key in self._pending:
+            raise ProtocolError(f"duplicate in-flight request id {key!r}")
+        future: "asyncio.Future[dict]" = (
+            asyncio.get_event_loop().create_future()
+        )
+        self._pending[key] = future
+        try:
+            self._writer.write(encode(message))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            self._pending.pop(key, None)
+            raise ServeConnectionError(
+                f"send failed: {error}"
+            ) from None
+        try:
+            return await future
+        finally:
+            self._pending.pop(key, None)
+
+    async def solve(
+        self,
+        case: str,
+        bound: int,
+        *,
+        assumptions=None,
+        timeout_s: Optional[float] = None,
+        jobs: int = 1,
+        want_model: bool = True,
+    ) -> Dict[str, object]:
+        return await self.request(
+            solve_request(
+                case,
+                bound,
+                assumptions=assumptions,
+                timeout_s=timeout_s,
+                jobs=jobs,
+                want_model=want_model,
+            )
+        )
+
+    async def ping(self) -> Dict[str, object]:
+        return await self.request({"op": "ping"})
+
+    async def stats(self) -> Dict[str, object]:
+        return await self.request({"op": "stats"})
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._fail_pending("connection closed")
+
+    # ------------------------------------------------------------------
+    # Reader task
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    self._fail_pending("daemon closed the connection")
+                    return
+                try:
+                    response = decode(line)
+                except ProtocolError:
+                    self._fail_pending("undecodable response from daemon")
+                    return
+                key = str(response.get("id"))
+                future = self._pending.get(key)
+                if future is not None and not future.done():
+                    future.set_result(response)
+                # Unmatched ids are dropped: the requester gave up
+                # (cancelled) before the response landed.
+        except (ConnectionError, OSError, ValueError) as error:
+            self._fail_pending(f"connection lost: {error}")
+        except asyncio.CancelledError:
+            raise
+
+    def _fail_pending(self, reason: str) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ServeConnectionError(reason))
+        self._pending.clear()
+
+
+def solve_once(
+    case: str,
+    bound: int,
+    *,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    path: Optional[str] = None,
+    timeout_s: Optional[float] = None,
+    jobs: int = 1,
+    want_model: bool = True,
+) -> Dict[str, object]:
+    """Blocking one-shot solve against a running daemon (CLI helper)."""
+
+    async def run() -> Dict[str, object]:
+        client = await ServeClient.open(host=host, port=port, path=path)
+        try:
+            return await client.solve(
+                case,
+                bound,
+                timeout_s=timeout_s,
+                jobs=jobs,
+                want_model=want_model,
+            )
+        finally:
+            await client.close()
+
+    return asyncio.run(run())

@@ -1,0 +1,129 @@
+"""Load generator for the solver daemon.
+
+Drives a burst of concurrent solve requests — N client connections
+round-robining over a case list — and summarizes what came back:
+status counts, client-side latency percentiles, throughput, and the
+daemon's own ``stats`` snapshot at the end of the burst.  The CI
+``serve-smoke`` job and the serve tests both run through here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.client import ServeClient
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sample list (0 if empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+async def run_load(
+    *,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    path: Optional[str] = None,
+    cases: Sequence[Tuple[str, int]],
+    total: int = 16,
+    concurrency: int = 4,
+    timeout_s: Optional[float] = 60.0,
+    jobs: int = 1,
+    want_model: bool = False,
+) -> Dict[str, object]:
+    """Fire ``total`` solve requests at the daemon, ``concurrency`` at
+    a time, round-robining over ``cases`` ``(case, bound)`` pairs.
+
+    Each lane owns its own connection (the realistic shape: independent
+    clients), and every lane pulls the next request index from a shared
+    counter, so lanes stay busy even when latencies are skewed.
+    """
+    if not cases:
+        raise ValueError("run_load needs at least one (case, bound) pair")
+    concurrency = max(1, min(concurrency, total))
+    outcomes: List[Dict[str, object]] = [None] * total  # type: ignore[list-item]
+    next_index = iter(range(total))
+    lock = asyncio.Lock()
+
+    async def lane() -> None:
+        client = await ServeClient.open(host=host, port=port, path=path)
+        try:
+            while True:
+                async with lock:
+                    index = next(next_index, None)
+                if index is None:
+                    return
+                case, bound = cases[index % len(cases)]
+                started = time.perf_counter()
+                try:
+                    response = await client.solve(
+                        case,
+                        bound,
+                        timeout_s=timeout_s,
+                        jobs=jobs,
+                        want_model=want_model,
+                    )
+                except Exception as error:
+                    response = {"ok": False, "error": str(error)}
+                outcomes[index] = {
+                    "case": case,
+                    "bound": bound,
+                    "client_s": time.perf_counter() - started,
+                    "response": response,
+                }
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(lane() for _ in range(concurrency)))
+    elapsed = max(1e-9, time.perf_counter() - started)
+
+    statuses: Dict[str, int] = {}
+    errors = 0
+    latencies: List[float] = []
+    cache_hits = 0
+    for outcome in outcomes:
+        response = outcome["response"]
+        latencies.append(outcome["client_s"])
+        if not response.get("ok"):
+            errors += 1
+            continue
+        status = str(response.get("status", "?"))
+        statuses[status] = statuses.get(status, 0) + 1
+        if response.get("cache") == "hit":
+            cache_hits += 1
+
+    # One last connection for the daemon-side view of the burst.
+    client = await ServeClient.open(host=host, port=port, path=path)
+    try:
+        server_stats = await client.stats()
+    finally:
+        await client.close()
+
+    return {
+        "requests": total,
+        "concurrency": concurrency,
+        "elapsed_s": round(elapsed, 6),
+        "throughput_rps": round(total / elapsed, 3),
+        "statuses": statuses,
+        "errors": errors,
+        "cache_hits": cache_hits,
+        "latency": {
+            "p50_s": round(percentile(latencies, 0.50), 6),
+            "p95_s": round(percentile(latencies, 0.95), 6),
+            "p99_s": round(percentile(latencies, 0.99), 6),
+            "max_s": round(max(latencies), 6) if latencies else 0.0,
+        },
+        "server": server_stats,
+    }
+
+
+def run_load_blocking(**kwargs) -> Dict[str, object]:
+    """Synchronous wrapper for the CLI (``repro-hdpll serve-load``)."""
+    return asyncio.run(run_load(**kwargs))

@@ -1,0 +1,116 @@
+"""Wire protocol for the solver daemon: newline-delimited JSON.
+
+One request or response per line, UTF-8 JSON, ``\\n``-terminated — the
+least clever framing that a shell one-liner, a load generator, and an
+asyncio server can all speak.  Requests and responses are plain dicts;
+this module pins the field names, bounds line sizes, and provides the
+tiny helpers both ends share.
+
+Request fields (``op`` selects the handler):
+
+===========  ==========================================================
+``op``       ``"solve"`` | ``"ping"`` | ``"stats"``
+``id``       client-chosen correlation token, echoed verbatim
+``case``     ITC99 instance name, e.g. ``"b13_5"`` (solve)
+``bound``    unrolling depth (solve)
+``assumptions``  optional extra assumptions: name -> int | [lo, hi]
+``timeout_s``    per-request deadline in seconds, measured from
+             *arrival* — queue wait counts against it (solve)
+``jobs``     portfolio escalation width; > 1 routes the query to the
+             cube-and-conquer pool instead of the warm session (solve)
+``want_model``   include the SAT model in the response (default true)
+===========  ==========================================================
+
+Response fields: ``id`` (echoed), ``ok`` (protocol-level success —
+an UNKNOWN solve is still ``ok``), ``error`` (when not ok), and for
+solves ``status`` ("sat"/"unsat"/"unknown"), ``model``, ``note``,
+``engine`` ("session"/"portfolio"), ``cache`` ("hit"/"miss"),
+``queue_s``/``solve_s``/``wall_s`` timings, and a small ``stats``
+counter dict.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import SolverError
+
+#: Protocol schema version, echoed by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one encoded line (requests *and* responses).  Models for
+#: deep unrollings are large but bounded; 8 MiB is two orders of
+#: magnitude above the biggest bench response.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: JSON value accepted for one assumption: a point value or [lo, hi].
+AssumptionJson = Union[int, Tuple[int, int]]
+
+
+class ProtocolError(SolverError):
+    """Malformed request/response line (framing or schema)."""
+
+
+def encode(message: Dict[str, object]) -> bytes:
+    """One message as a compact, newline-terminated JSON line."""
+    line = json.dumps(
+        message, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8") + b"\n"
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"encoded message of {len(line)} bytes exceeds "
+            f"MAX_LINE_BYTES ({MAX_LINE_BYTES})"
+        )
+    return line
+
+
+def decode(line: bytes) -> Dict[str, object]:
+    """Parse one received line into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"received line of {len(line)} bytes exceeds "
+            f"MAX_LINE_BYTES ({MAX_LINE_BYTES})"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable message line: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def solve_request(
+    case: str,
+    bound: int,
+    *,
+    request_id: object = None,
+    assumptions: Optional[Dict[str, AssumptionJson]] = None,
+    timeout_s: Optional[float] = None,
+    jobs: int = 1,
+    want_model: bool = True,
+) -> Dict[str, object]:
+    """A well-formed solve request (the client and loadgen use this)."""
+    message: Dict[str, object] = {
+        "op": "solve",
+        "case": case,
+        "bound": bound,
+        "jobs": jobs,
+        "want_model": want_model,
+    }
+    if request_id is not None:
+        message["id"] = request_id
+    if assumptions:
+        message["assumptions"] = dict(assumptions)
+    if timeout_s is not None:
+        message["timeout_s"] = timeout_s
+    return message
+
+
+def error_response(
+    request: Dict[str, object], error: str
+) -> Dict[str, object]:
+    return {"id": request.get("id"), "ok": False, "error": error}

@@ -1,0 +1,144 @@
+"""Regression tests for :class:`SolverSession` query semantics.
+
+Both tests pin bugs that only bite once a session is *shared*: the
+serve daemon keeps one warm session per netlist signature and routes
+many requests (each with its own deadline) through it, so a per-call
+timeout that leaks into the session config, or session counters that
+drift on the root-conflict path, silently corrupt every later request.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.clause import BoolLit, Clause, WordLit
+from repro.core import SolverConfig, Status
+from repro.core.session import SolverSession
+from repro.intervals import Interval
+from repro.rtl.builder import CircuitBuilder
+
+
+def _circuit():
+    b = CircuitBuilder("session-fixes")
+    a = b.input("a")
+    c = b.input("c")
+    w = b.input("w", 4)
+    flag = b.or_(a, c, name="flag")
+    small = b.lt(w, 9, name="small")
+    b.output("out", b.and_(flag, small))
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Per-call timeout must not stick to the session
+# ----------------------------------------------------------------------
+
+
+def test_per_call_timeout_is_not_sticky():
+    """A short-deadline query must not shorten the session default.
+
+    The first solve carries an already-expired deadline and comes back
+    UNKNOWN; the second passes ``timeout=None`` and must get the
+    session's configured budget (unbounded here), not the leftover
+    nanosecond one.
+    """
+    session = SolverSession(_circuit(), SolverConfig(timeout=None))
+
+    first = session.solve({"a": 1}, timeout=1e-9)
+    assert first.status is Status.UNKNOWN
+    assert "timeout" in (first.note or "")
+    # The override was query-scoped: the live config is untouched.
+    assert session.solver.config.timeout is None
+
+    second = session.solve({"a": 1}, timeout=None)
+    assert second.status is Status.SAT
+    assert second.stats.session_solves == 2
+
+
+def test_explicit_timeout_still_applies_per_call():
+    """The override still reaches the solver for the call that asks."""
+    session = SolverSession(_circuit(), SolverConfig(timeout=None))
+    result = session.solve({}, timeout=1e-9)
+    assert result.status is Status.UNKNOWN
+    # And a later generous override works after the tiny one.
+    result = session.solve({}, timeout=60.0)
+    assert result.status is Status.SAT
+    assert session.solver.config.timeout is None
+
+
+# ----------------------------------------------------------------------
+# install_shifted root-conflict path keeps its accounting
+# ----------------------------------------------------------------------
+
+
+def _learned(*literals) -> Clause:
+    return Clause(literals=tuple(literals), learned=True, origin="conflict")
+
+
+def test_install_shifted_root_conflict_keeps_accounting():
+    """A root conflict mid-batch must still fold the installed count
+    into ``clauses_shifted`` and run the clause-DB cap.
+
+    The conflicting clause is itself in the database (``add_clause``
+    appends before detecting the conflict), so it counts too.
+    """
+    session = SolverSession(
+        _circuit(), SolverConfig(clause_db_max_learned=1)
+    )
+    names = session._var_by_name
+    # Falsify ``a`` at level 0 so the unit clause (a) below conflicts.
+    session.solver.store.assume(names["a"], Interval.point(0))
+
+    batch = [
+        # Install cleanly: literals unassigned, disposable origin.
+        _learned(
+            BoolLit(names["c"], positive=True),
+            WordLit(names["w"], Interval.make(0, 7), positive=True),
+        ),
+        _learned(
+            BoolLit(names["c"], positive=False),
+            WordLit(names["w"], Interval.make(0, 3), positive=True),
+        ),
+        # Root conflict: the only literal is false under the trail.
+        _learned(BoolLit(names["a"], positive=True)),
+        # Never reached — the batch stops at the refutation.
+        _learned(
+            BoolLit(names["c"], positive=False),
+            WordLit(names["w"], Interval.make(8, 15), positive=True),
+        ),
+    ]
+    installed = session.install_shifted(batch, lambda name: name)
+
+    assert installed == 3
+    assert session.clauses_shifted == 3
+    assert session.root_conflict
+    # The cap ran on this exit path: two disposable multi-literal
+    # clauses against a cap of one forces an eviction (the conflicting
+    # unit clause is never an eviction candidate).
+    assert session.solver.engine.clause_db.clauses_evicted >= 1
+
+    # Later queries are unconditionally UNSAT and carry the counters.
+    result = session.solve({"c": 1})
+    assert result.status is Status.UNSAT
+    assert result.stats.clauses_shifted == 3
+
+
+def test_install_shifted_clean_batch_counts_everything():
+    """Baseline: a conflict-free batch counts every installed clause."""
+    session = SolverSession(_circuit(), SolverConfig())
+    names = session._var_by_name
+    batch = [
+        _learned(
+            BoolLit(names["a"], positive=True),
+            BoolLit(names["c"], positive=True),
+        ),
+        _learned(
+            BoolLit(names["a"], positive=False),
+            WordLit(names["w"], Interval.make(0, 7), positive=True),
+        ),
+    ]
+    installed = session.install_shifted(batch, lambda name: name)
+    assert installed == 2
+    assert session.clauses_shifted == 2
+    assert not session.root_conflict
+    # Installing the same batch again is a dedup no-op.
+    assert session.install_shifted(batch, lambda name: name) == 0
+    assert session.clauses_shifted == 2

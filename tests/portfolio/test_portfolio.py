@@ -249,6 +249,43 @@ def test_crashed_worker_requeues_cube_once():
     assert replay_model(circuit, result.model, assumptions)
 
 
+def test_duplicate_holder_cancelled_when_cube_decided(tmp_path):
+    """A worker grinding on an already-decided cube gets a cube-scoped
+    cancel and lives on, instead of burning until the pool shuts down.
+
+    Worker 0 stalls (test hook) on every cube it is handed, so its
+    cubes are only ever decided by worker 1 picking up duplicates once
+    the queue drains.  Each such result must trigger a ``("cancel",
+    index)`` to worker 0 — proven by the marker files the stall hook
+    writes on receipt — and the pool must still settle the query.
+    The step query is UNSAT, so every split cube is UNSAT and the
+    verdict needs *all* of them (no root cube, ``root_index=None``):
+    the stalled cubes cannot be bypassed.  The problem is b13_1's
+    inductive step at its proving depth — UNSAT, but beyond pure
+    propagation, so cube generation cannot settle it early.
+    """
+    spec = ProblemSpec("step", "b13_1", 6)
+    circuit, assumptions = build_problem(spec)
+    report = generate_cubes(circuit, assumptions, depth=1)
+    assert report.status is None
+    cubes = list(report.cubes)
+    assert len(cubes) >= 2
+    result = run_pool(
+        spec,
+        cubes,
+        jobs=2,
+        base_config=SolverConfig(),
+        timeout=120.0,
+        root_index=None,
+        stall_cubes={0: tuple(range(len(cubes)))},
+        stall_dir=str(tmp_path),
+    )
+    assert result.status == "unsat"
+    markers = sorted(p.name for p in tmp_path.iterdir())
+    assert markers, "stalled duplicate holder never received a cancel"
+    assert all(m.startswith("cancelled-0-") for m in markers)
+
+
 def test_all_workers_crashing_fails_loudly():
     spec, cubes = _crash_problem()
     with pytest.raises(PortfolioError):

@@ -1,0 +1,69 @@
+"""Wire-protocol unit tests: framing, schema, size bounds."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode,
+    encode,
+    error_response,
+    solve_request,
+)
+
+
+def test_encode_decode_roundtrip():
+    message = solve_request(
+        "b13_5",
+        15,
+        request_id="r1",
+        assumptions={"a": 1, "w": (0, 9)},
+        timeout_s=2.5,
+        jobs=2,
+        want_model=False,
+    )
+    line = encode(message)
+    assert line.endswith(b"\n")
+    assert line.count(b"\n") == 1
+    decoded = decode(line)
+    # Tuples become lists over JSON; everything else survives verbatim.
+    assert decoded["assumptions"] == {"a": 1, "w": [0, 9]}
+    for key in ("op", "case", "bound", "id", "timeout_s", "jobs"):
+        assert decoded[key] == message[key]
+
+
+def test_encode_is_one_compact_line():
+    line = encode({"op": "ping", "note": "with\nnewline"})
+    # Embedded newlines must be escaped, never break the framing.
+    assert line.count(b"\n") == 1
+    assert json.loads(line)["note"] == "with\nnewline"
+
+
+def test_decode_rejects_garbage_and_non_objects():
+    with pytest.raises(ProtocolError, match="undecodable"):
+        decode(b"not json\n")
+    with pytest.raises(ProtocolError, match="JSON object"):
+        decode(b"[1, 2, 3]\n")
+    with pytest.raises(ProtocolError, match="undecodable"):
+        decode(b"\xff\xfe\n")
+
+
+def test_size_bounds_enforced_both_directions():
+    big = {"op": "solve", "blob": "x" * MAX_LINE_BYTES}
+    with pytest.raises(ProtocolError, match="exceeds"):
+        encode(big)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        decode(b"x" * (MAX_LINE_BYTES + 1))
+
+
+def test_error_response_echoes_id():
+    assert error_response({"id": 7, "op": "solve"}, "boom") == {
+        "id": 7,
+        "ok": False,
+        "error": "boom",
+    }
+    assert error_response({}, "boom")["id"] is None
