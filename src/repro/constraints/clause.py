@@ -94,6 +94,15 @@ def make_bool_lit(var: Variable, value: int) -> BoolLit:
     return BoolLit(var, positive=bool(value))
 
 
+#: Clause-database tiers (Glucose-style).  Core clauses ("glue", LBD at
+#: or below the core threshold) are never evicted; mid clauses survive
+#: routine reductions but are demoted to local when stale; local clauses
+#: are the eviction pool.
+TIER_CORE = 0
+TIER_MID = 1
+TIER_LOCAL = 2
+
+
 @dataclass(eq=False)
 class Clause:
     """A hybrid clause with optional learned-clause bookkeeping."""
@@ -107,6 +116,14 @@ class Clause:
     #: Literal-block distance at learning time (0 = not computed);
     #: the portfolio export filter caps on it.
     lbd: int = 0
+    #: Database tier (:data:`TIER_CORE` / :data:`TIER_MID` /
+    #: :data:`TIER_LOCAL`), assigned from ``lbd`` at install time.
+    tier: int = TIER_LOCAL
+    #: Reductions this (mid-tier) clause sat through without its
+    #: activity moving; at the staleness limit it is demoted.
+    stale_rounds: int = 0
+    #: Activity level at the last staleness check.
+    activity_mark: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.literals:
@@ -195,6 +212,13 @@ class ClauseDatabase:
         self.watch_moves = 0
         #: Learned clauses dropped by reduction/cap eviction.
         self.clauses_evicted = 0
+        #: Mid-tier clauses demoted to the local tier for staleness.
+        self.clauses_demoted = 0
+        #: Tier thresholds (see :class:`repro.core.config.SolverConfig`);
+        #: the owning solver overrides these from its config.
+        self.core_lbd_max = 2
+        self.mid_lbd_max = 6
+        self.mid_staleness = 2
 
     # ------------------------------------------------------------------
     # Literal status against the flat domain arrays
@@ -233,6 +257,8 @@ class ClauseDatabase:
         and re-propagate as appropriate.  Watches are placed on non-false
         literals whenever any exist, establishing the invariant at entry.
         """
+        if clause.learned and clause.origin in self._DISPOSABLE_ORIGINS:
+            self._assign_tier(clause)
         self.clauses.append(clause)
         literals = clause.literals
         true_pos = -1
@@ -476,7 +502,13 @@ class ClauseDatabase:
             if isinstance(event.reason, Clause)
         }
 
-    def _disposable(self) -> List[Clause]:
+    def _disposable(self, include_core: bool = False) -> List[Clause]:
+        """Eviction-eligible learned clauses.
+
+        Core-tier ("glue") clauses are excluded unless ``include_core``
+        — they are never evicted, but the tier-size and mean-LBD
+        accessors still want to see them.
+        """
         protected = self._reason_clauses()
         return [
             clause
@@ -484,38 +516,112 @@ class ClauseDatabase:
             if clause.learned
             and len(clause.literals) > 1
             and clause.origin in self._DISPOSABLE_ORIGINS
+            and (include_core or clause.tier != TIER_CORE)
             and id(clause) not in protected
         ]
+
+    def _assign_tier(self, clause: Clause) -> None:
+        """Place a learned clause in its LBD tier at install time.
+
+        An LBD of 0 means "not computed" (e.g. decision-cut clauses);
+        such clauses go to the local tier rather than masquerading as
+        glue.  Binary clauses are core regardless of recorded LBD —
+        they are cheap to keep and as strong as glue.
+        """
+        if len(clause.literals) <= 2 or (
+            0 < clause.lbd <= self.core_lbd_max
+        ):
+            clause.tier = TIER_CORE
+        elif clause.lbd <= self.mid_lbd_max:
+            clause.tier = TIER_MID
+            clause.activity_mark = clause.activity
+        else:
+            clause.tier = TIER_LOCAL
+
+    def tier_sizes(self) -> Tuple[int, int, int]:
+        """(core, mid, local) sizes of the disposable learned set."""
+        core = mid = local = 0
+        for clause in self._disposable(include_core=True):
+            if clause.tier == TIER_CORE:
+                core += 1
+            elif clause.tier == TIER_MID:
+                mid += 1
+            else:
+                local += 1
+        return core, mid, local
+
+    def mean_lbd(self) -> float:
+        """Mean recorded LBD over disposable learned clauses (0.0 when
+        none carry one)."""
+        total = 0
+        count = 0
+        for clause in self._disposable(include_core=True):
+            if clause.lbd > 0:
+                total += clause.lbd
+                count += 1
+        return total / count if count else 0.0
+
+    def _demote_stale(self, candidates: List[Clause]) -> None:
+        """Demote mid-tier clauses whose activity stopped moving.
+
+        Called once per reduction round: a mid clause that sat through
+        ``mid_staleness`` consecutive rounds without a single activity
+        bump joins the local (evictable) tier.
+        """
+        for clause in candidates:
+            if clause.tier != TIER_MID:
+                continue
+            if clause.activity > clause.activity_mark:
+                clause.activity_mark = clause.activity
+                clause.stale_rounds = 0
+                continue
+            clause.stale_rounds += 1
+            if clause.stale_rounds >= self.mid_staleness:
+                clause.tier = TIER_LOCAL
+                self.clauses_demoted += 1
+
+    #: Eviction order inside the eligible set: local before mid, then
+    #: highest LBD first, lowest activity first.
+    @staticmethod
+    def _evict_key(clause: Clause) -> Tuple[int, int, float]:
+        return (-clause.tier, -clause.lbd, clause.activity)
 
     def _evict(self, candidates: List[Clause], drop_count: int) -> int:
         if drop_count <= 0:
             return 0
-        candidates.sort(key=lambda clause: clause.activity)
+        candidates.sort(key=self._evict_key)
         for clause in candidates[:drop_count]:
             self.remove_clause(clause)
         self.clauses_evicted += drop_count
         return drop_count
 
     def reduce_learned(self, keep_fraction: float = 0.5) -> int:
-        """Drop the least active disposable learned clauses.
+        """One clause-database reduction round.
 
-        Only multi-literal conflict-learned clauses are candidates:
-        problem clauses, static-learning relations and unit facts stay,
-        as does any clause currently justifying a trail event.  Deletion
-        is always sound (learned clauses are consequences).  Returns the
-        number removed.
+        Mid-tier staleness is aged first (stale mid clauses drop to
+        local), then the worse ``1 - keep_fraction`` of the *local* tier
+        is evicted (highest LBD, then lowest activity).  Core clauses
+        and the surviving mid tier are untouched.  Only multi-literal
+        conflict-learned clauses are ever candidates: problem clauses,
+        static-learning relations and unit facts stay, as does any
+        clause currently justifying a trail event.  Deletion is always
+        sound (learned clauses are consequences).  Returns the number
+        removed.
         """
         candidates = self._disposable()
-        if len(candidates) < 8:
+        self._demote_stale(candidates)
+        local = [c for c in candidates if c.tier == TIER_LOCAL]
+        if len(local) < 8:
             return 0
-        drop_count = int(len(candidates) * (1.0 - keep_fraction))
-        return self._evict(candidates, drop_count)
+        drop_count = int(len(local) * (1.0 - keep_fraction))
+        return self._evict(local, drop_count)
 
     def enforce_cap(self, max_learned: int) -> int:
-        """Activity-based eviction down to ``max_learned`` disposable
-        clauses (0 disables).  Used by long-lived sessions so the clause
-        database cannot drown in dead lemmas as frames accumulate.
-        Returns the number removed."""
+        """Tiered eviction down to ``max_learned`` evictable (mid +
+        local) disposable clauses (0 disables).  Core-tier clauses never
+        count toward the cap and are never dropped.  Used by long-lived
+        sessions so the clause database cannot drown in dead lemmas as
+        frames accumulate.  Returns the number removed."""
         if max_learned <= 0:
             return 0
         candidates = self._disposable()

@@ -61,13 +61,26 @@ class SolverConfig:
     #: Export Section 4.4 phase hints from static learning (ablation
     #: knob; hurts counterexample search, see predlearn docs).
     learned_phase_hints: bool = False
-    #: Reduce the learned-clause database (drop the less active half)
-    #: every this many learned clauses; 0 disables reduction.
+    #: Reduce the learned-clause database (drop the worse half of the
+    #: local tier) every this many learned clauses; 0 disables reduction.
     clause_db_reduce_interval: int = 4000
     #: Hard cap on disposable learned clauses kept by long-lived solver
-    #: sessions; activity-based eviction (reason clauses are never
-    #: evicted) kicks in above it.  0 disables the cap.
+    #: sessions; LBD/activity-tiered eviction (core and reason clauses
+    #: are never evicted) kicks in above it.  0 disables the cap.
     clause_db_max_learned: int = 8000
+    #: Glucose-style recursive clause minimization: drop learned-clause
+    #: literals whose trail events are implied (through the implication
+    #: graph) by the remaining literals and level-0 facts.
+    clause_minimization: bool = True
+    #: Learned clauses with LBD at or below this live in the *core* tier
+    #: of the clause database and are never evicted ("glue" clauses).
+    clause_db_core_lbd: int = 2
+    #: LBD ceiling of the *mid* tier; above it a learned clause starts in
+    #: the eviction-eligible *local* tier.
+    clause_db_mid_lbd: int = 6
+    #: Database reductions a mid-tier clause may sit through without its
+    #: activity moving before it is demoted to the local tier.
+    clause_db_mid_staleness: int = 2
     #: Propagation inner-loop implementation: ``"reference"`` (the
     #: oracle — per-propagator dict dispatch), ``"specialized"``
     #: (per-circuit unrolled kernel functions, no NumPy needed) or

@@ -32,6 +32,9 @@ class AnalysisResult:
     #: The literal asserted by the clause after backtracking (may be None
     #: in the rare no-UIP corner).
     asserting_literal: Optional[Literal]
+    #: Literals removed from the first-UIP clause by recursive
+    #: minimization (0 when minimization is off or found nothing).
+    literals_minimized: int = 0
 
     @property
     def word_literal_count(self) -> int:
@@ -56,10 +59,91 @@ def _is_bool_point(event: Event) -> bool:
     return event.var.is_bool and event.new.is_point
 
 
+def _minimize_clause(
+    lits_by_var: Dict[int, "Literal"],
+    lit_levels: Dict[int, int],
+    event_by_var: Dict[int, int],
+    seen: Set[int],
+    store: DomainStore,
+) -> int:
+    """Recursive (self-subsuming) clause minimization; returns removals.
+
+    A clause literal is redundant when the trail event it was derived
+    from is *implied* by the remaining clause literals' facts plus level
+    0: every antecedent of the event is — transitively — marked from the
+    analysis walk (``seen``), at level 0, or itself so supported.  The
+    recursion fails at unmarked decisions/assumptions (no antecedents).
+
+    Soundness rests on the implication graph being acyclic with
+    antecedent event ids strictly below the event's own id: every
+    support chain strictly descends, so proofs ground out in level-0
+    facts and kept literals even when several candidates are removed
+    (no circular "A supports B supports A").  Events marked during the
+    analysis are themselves implied by the clause literals + level 0 —
+    conflict-level marked events all lie between the 1-UIP and the
+    conflict (the heap drains in descending event id, so an older
+    conflict-level event would still be pending when the UIP is
+    identified), and lower-level marked events either became literals
+    or had all their antecedents marked.
+    """
+    trail = store.trail
+    clause_levels = frozenset(lit_levels.values())
+    #: event id -> supported? (memoized across candidates).
+    cache: Dict[int, bool] = {}
+
+    def supported(top: int) -> bool:
+        # Iterative post-order DFS (implication chains can exceed the
+        # Python recursion limit on deep trails).
+        stack = [top]
+        while stack:
+            event_id = stack[-1]
+            if event_id in cache:
+                stack.pop()
+                continue
+            if event_id in seen:
+                cache[event_id] = True
+                stack.pop()
+                continue
+            event = trail[event_id]
+            if event.level == 0:
+                cache[event_id] = True
+                stack.pop()
+                continue
+            if not event.antecedents or event.level not in clause_levels:
+                # Unmarked decision/assumption, or a level the clause
+                # does not even mention (cheap abstraction filter —
+                # keeping the literal is always sound).
+                cache[event_id] = False
+                stack.pop()
+                continue
+            pending = [a for a in event.antecedents if a not in cache]
+            if pending:
+                stack.extend(pending)
+                continue
+            cache[event_id] = all(
+                cache[a] for a in event.antecedents
+            )
+            stack.pop()
+        return cache[top]
+
+    removed = 0
+    for var_index, event_id in list(event_by_var.items()):
+        event = trail[event_id]
+        if not event.antecedents:
+            continue
+        if all(supported(a) for a in event.antecedents):
+            del lits_by_var[var_index]
+            del lit_levels[var_index]
+            del event_by_var[var_index]
+            removed += 1
+    return removed
+
+
 def analyze_conflict(
     conflict: Conflict,
     store: DomainStore,
     hybrid_word_literals: bool = False,
+    minimize: bool = True,
 ) -> Optional[AnalysisResult]:
     """1-UIP conflict analysis; ``None`` means the problem is UNSAT.
 
@@ -89,6 +173,10 @@ def analyze_conflict(
     #: var index -> level at which its literal became false (the level
     #: of the trail event it was derived from).
     lit_levels: Dict[int, int] = {}
+    #: var index -> trail event the literal was derived from, for the
+    #: minimization pass (the UIP is deliberately absent: the asserting
+    #: literal is never a removal candidate).
+    event_by_var: Dict[int, int] = {}
     uip_literal: Optional[Literal] = None
 
     while heap:
@@ -101,6 +189,7 @@ def analyze_conflict(
                 lit = _negate_event_literal(event)
                 lits_by_var[event.var.index] = lit
                 lit_levels[event.var.index] = event.level
+                event_by_var[event.var.index] = event_id
             elif hybrid_word_literals or not event.antecedents:
                 # Keep the narrowing itself as a (negative) word literal:
                 # "not (var in event.new)".  Events with no antecedents
@@ -114,6 +203,7 @@ def analyze_conflict(
                         event.var, event.new, positive=False
                     )
                     lit_levels[event.var.index] = event.level
+                    event_by_var[event.var.index] = event_id
             else:
                 for antecedent in event.antecedents:
                     mark(antecedent)
@@ -152,6 +242,12 @@ def analyze_conflict(
                     pending_at_level += 1
                 mark(antecedent)
 
+    minimized = 0
+    if minimize and event_by_var:
+        minimized = _minimize_clause(
+            lits_by_var, lit_levels, event_by_var, seen, store
+        )
+
     literals = list(lits_by_var.values())
     if uip_literal is not None:
         literals.append(uip_literal)
@@ -174,6 +270,7 @@ def analyze_conflict(
         clause=clause,
         backtrack_level=backtrack_level,
         asserting_literal=uip_literal,
+        literals_minimized=minimized,
     )
 
 

@@ -136,6 +136,10 @@ class HdpllSolver:
             impl=self.config.engine_impl,
             plan_key=plan_key,
         )
+        clause_db = self.engine.clause_db
+        clause_db.core_lbd_max = self.config.clause_db_core_lbd
+        clause_db.mid_lbd_max = self.config.clause_db_mid_lbd
+        clause_db.mid_staleness = self.config.clause_db_mid_staleness
         if self._prof is not None:
             self.engine.enable_timing()
         self.order = ActivityOrder(
@@ -732,6 +736,7 @@ class HdpllSolver:
                     conflict,
                     self.store,
                     hybrid_word_literals=self.config.hybrid_learned_clauses,
+                    minimize=self.config.clause_minimization,
                 )
                 prof.add("search/conflict", prof.now() - begin)
             else:
@@ -739,9 +744,12 @@ class HdpllSolver:
                     conflict,
                     self.store,
                     hybrid_word_literals=self.config.hybrid_learned_clauses,
+                    minimize=self.config.clause_minimization,
                 )
             if analysis is None:
                 return self._finish(Status.UNSAT), resolved
+            self.stats.literals_minimized += analysis.literals_minimized
+            analysis.clause.lbd = self._clause_lbd(analysis.clause)
             if tracer is not None:
                 tracer.event(
                     "conflict",
@@ -750,8 +758,9 @@ class HdpllSolver:
                     size=len(analysis.clause.literals),
                     words=analysis.word_literal_count,
                     backtrack=analysis.backtrack_level,
+                    lbd=analysis.clause.lbd,
+                    minimized=analysis.literals_minimized,
                 )
-            analysis.clause.lbd = self._clause_lbd(analysis.clause)
             if self.share is not None:
                 self.share.export(analysis.clause)
             self.order.bump_clause(analysis.clause)
@@ -845,6 +854,8 @@ class HdpllSolver:
             # The refutation depends on level-0 facts alone: UNSAT.
             return self._finish(Status.UNSAT)
         clause, backtrack_level = analysis.clause, analysis.backtrack_level
+        self.stats.literals_minimized += analysis.literals_minimized
+        clause.lbd = self._clause_lbd(clause)
         self.order.bump_clause(clause)
         self.order.decay()
         self.stats.conflicts += 1
@@ -878,6 +889,7 @@ class HdpllSolver:
             conflict,
             self.store,
             hybrid_word_literals=self.config.hybrid_learned_clauses,
+            minimize=self.config.clause_minimization,
         )
 
     def _build_model(
@@ -981,7 +993,14 @@ class HdpllSolver:
         self.stats.heap_stale_pops = (
             self.order.stale_pops - marks.get("heap_stale_pops", 0)
         )
-        self.stats.clauses_evicted = self.engine.clause_db.clauses_evicted
+        clause_db = self.engine.clause_db
+        self.stats.clauses_evicted = clause_db.clauses_evicted
+        self.stats.clauses_demoted = clause_db.clauses_demoted
+        core, mid, local = clause_db.tier_sizes()
+        self.stats.clause_db_core = core
+        self.stats.clause_db_mid = mid
+        self.stats.clause_db_local = local
+        self.stats.learned_lbd_mean = clause_db.mean_lbd()
         self.stats.narrowings = (
             self.store.narrowings - marks.get("narrowings", 0)
         )

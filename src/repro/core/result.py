@@ -63,8 +63,16 @@ STAT_SPEC = {
     #: Predicate-probe cone-cache hits / misses (sessions).
     "probe_cache_hits": ("counter", 0),
     "probe_cache_misses": ("counter", 0),
-    #: Learned clauses dropped by activity-based DB reduction/cap.
+    #: Learned clauses dropped by LBD/activity-tiered DB reduction/cap.
     "clauses_evicted": ("counter", 0),
+    #: Mid-tier learned clauses demoted to the local tier (staleness).
+    "clauses_demoted": ("counter", 0),
+    #: Literals removed from first-UIP clauses by recursive minimization.
+    "literals_minimized": ("counter", 0),
+    #: End-of-solve clause-database tier sizes (disposable learned set).
+    "clause_db_core": ("counter", 0),
+    "clause_db_mid": ("counter", 0),
+    "clause_db_local": ("counter", 0),
     #: Decision-heap health: successful selections vs lazily discarded
     #: stale entries (see :class:`repro.core.decide.ActivityOrder`).
     "heap_picks": ("counter", 0),
@@ -106,6 +114,8 @@ STAT_SPEC = {
     "narrowings_per_sec": ("gauge", 0.0),
     #: installed / received for shared-clause import (portfolio).
     "share_import_hit_rate": ("gauge", 0.0),
+    #: Mean recorded LBD over disposable learned clauses at solve end.
+    "learned_lbd_mean": ("gauge", 0.0),
 }
 
 

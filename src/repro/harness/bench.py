@@ -74,6 +74,12 @@ COUNTER_FIELDS = (
     "probe_cache_misses",
     "probe_cache_hit_rate",
     "clauses_evicted",
+    "clauses_demoted",
+    "literals_minimized",
+    "clause_db_core",
+    "clause_db_mid",
+    "clause_db_local",
+    "learned_lbd_mean",
     "heap_picks",
     "heap_stale_pops",
     "cubes_generated",
@@ -82,6 +88,8 @@ COUNTER_FIELDS = (
     "clauses_exported",
     "clauses_imported",
     "share_import_hit_rate",
+    "dist_requeues",
+    "dist_clauses_relayed",
     "optimize_nodes_before",
     "optimize_nodes_after",
     # Throughput *rates* (props_per_sec, narrowings_per_sec) stay out:
@@ -227,6 +235,31 @@ PROFILES: Dict[str, Dict[str, object]] = {
         ),
         "single_query_jobs": True,
     },
+    #: Distributed cube-and-conquer cells (PR 9): every cell runs the
+    #: query through a real cube hub over a UNIX socket.  ``dist-1h``
+    #: is one worker host, ``dist-2h`` is two (same wire path, so the
+    #: ratio isolates what the second host buys); ``-j`` sets the
+    #: per-host width.  On a single machine the second host's win comes
+    #: from the wider global diversification spread (hosts receive
+    #: disjoint worker-index ranges) plus cube-level work stealing, not
+    #: raw parallelism — the gate instances are the ones where the
+    #: portfolio profile showed diversification carrying the solve.
+    #: Cells spawn their own host/worker processes, so the profile runs
+    #: inline (``single_query_jobs``) like the portfolio and serve ones.
+    "dist": {
+        "instances": (
+            ("b01_1", 50),
+            ("b04_1", 150),
+            ("b04_1", 200),
+            ("b13_5", 150),
+        ),
+        "engines": ("dist-1h", "dist-2h"),
+        "gated": ("dist-2h",),
+        "speedup_gates": (
+            {"fast": "dist-2h", "slow": "dist-1h", "min_ratio": 1.3},
+        ),
+        "single_query_jobs": True,
+    },
 }
 
 #: Floor applied to per-run wall times before geomean aggregation so a
@@ -318,7 +351,11 @@ def run_profile(
             bound=bound,
             engine=engine,
             timeout=timeout,
-            jobs=engine_jobs if engine == "portfolio" else 1,
+            jobs=(
+                engine_jobs
+                if engine == "portfolio" or engine.startswith("dist-")
+                else 1
+            ),
         )
         for case, bound, engine in matrix
         for _ in range(repeat)

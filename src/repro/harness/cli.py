@@ -13,6 +13,8 @@ Subcommands::
     repro-hdpll top telemetry-dir/ --once
     repro-hdpll serve --port 9123 --telemetry-dir serve-tel/
     repro-hdpll serve-load --cases b01_1:15,b13_1:10 --requests 16
+    repro-hdpll dist-serve b13_5 150 --port 9124 --workers 4
+    repro-hdpll -j 2 dist-work --host hubhost --port 9124
     repro-hdpll list
 
 Global options: ``--log-level debug`` (or ``REPRO_LOG=debug``) wires the
@@ -230,7 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--profile",
-        choices=("smoke", "full", "bmc", "portfolio", "prop", "serve"),
+        choices=("smoke", "full", "bmc", "portfolio", "prop", "serve", "dist"),
         default="smoke",
     )
     bench.add_argument(
@@ -348,6 +350,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="jobs field on every request (>1 exercises the portfolio)",
     )
     _add_common(serve_load)
+
+    dist_serve = sub.add_parser(
+        "dist-serve",
+        help="run a cube hub for one BMC instance: splits the query "
+        "into cubes and serves them to dist-work hosts over a "
+        "TCP/UNIX socket (see docs/distributed.md)",
+    )
+    dist_serve.add_argument("case", help="e.g. b13_5")
+    dist_serve.add_argument("bound", type=int, help="time frames")
+    dist_serve.add_argument("--host", default="127.0.0.1")
+    dist_serve.add_argument(
+        "--port",
+        type=int,
+        default=9124,
+        help="TCP port (0 = ephemeral, printed at startup)",
+    )
+    dist_serve.add_argument(
+        "--unix-socket",
+        default=None,
+        help="serve on this UNIX socket path instead of TCP",
+    )
+    dist_serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="expected total worker count across hosts (sets the cube "
+        "splitting depth; the hub accepts any number of hosts)",
+    )
+    dist_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="solve deadline in seconds (default: none)",
+    )
+    dist_serve.add_argument(
+        "--lease",
+        type=float,
+        default=30.0,
+        help="cube lease in seconds: a host silent this long loses its "
+        "cubes back to the queue",
+    )
+    dist_serve.add_argument(
+        "--relay-max-lbd",
+        type=int,
+        default=6,
+        help="hub clause-relay admission: keep clauses with LBD <= "
+        "this (binaries always pass)",
+    )
+    dist_serve.add_argument(
+        "--cube-depth",
+        type=int,
+        default=None,
+        help="override the lookahead splitting depth",
+    )
+
+    dist_work = sub.add_parser(
+        "dist-work",
+        help="run a worker host against a dist-serve hub: pulls cubes, "
+        "solves them with -j local diversified workers, exchanges "
+        "learned clauses through the hub",
+    )
+    dist_work.add_argument("--host", default="127.0.0.1")
+    dist_work.add_argument("--port", type=int, default=9124)
+    dist_work.add_argument(
+        "--unix-socket",
+        default=None,
+        help="connect over this UNIX socket instead of TCP",
+    )
+    dist_work.add_argument(
+        "--name",
+        default=None,
+        help="host label in hub logs (default: the hostname)",
+    )
+    dist_work.add_argument(
+        "--crash-on-first-cube",
+        action="store_true",
+        help=argparse.SUPPRESS,  # test hook: die on the first assignment
+    )
 
     report = sub.add_parser(
         "report",
@@ -502,6 +582,20 @@ def _profile_command(args) -> int:
             f"probe cache {record.probe_cache_hits} hits / "
             f"{record.probe_cache_misses} misses ({rate:.0%}), "
             f"{record.clauses_evicted} clauses evicted"
+        )
+    db_total = (
+        record.clause_db_core + record.clause_db_mid + record.clause_db_local
+    )
+    if db_total or record.literals_minimized:
+        print()
+        print(
+            f"clause db: {record.clause_db_core} core / "
+            f"{record.clause_db_mid} mid / "
+            f"{record.clause_db_local} local "
+            f"(mean LBD {record.learned_lbd_mean:.2f}); "
+            f"{record.literals_minimized} literals minimized, "
+            f"{record.clauses_demoted} demoted, "
+            f"{record.clauses_evicted} evicted"
         )
     heap_total = record.heap_picks + record.heap_stale_pops
     if heap_total:
@@ -785,6 +879,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _serve_command(args)
     if args.command == "serve-load":
         return _serve_load_command(args)
+    if args.command == "dist-serve":
+        return _dist_serve_command(args)
+    if args.command == "dist-work":
+        return _dist_work_command(args)
     if args.command == "ablation":
         results = run_ablation(timeout=args.timeout, jobs=args.jobs)
         for name, records in results.items():
@@ -830,6 +928,142 @@ def _serve_command(args) -> int:
         )
 
     asyncio.run(run_server(config, announce=announce))
+    return 0
+
+
+def _dist_serve_command(args) -> int:
+    import json
+
+    from repro.core import SolverConfig
+    from repro.dist import CubeHub
+    from repro.portfolio.cubes import Cube, generate_cubes
+    from repro.portfolio.solve import default_cube_depth, replay_model
+    from repro.portfolio.worker import ProblemSpec, build_problem
+
+    workers = max(1, args.workers)
+    spec = ProblemSpec("instance", args.case, args.bound)
+    circuit, assumptions = build_problem(spec)
+    depth = (
+        args.cube_depth
+        if args.cube_depth is not None
+        else default_cube_depth(workers)
+    )
+    report = generate_cubes(
+        circuit, assumptions, depth, max_cubes=4 * workers
+    )
+    if report.status is not None:
+        print(
+            json.dumps(
+                {
+                    "event": "result",
+                    "status": report.status.value,
+                    "note": report.note,
+                    "cubes_solved": 0,
+                }
+            ),
+            flush=True,
+        )
+        return 0
+    cubes = [Cube(())] + list(report.cubes)
+    hub = CubeHub(
+        spec,
+        cubes,
+        base_config=SolverConfig(),
+        timeout=args.timeout,
+        lease_s=args.lease,
+        relay_max_lbd=args.relay_max_lbd,
+    )
+    try:
+        if args.unix_socket:
+            kind, target = hub.start(unix_path=args.unix_socket)
+        else:
+            kind, target = hub.start(host=args.host, port=args.port)
+        # Same one-line discovery contract as the solve daemon.
+        print(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "endpoints": [
+                        [kind, target if kind == "unix" else list(target)]
+                    ],
+                    "cubes": len(cubes),
+                }
+            ),
+            flush=True,
+        )
+        result = None
+        while result is None:
+            result = hub.wait(timeout=1.0)
+    except KeyboardInterrupt:
+        result = hub.abort("interrupted")
+    finally:
+        hub.close()
+    if result.failure:
+        print(
+            json.dumps(
+                {"event": "result", "status": "unknown", "error": result.failure}
+            ),
+            flush=True,
+        )
+        return 1
+    status = result.status
+    verified = None
+    if status == "sat":
+        verified = result.model is not None and replay_model(
+            circuit, result.model, assumptions
+        )
+        if not verified:
+            print(
+                json.dumps(
+                    {
+                        "event": "result",
+                        "status": "unknown",
+                        "error": "SAT model failed simulator replay",
+                    }
+                ),
+                flush=True,
+            )
+            return 1
+    print(
+        json.dumps(
+            {
+                "event": "result",
+                "status": status,
+                "note": result.note,
+                "winning_cube": result.winning_cube,
+                "hosts": result.hosts_seen,
+                "cubes_solved": len(result.outcomes),
+                "requeues": result.requeues,
+                "clauses_relayed": result.clauses_relayed,
+                **({"model_verified": True} if verified else {}),
+            }
+        ),
+        flush=True,
+    )
+    return 0 if status in ("sat", "unsat") else 1
+
+
+def _dist_work_command(args) -> int:
+    import json
+
+    from repro.dist import DistError, run_worker_host
+
+    address = (
+        ("unix", args.unix_socket)
+        if args.unix_socket
+        else ("tcp", (args.host, args.port))
+    )
+    # The crash hook marks every cube, so the host dies on whichever
+    # assignment it receives first.
+    crash = tuple(range(4096)) if args.crash_on_first_cube else ()
+    try:
+        summary = run_worker_host(
+            address, max(1, args.jobs), name=args.name, crash_cubes=crash
+        )
+    except DistError as error:
+        print(f"repro-hdpll dist-work: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps({"event": "done", **summary}), flush=True)
     return 0
 
 

@@ -85,6 +85,12 @@ ENGINE_NAMES = (
     #: ``repro.serve.bench``).
     "serve-cold",
     "serve-warm",
+    #: Distributed cube-and-conquer cells (PR 9): the query runs through
+    #: a cube hub plus N worker-host processes (each ``jobs`` wide),
+    #: exactly the ``repro-hdpll dist-serve``/``dist-work`` deployment
+    #: but on one machine (see ``repro.dist``).
+    "dist-1h",
+    "dist-2h",
 )
 
 
@@ -134,6 +140,13 @@ class RunRecord:
     probe_cache_misses: int = 0
     probe_cache_hit_rate: float = 0.0
     clauses_evicted: int = 0
+    #: Clause-quality engine (LBD tiers + minimization, PR 9).
+    clauses_demoted: int = 0
+    literals_minimized: int = 0
+    clause_db_core: int = 0
+    clause_db_mid: int = 0
+    clause_db_local: int = 0
+    learned_lbd_mean: float = 0.0
     #: Decision-heap health (all HDPLL engines).
     heap_picks: int = 0
     heap_stale_pops: int = 0
@@ -144,6 +157,10 @@ class RunRecord:
     clauses_exported: int = 0
     clauses_imported: int = 0
     share_import_hit_rate: float = 0.0
+    #: Distributed counters (dist-Nh engines; zero elsewhere).
+    dist_hosts: int = 0
+    dist_requeues: int = 0
+    dist_clauses_relayed: int = 0
     #: Node counts around the optional ``rtl.optimize`` pre-pass.
     optimize_nodes_before: int = 0
     optimize_nodes_after: int = 0
@@ -373,6 +390,30 @@ def run_engine(
                 optimize=optimize,
                 observation=observation,
                 telemetry_dir=telemetry_dir,
+            )
+            record.status = _status_letter(result)
+            apply_stats(record, result.stats)
+            record.note = result.note
+        elif base_engine in ("dist-1h", "dist-2h"):
+            from repro.dist import solve_dist
+            from repro.itc99 import available_cases
+
+            if record.case not in available_cases():
+                raise ValueError(
+                    "dist engines need a registry instance "
+                    f"(got {record.case!r})"
+                )
+            hosts = int(base_engine[5])
+            result = solve_dist(
+                record.case,
+                instance.bound,
+                hosts=hosts,
+                jobs=jobs,
+                timeout=timeout,
+                base_config=SolverConfig(
+                    learning_threshold=learning_threshold,
+                    engine_impl=engine_impl,
+                ),
             )
             record.status = _status_letter(result)
             apply_stats(record, result.stats)

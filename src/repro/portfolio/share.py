@@ -39,17 +39,35 @@ LiteralPayload = Tuple
 #: One serialized clause: (tuple of literal payloads, lbd).
 ClausePayload = Tuple[Tuple[LiteralPayload, ...], int]
 
-#: Export caps: clauses longer than this, or with a higher
-#: literal-block distance, stay private to the learning worker.
-DEFAULT_MAX_SIZE = 8
+#: Wire-safety size cap: clauses longer than this never leave the
+#: learning worker regardless of LBD (admission itself is LBD-driven,
+#: see :class:`ClauseExporter`).
+DEFAULT_MAX_SIZE = 32
+#: Ceiling the dynamic glue threshold may relax to.
 DEFAULT_MAX_LBD = 6
+#: Dynamic glue admission: the LBD ceiling starts here and self-tunes
+#: between :data:`GLUE_MIN` and ``max_lbd`` to hold the export rate
+#: inside the target band below.
+DEFAULT_GLUE_START = 4
+GLUE_MIN = 2
+#: Admission offers per retuning window, and the export-rate band the
+#: threshold steers toward (fractions of offered clauses exported).
+GLUE_WINDOW = 128
+GLUE_RATE_LOW = 0.08
+GLUE_RATE_HIGH = 0.35
 #: Exported clauses are batched: the exporter flushes to its sink once
 #: this many are buffered (and at end-of-cube).
 DEFAULT_FLUSH_THRESHOLD = 16
 
 
 def serialize_clause(clause: Clause) -> ClausePayload:
-    """Name-keyed wire form of a learned clause."""
+    """Name-keyed wire form of a learned clause.
+
+    The literal tuple is *canonical* (sorted): two permutations of the
+    same clause serialize identically, so the wire form, the dedup key
+    and the telemetry digest all agree — a permuted duplicate can never
+    slip past a filter keyed on any of them.
+    """
     literals: List[LiteralPayload] = []
     for literal in clause.literals:
         if isinstance(literal, BoolLit):
@@ -66,11 +84,15 @@ def serialize_clause(clause: Clause) -> ClausePayload:
             )
         else:  # pragma: no cover - new literal kinds must be handled
             raise TypeError(f"unshareable literal {literal!r}")
-    return tuple(literals), clause.lbd
+    return tuple(sorted(literals)), clause.lbd
 
 
 def clause_payload_key(payload: ClausePayload) -> Tuple:
-    """Order-insensitive dedup key of a serialized clause."""
+    """Order-insensitive dedup key of a serialized clause.
+
+    Serialization is already canonical; the sort here additionally
+    canonicalizes payloads built by hand (tests, older peers).
+    """
     return tuple(sorted(payload[0]))
 
 
@@ -114,7 +136,16 @@ def deserialize_clause(
 
 
 class ClauseExporter:
-    """Size/LBD-capped, deduplicated clause export with batching.
+    """LBD-gated, deduplicated clause export with batching.
+
+    Admission is by literal-block distance against a *dynamic glue
+    threshold*: binary clauses always pass, longer clauses pass while
+    their LBD is at or under the threshold, and the threshold self-tunes
+    — every :data:`GLUE_WINDOW` offered clauses the export rate is
+    compared to the ``[GLUE_RATE_LOW, GLUE_RATE_HIGH]`` band and the
+    threshold tightens (toward :data:`GLUE_MIN`) when the worker floods
+    its peers or relaxes (toward ``max_lbd``) when almost nothing
+    qualifies.  ``max_size`` remains only as a wire-safety cap.
 
     Plugged into the solver as the ``export`` half of its share hook;
     ``sink`` receives batches of :data:`ClausePayload` (a pipe send in
@@ -127,11 +158,18 @@ class ClauseExporter:
         max_size: int = DEFAULT_MAX_SIZE,
         max_lbd: int = DEFAULT_MAX_LBD,
         flush_threshold: int = DEFAULT_FLUSH_THRESHOLD,
+        dynamic_glue: bool = True,
     ):
         self._sink = sink
         self.max_size = max_size
         self.max_lbd = max_lbd
         self.flush_threshold = flush_threshold
+        #: Current LBD admission ceiling; fixed at ``max_lbd`` when
+        #: ``dynamic_glue`` is off.
+        self.dynamic_glue = dynamic_glue
+        self.glue_threshold = (
+            min(DEFAULT_GLUE_START, max_lbd) if dynamic_glue else max_lbd
+        )
         #: Assumption-variable names of the cube currently being solved;
         #: clauses mentioning any of them are suppressed (cube-local).
         self.cube_names: FrozenSet[str] = frozenset()
@@ -139,22 +177,46 @@ class ClauseExporter:
         self._buffer: List[ClausePayload] = []
         self.exported = 0
         self.suppressed = 0
+        self._window_offers = 0
+        self._window_exports = 0
+
+    def _retune(self, exported: bool) -> None:
+        """One admission offer observed; adjust the glue threshold."""
+        self._window_offers += 1
+        if exported:
+            self._window_exports += 1
+        if not self.dynamic_glue or self._window_offers < GLUE_WINDOW:
+            return
+        rate = self._window_exports / self._window_offers
+        if rate > GLUE_RATE_HIGH and self.glue_threshold > GLUE_MIN:
+            self.glue_threshold -= 1
+        elif rate < GLUE_RATE_LOW and self.glue_threshold < self.max_lbd:
+            self.glue_threshold += 1
+        self._window_offers = 0
+        self._window_exports = 0
 
     def export(self, clause: Clause) -> None:
         literals = clause.literals
-        if len(literals) > self.max_size or clause.lbd > self.max_lbd:
+        admitted = len(literals) <= self.max_size and (
+            len(literals) <= 2 or 0 < clause.lbd <= self.glue_threshold
+        )
+        if not admitted:
+            self._retune(exported=False)
             return
         if self.cube_names and any(
             literal.var.name in self.cube_names for literal in literals
         ):
             self.suppressed += 1
+            self._retune(exported=False)
             return
         payload = serialize_clause(clause)
         key = clause_payload_key(payload)
         if key in self._seen:
+            self._retune(exported=False)
             return
         self._seen.add(key)
         self.exported += 1
+        self._retune(exported=True)
         self._buffer.append(payload)
         if len(self._buffer) >= self.flush_threshold:
             self.flush()

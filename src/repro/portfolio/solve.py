@@ -61,6 +61,8 @@ _SUM_COUNTERS = (
     "clause_visits",
     "watch_moves",
     "clauses_evicted",
+    "clauses_demoted",
+    "literals_minimized",
     "heap_picks",
     "heap_stale_pops",
 )

@@ -194,6 +194,7 @@ class _WorkerChannel:
             self._emitter.event(
                 "share", dl=0, action="install",
                 clauses=len(keys), keys=keys,
+                lbd=[clause.lbd for clause in clauses],
             )
 
     def drain_pipe(self) -> None:
@@ -288,6 +289,7 @@ def _worker_body(
                 "share", dl=0, action="export",
                 clauses=len(batch),
                 keys=[payload_digest(p) for p in batch],
+                lbd=[p[1] for p in batch],
             )
         conn.send(("clauses", spec.worker_index, batch))
 

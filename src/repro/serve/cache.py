@@ -197,6 +197,29 @@ class SessionCache:
     # ------------------------------------------------------------------
     # Introspection (the server's ``stats`` op)
     # ------------------------------------------------------------------
+    def clause_db_snapshot(self) -> Dict[str, object]:
+        """Aggregate learned-clause-database shape over warm sessions.
+
+        Tier sizes sum across sessions; the mean LBD is clause-weighted
+        so a large session is not diluted by an idle tiny one.
+        """
+        core = mid = local = 0
+        lbd_weight = 0.0
+        for entry in self._entries.values():
+            db = entry.session.solver.engine.clause_db
+            c, m, l = db.tier_sizes()
+            core += c
+            mid += m
+            local += l
+            lbd_weight += db.mean_lbd() * (c + m + l)
+        total = core + mid + local
+        return {
+            "core": core,
+            "mid": mid,
+            "local": local,
+            "mean_lbd": lbd_weight / total if total else 0.0,
+        }
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "entries": len(self._entries),

@@ -236,12 +236,18 @@ class SolverServer:
             return
         # Latency gauges are floats (overwrite semantics): the window's
         # current percentiles, not an accumulating sum.
+        clause_db = self.cache.clause_db_snapshot()
         self._telemetry.record_metrics(
             {
                 "serve_latency_p50_s": _percentile(self._latencies, 0.50),
                 "serve_latency_p99_s": _percentile(self._latencies, 0.99),
                 "serve_cache_entries": float(len(self.cache)),
                 "serve_cache_bytes": float(self.cache.total_bytes()),
+                # Warm-session learned-clause DB shape (LBD tiers).
+                "serve_clause_db_core": float(clause_db["core"]),
+                "serve_clause_db_mid": float(clause_db["mid"]),
+                "serve_clause_db_local": float(clause_db["local"]),
+                "serve_clause_db_mean_lbd": float(clause_db["mean_lbd"]),
             }
         )
         self._telemetry.write_metrics()
@@ -348,6 +354,7 @@ class SolverServer:
                     "samples": len(self._latencies),
                 },
                 "cache": self.cache.snapshot(),
+                "clause_db": self.cache.clause_db_snapshot(),
                 "inflight": len(self._request_tasks),
                 "draining": self._draining,
             }

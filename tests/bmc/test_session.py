@@ -126,59 +126,70 @@ def _bool_vars(count: int) -> List[Variable]:
 
 
 def test_enforce_cap_evicts_low_activity_clauses():
-    variables = _bool_vars(40)
+    variables = _bool_vars(60)
     store = DomainStore(variables)
     db = ClauseDatabase(store)
-    for i in range(0, 38, 2):
+    count = 0
+    for i in range(0, 57, 3):
+        # Ternary, high-LBD clauses: local tier, eviction-eligible.
         clause = Clause(
             literals=(
                 make_bool_lit(variables[i], 1),
                 make_bool_lit(variables[i + 1], 1),
+                make_bool_lit(variables[i + 2], 1),
             ),
             learned=True,
             origin="conflict",
             activity=float(i),
+            lbd=8,
         )
         assert db.add_clause(clause) is None
+        count += 1
     before = len(db.clauses)
     removed = db.enforce_cap(8)
     assert removed > 0
     assert db.clauses_evicted == removed
     assert len(db.clauses) == before - removed
-    # The survivors are the most active clauses.
+    # Same tier and LBD throughout, so the survivors are the most
+    # active clauses.
     disposable = [c for c in db.clauses if c.learned]
     assert min(c.activity for c in disposable) >= float(
-        2 * removed
+        3 * removed
     ) - 1e-9
 
 
 def test_enforce_cap_never_evicts_reason_clauses():
-    variables = _bool_vars(6)
+    variables = _bool_vars(12)
     store = DomainStore(variables)
     db = ClauseDatabase(store)
-    # Falsify b0 so the next clause immediately propagates b1 and
-    # becomes its reason.
+    # Falsify b0 and b1 so the next (ternary, local-tier) clause
+    # immediately propagates b2 and becomes its reason.
     store.assume(variables[0], Interval.point(0))
+    store.assume(variables[1], Interval.point(0))
     reason = Clause(
         literals=(
             make_bool_lit(variables[0], 1),
             make_bool_lit(variables[1], 1),
+            make_bool_lit(variables[2], 1),
         ),
         learned=True,
         origin="conflict",
         activity=0.0,  # least active: first eviction candidate
+        lbd=8,
     )
     assert db.add_clause(reason) is None
-    assert store.lo[1] == 1  # clause propagated, so it is a reason
+    assert store.lo[2] == 1  # clause propagated, so it is a reason
     fillers = [
         Clause(
             literals=(
-                make_bool_lit(variables[2 + (i % 2)], 1),
-                make_bool_lit(variables[4 + (i % 2)], i % 2),
+                make_bool_lit(variables[3 + (i % 2)], 1),
+                make_bool_lit(variables[5 + (i % 2)], i % 2),
+                make_bool_lit(variables[7 + (i % 2)], 1),
             ),
             learned=True,
             origin="conflict",
             activity=1.0 + i,
+            lbd=8,
         )
         for i in range(6)
     ]

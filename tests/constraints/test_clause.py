@@ -223,10 +223,17 @@ class TestClauseReduction:
         store = DomainStore(all_vars)
         db = ClauseDatabase(store)
         for i in range(count):
+            # Ternary, high-LBD clauses: local tier, eviction-eligible
+            # (binary or low-LBD clauses would be core tier and immune).
             clause = Clause(
-                literals=(BoolLit(all_vars[0]), BoolLit(all_vars[4 + i])),
+                literals=(
+                    BoolLit(all_vars[0]),
+                    BoolLit(all_vars[1]),
+                    BoolLit(all_vars[4 + i]),
+                ),
                 learned=True,
                 origin="conflict",
+                lbd=8,
             )
             clause.activity = float(i)
             db.add_clause(clause)
@@ -269,6 +276,9 @@ class TestClauseReduction:
         survivor = db.clauses[0]
         first_var = survivor.literals[0].var
         second_var = survivor.literals[1].var
+        third_var = survivor.literals[2].var
         store.assign_bool(first_var, 0, "t")
         assert db.on_var_event(first_var) is None
-        assert store.bool_value(second_var) == 1
+        store.assign_bool(second_var, 0, "t")
+        assert db.on_var_event(second_var) is None
+        assert store.bool_value(third_var) == 1

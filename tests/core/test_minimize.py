@@ -1,0 +1,234 @@
+"""Differential sweep for recursive clause minimization (PR 9).
+
+Every conflict analyzed during a randomized BMC sweep is run through
+conflict analysis **twice** — ``minimize=False`` and ``minimize=True``
+on the same implication graph — by monkeypatching the solver's
+``analyze_conflict`` entry point.  The oracle is three-fold:
+
+* the minimized literal set is a subset of the first-UIP set (removal
+  only — a minimized clause can never be *longer* than first-UIP);
+* the asserting UIP literal survives minimization unchanged;
+* sampled minimized clauses are still **implied** by the problem: a
+  fresh solver given the instance plus the negation of every clause
+  literal must report UNSAT (negations are always convex here — learned
+  word literals are negative interval literals, so their negation is a
+  plain interval assumption).
+
+A per-seed status comparison against a ``clause_minimization=False``
+solve rides along, so an unsound removal that slips past the structural
+checks still has to reproduce the exact verdict.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence, Tuple
+
+import repro.core.hdpll as hdpll_module
+from repro.bmc import make_bmc_instance
+from repro.constraints.clause import BoolLit, WordLit
+from repro.core import SolverConfig, Status, solve_circuit
+from repro.core.conflict import analyze_conflict
+from repro.harness.parallel import Task, run_tasks
+from repro.intervals import Interval
+from repro.itc99.generator import (
+    random_safety_property,
+    random_sequential_circuit,
+)
+
+_NUM_SEEDS = 40
+_CHUNK = 10
+_BOUND = 3
+
+#: Same generator shape (and pathological-seed skip list) as the
+#: session differential sweep in ``tests/bmc/test_session.py``.
+_SWEEP_SHAPE = dict(width=3, num_registers=2, operations=8)
+_PATHOLOGICAL_SEEDS = frozenset({31})
+
+#: Minimized clauses per seed put through the fresh-solver implication
+#: check (each check is a full solve; sampling keeps the sweep fast).
+_IMPLICATION_SAMPLES = 3
+
+
+def _test_jobs() -> int:
+    return int(os.environ.get("REPRO_TEST_JOBS", "1"))
+
+
+def _lit_key(lit) -> tuple:
+    if isinstance(lit, BoolLit):
+        return ("b", lit.var.name, lit.positive)
+    assert isinstance(lit, WordLit)
+    return (
+        "w",
+        lit.var.name,
+        lit.interval.lo,
+        lit.interval.hi,
+        lit.positive,
+    )
+
+
+def _negation_assumption(lit):
+    """(net, assumption) forcing ``lit`` false, or ``None`` when the
+    negation is not expressible as one convex assumption."""
+    if isinstance(lit, BoolLit):
+        return lit.var.name, 0 if lit.positive else 1
+    if not lit.positive:
+        # ¬(var notin I)  ==  var in I: a plain interval assumption.
+        return lit.var.name, Interval(lit.interval.lo, lit.interval.hi)
+    return None  # positive word literal: complement may be non-convex
+
+
+def _sweep_chunk(seeds: Sequence[int]) -> Tuple[List[str], int]:
+    """(failures, total literals removed) over a seed range."""
+    prop = random_safety_property()
+    config = SolverConfig(predicate_learning=True)
+    baseline_config = SolverConfig(
+        predicate_learning=True, clause_minimization=False
+    )
+    failures: List[str] = []
+    total_removed = 0
+    for seed in seeds:
+        if seed in _PATHOLOGICAL_SEEDS:
+            continue
+        circuit = random_sequential_circuit(seed, **_SWEEP_SHAPE)
+        instance = make_bmc_instance(circuit, prop, _BOUND)
+        #: (first-UIP keys, minimized keys, minimized literals, removed)
+        captured: List[tuple] = []
+
+        def wrapper(
+            conflict,
+            store,
+            hybrid_word_literals=False,
+            minimize=True,
+        ):
+            base = analyze_conflict(
+                conflict,
+                store,
+                hybrid_word_literals=hybrid_word_literals,
+                minimize=False,
+            )
+            mini = analyze_conflict(
+                conflict,
+                store,
+                hybrid_word_literals=hybrid_word_literals,
+                minimize=True,
+            )
+            if base is not None and mini is not None:
+                captured.append(
+                    (
+                        frozenset(_lit_key(l) for l in base.clause.literals),
+                        frozenset(_lit_key(l) for l in mini.clause.literals),
+                        mini.clause.literals,
+                        mini.literals_minimized,
+                        base.asserting_literal,
+                        mini.asserting_literal,
+                    )
+                )
+            return mini if minimize else base
+
+        original = hdpll_module.analyze_conflict
+        hdpll_module.analyze_conflict = wrapper
+        try:
+            result = solve_circuit(
+                instance.circuit, instance.assumptions, config
+            )
+        finally:
+            hdpll_module.analyze_conflict = original
+
+        for base_keys, mini_keys, _lits, removed, base_uip, mini_uip in (
+            captured
+        ):
+            total_removed += removed
+            if not mini_keys <= base_keys:
+                failures.append(
+                    f"seed {seed}: minimized clause grew literals "
+                    f"{sorted(mini_keys - base_keys)}"
+                )
+            if len(mini_keys) > len(base_keys):
+                failures.append(
+                    f"seed {seed}: minimized clause longer than "
+                    f"first-UIP ({len(mini_keys)} > {len(base_keys)})"
+                )
+            if (base_uip is None) != (mini_uip is None) or (
+                base_uip is not None
+                and _lit_key(base_uip) != _lit_key(mini_uip)
+            ):
+                failures.append(
+                    f"seed {seed}: minimization changed the asserting "
+                    f"literal ({base_uip!r} -> {mini_uip!r})"
+                )
+
+        checked = 0
+        for _base, _mini, literals, removed, _bu, _mu in captured:
+            if checked >= _IMPLICATION_SAMPLES:
+                break
+            if not removed:
+                continue
+            merged = dict(instance.assumptions)
+            consistent = True
+            for lit in literals:
+                negation = _negation_assumption(lit)
+                if negation is None:
+                    consistent = False  # cannot express; skip clause
+                    break
+                name, value = negation
+                if name in merged and merged[name] != value:
+                    # The negation contradicts a base assumption
+                    # outright, so the clause is trivially implied.
+                    consistent = False
+                    break
+                merged[name] = value
+            if not consistent:
+                continue
+            checked += 1
+            refutation = solve_circuit(
+                instance.circuit, merged, SolverConfig()
+            )
+            if refutation.status is not Status.UNSAT:
+                failures.append(
+                    f"seed {seed}: minimized clause not implied — "
+                    f"negation solved {refutation.status.value} "
+                    f"(literals {[repr(l) for l in literals]})"
+                )
+
+        baseline = solve_circuit(
+            instance.circuit, instance.assumptions, baseline_config
+        )
+        if result.status is not baseline.status:
+            failures.append(
+                f"seed {seed}: minimize on/off status drift "
+                f"({result.status.value} vs {baseline.status.value})"
+            )
+    return failures, total_removed
+
+
+def test_minimization_sweep_sound_and_subsumed():
+    """40-seed sweep: minimized clauses are subsets of first-UIP, keep
+    the asserting literal, stay implied, and preserve verdicts."""
+    chunks = [
+        range(start, min(start + _CHUNK, _NUM_SEEDS))
+        for start in range(0, _NUM_SEEDS, _CHUNK)
+    ]
+    tasks = [
+        Task(
+            fn=_sweep_chunk,
+            args=(tuple(chunk),),
+            label=f"minimize[{chunk[0]}:{chunk[-1] + 1}]",
+        )
+        for chunk in chunks
+    ]
+    failures: List[str] = []
+    total_removed = 0
+    for outcome in run_tasks(tasks, jobs=_test_jobs()):
+        if outcome.ok:
+            chunk_failures, removed = outcome.value
+            failures.extend(chunk_failures)
+            total_removed += removed
+        else:
+            failures.append(
+                f"{outcome.label}: worker failed: {outcome.error}"
+            )
+    assert not failures, "\n".join(failures)
+    # The sweep must actually exercise minimization — zero removals
+    # across 40 seeds would make every check above vacuous.
+    assert total_removed > 0

@@ -70,7 +70,11 @@ def test_explicit_timeout_still_applies_per_call():
 
 
 def _learned(*literals) -> Clause:
-    return Clause(literals=tuple(literals), learned=True, origin="conflict")
+    # High LBD keeps multi-literal clauses in the evictable local tier
+    # (binary/low-LBD clauses would be core tier, immune to the cap).
+    return Clause(
+        literals=tuple(literals), learned=True, origin="conflict", lbd=8
+    )
 
 
 def test_install_shifted_root_conflict_keeps_accounting():
@@ -92,10 +96,12 @@ def test_install_shifted_root_conflict_keeps_accounting():
         _learned(
             BoolLit(names["c"], positive=True),
             WordLit(names["w"], Interval.make(0, 7), positive=True),
+            WordLit(names["w"], Interval.make(0, 11), positive=True),
         ),
         _learned(
             BoolLit(names["c"], positive=False),
             WordLit(names["w"], Interval.make(0, 3), positive=True),
+            WordLit(names["w"], Interval.make(0, 5), positive=True),
         ),
         # Root conflict: the only literal is false under the trail.
         _learned(BoolLit(names["a"], positive=True)),
@@ -103,6 +109,7 @@ def test_install_shifted_root_conflict_keeps_accounting():
         _learned(
             BoolLit(names["c"], positive=False),
             WordLit(names["w"], Interval.make(8, 15), positive=True),
+            WordLit(names["w"], Interval.make(6, 15), positive=True),
         ),
     ]
     installed = session.install_shifted(batch, lambda name: name)

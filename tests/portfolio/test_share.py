@@ -196,8 +196,10 @@ def test_exporter_caps_and_cube_filter():
     names = session._var_by_name
     batches = []
     exporter = ClauseExporter(
-        batches.append, max_size=2, max_lbd=3, flush_threshold=2
+        batches.append, max_size=3, max_lbd=3, flush_threshold=2
     )
+    # The dynamic glue threshold starts clamped to max_lbd.
+    assert exporter.glue_threshold == 3
 
     def clause(*literals, lbd=1):
         built = Clause(literals=tuple(literals), learned=True)
@@ -207,27 +209,33 @@ def test_exporter_caps_and_cube_filter():
     a1 = BoolLit(names["a"], positive=True)
     c0 = BoolLit(names["c"], positive=False)
     w_low = WordLit(names["w"], Interval.make(0, 3), positive=True)
+    w_high = WordLit(names["w"], Interval.make(4, 7), positive=True)
 
-    # Too long (3 > max_size) and too wide (lbd 5 > max_lbd): private.
-    exporter.export(clause(a1, c0, w_low))
-    exporter.export(clause(a1, c0, lbd=5))
+    # Too long (4 > max_size) and too glue-weak (3 literals with LBD 5
+    # above the threshold): private.
+    exporter.export(clause(a1, c0, w_low, w_high))
+    exporter.export(clause(a1, c0, w_low, lbd=5))
     assert exporter.exported == 0 and not batches
+
+    # Binary clauses always pass, whatever their recorded LBD.
+    exporter.export(clause(a1, c0, lbd=5))
+    assert exporter.exported == 1
+    assert not batches  # buffered below threshold
 
     # Cube-local: mentions an assumption variable of the current cube.
     exporter.cube_names = frozenset({"w"})
-    exporter.export(clause(a1, w_low))
-    assert exporter.suppressed == 1 and exporter.exported == 0
+    exporter.export(clause(a1, c0, w_low, lbd=2))
+    assert exporter.suppressed == 1 and exporter.exported == 1
     exporter.cube_names = frozenset()
 
-    # Two distinct clauses reach the flush threshold: one batch of two.
-    exporter.export(clause(a1, c0))
-    assert not batches  # buffered below threshold
-    exporter.export(clause(a1, w_low))
+    # The same clause passes once the cube filter lifts, reaching the
+    # flush threshold: one batch of two.
+    exporter.export(clause(a1, c0, w_low, lbd=2))
     assert exporter.exported == 2
     assert len(batches) == 1 and len(batches[0]) == 2
 
-    # A repeat (same literals) is deduplicated, buffered nothing.
-    exporter.export(clause(c0, a1))
+    # A permuted repeat is deduplicated, buffered nothing.
+    exporter.export(clause(c0, a1, lbd=5))
     exporter.flush()
     assert exporter.exported == 2
     assert len(batches) == 1
@@ -250,3 +258,68 @@ def test_share_channel_polls_receive_then_drains():
     (clause,) = channel.poll()
     assert clause.origin == "shared"
     assert channel.poll() == ()
+
+
+def test_dynamic_glue_threshold_retunes_both_directions():
+    """The admission ceiling relaxes when almost nothing qualifies and
+    tightens again when the worker floods its peers (PR 9)."""
+    from repro.portfolio.share import (
+        DEFAULT_GLUE_START,
+        GLUE_WINDOW,
+    )
+
+    session = _session()
+    names = session._var_by_name
+    exporter = ClauseExporter(lambda batch: None, flush_threshold=10_000)
+    assert exporter.glue_threshold == DEFAULT_GLUE_START
+
+    a1 = BoolLit(names["a"], positive=True)
+    c1 = BoolLit(names["c"], positive=True)
+
+    def word_clauses(lbd, extra):
+        """Distinct clauses (unique interval literal) at a fixed LBD."""
+        built = []
+        for lo in range(16):
+            for hi in range(lo, 16):
+                clause = Clause(
+                    literals=(
+                        a1,
+                        *extra,
+                        WordLit(
+                            names["w"],
+                            Interval.make(lo, hi),
+                            positive=True,
+                        ),
+                    ),
+                    learned=True,
+                )
+                clause.lbd = lbd
+                built.append(clause)
+        return built
+
+    # A full window of glue-weak clauses (LBD 6 > threshold 4): export
+    # rate 0 is under the low-water mark, so the ceiling relaxes by one
+    # notch per window until it reaches max_lbd.
+    weak = iter(word_clauses(lbd=6, extra=(c1,)))
+    for _ in range(GLUE_WINDOW):
+        exporter.export(next(weak))
+    assert exporter.glue_threshold == DEFAULT_GLUE_START + 1
+    assert exporter.exported == 0
+
+    # A window of always-admitted binary clauses floods the channel:
+    # export rate 1.0 is over the high-water mark, so it tightens back.
+    strong = iter(word_clauses(lbd=6, extra=()))
+    for _ in range(GLUE_WINDOW):
+        exporter.export(next(strong))
+    assert exporter.glue_threshold == DEFAULT_GLUE_START
+    assert exporter.exported == GLUE_WINDOW
+
+    # With dynamic glue off the ceiling is pinned at max_lbd.
+    fixed = ClauseExporter(
+        lambda batch: None, max_lbd=5, dynamic_glue=False
+    )
+    assert fixed.glue_threshold == 5
+    still_weak = iter(word_clauses(lbd=6, extra=(c1,)))
+    for _ in range(GLUE_WINDOW):
+        fixed.export(next(still_weak))
+    assert fixed.glue_threshold == 5

@@ -79,6 +79,13 @@ def test_concurrent_mixed_circuit_load():
     assert cache["misses"] == 2
     assert cache["hits"] + cache["joined_builds"] == 3
     assert stats["counters"]["requests_ok"] == 5
+    # The warm sessions' learned-clause DB shape is reported per tier;
+    # these tiny circuits may learn nothing, but the keys must be
+    # present and consistent.
+    clause_db = stats["clause_db"]
+    assert set(clause_db) == {"core", "mid", "local", "mean_lbd"}
+    assert all(clause_db[tier] >= 0 for tier in ("core", "mid", "local"))
+    assert clause_db["mean_lbd"] >= 0.0
 
 
 def test_bad_requests_do_not_kill_the_connection():
